@@ -1,0 +1,67 @@
+// Ablation: informed dictionary attacks with truncated word lists.
+//
+// §3.2 observes that "using the most frequent words in such a corpus may
+// allow the attacker to send smaller emails without losing much
+// effectiveness". This sweep fixes the attack at 1% control and varies the
+// dictionary: top-N Usenet-ranked words for N in {10k, 25k, 50k, 90k} plus
+// the full Aspell list, reporting effectiveness per attack-email byte.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/dictionary_attack.h"
+#include "eval/experiments.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
+  sbx::bench::print_header(
+      "Ablation: dictionary size vs. attack effectiveness (1% control)",
+      "Section 3.2 remark (informed attacks, smaller emails)");
+
+  sbx::eval::DictionaryCurveConfig config;
+  config.attack_fractions = {0.01};
+  config.threads = flags.threads;
+  if (flags.seed != 0) config.seed = flags.seed;
+  if (flags.quick) {
+    config.training_set_size = 2'000;
+    config.folds = 5;
+  } else {
+    config.training_set_size = 10'000;
+    config.folds = 10;
+  }
+
+  const sbx::corpus::TrecLikeGenerator generator;
+  const auto& lexicons = generator.lexicons();
+  std::vector<sbx::core::DictionaryAttack> attacks;
+  for (std::size_t n : {10'000u, 25'000u, 50'000u, 90'000u}) {
+    attacks.push_back(sbx::core::DictionaryAttack::usenet(lexicons, n));
+  }
+  attacks.push_back(sbx::core::DictionaryAttack::aspell(lexicons));
+
+  sbx::util::Table table({"attack", "dict words", "email bytes",
+                          "ham->spam %", "ham->spam|unsure %",
+                          "misclass per 10KB"});
+  for (const auto& attack : attacks) {
+    const auto curve =
+        sbx::eval::run_dictionary_curve(generator, attack, config);
+    const auto& p = curve.points.back();  // the 1% point
+    const double bytes =
+        static_cast<double>(attack.attack_message().body().size());
+    const double effect = 100.0 * p.matrix.ham_misclassified_rate();
+    table.add_row({curve.attack_name, std::to_string(curve.dictionary_size),
+                   sbx::util::Table::cell(static_cast<std::size_t>(bytes)),
+                   sbx::util::Table::cell(100.0 * p.matrix.ham_as_spam_rate(),
+                                          1),
+                   sbx::util::Table::cell(effect, 1),
+                   sbx::util::Table::cell(effect / (bytes / 10'240.0), 2)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv(flags.csv_dir + "/ablation_dictionary_size.csv");
+  std::printf("CSV written to %s/ablation_dictionary_size.csv\n",
+              flags.csv_dir.c_str());
+  std::printf(
+      "\nreading: the top-ranked truncations keep most of the damage at a\n"
+      "fraction of the bytes — the paper's 'smaller emails' remark — while\n"
+      "coverage of the victim's rare-word tail is what the full lists buy.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation: focused-attack knowledge models.
+//
+// DESIGN.md §5 documents an interpretation choice in §4.3: the attacker's
+// guess set is drawn ONCE per attack (fixed knowledge), not independently
+// per attack email. This ablation runs both models: with independent
+// per-email guesses the union of payloads converges to the full target as
+// the email count grows, erasing the p-dependence Figure 2 demonstrates —
+// which is why the fixed-knowledge reading must be the paper's.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/focused_attack.h"
+#include "corpus/generator.h"
+#include "spambayes/filter.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
+  sbx::bench::print_header(
+      "Ablation: fixed vs. per-email guess sets in the focused attack",
+      "Section 4.3 interpretation (DESIGN.md section 5)");
+
+  using namespace sbx;
+  corpus::TrecLikeGenerator generator;
+  const std::size_t inbox_size = flags.quick ? 1'000 : 3'000;
+  const std::size_t attack_count = flags.quick ? 100 : 300;
+  const std::size_t targets = flags.quick ? 10 : 20;
+
+  std::printf("inbox %zu (50%% spam), %zu attack emails, %zu targets\n\n",
+              inbox_size, attack_count, targets);
+
+  util::Rng rng(flags.seed != 0 ? flags.seed : 20080404);
+  corpus::Dataset inbox = generator.sample_mailbox(inbox_size, 0.5, rng);
+  spambayes::Tokenizer tokenizer;
+  spambayes::Filter base;
+  std::vector<const email::Message*> spam_headers;
+  for (const auto& item : inbox.items) {
+    if (item.label == corpus::TrueLabel::spam) {
+      base.train_spam(item.message);
+      spam_headers.push_back(&item.message);
+    } else {
+      base.train_ham(item.message);
+    }
+  }
+
+  sbx::util::Table table({"guess model", "p", "target->ham %",
+                          "target->unsure %", "target->spam %"});
+  for (bool fresh : {false, true}) {
+    for (double p : {0.1, 0.3, 0.5, 0.9}) {
+      std::size_t as[3] = {0, 0, 0};
+      for (std::size_t t = 0; t < targets; ++t) {
+        util::Rng run_rng = rng.fork(1000 * (fresh ? 2 : 1) + 10 * t +
+                                     static_cast<std::uint64_t>(p * 10));
+        email::Message target = generator.generate_ham(run_rng);
+        core::FocusedAttackConfig config;
+        config.guess_probability = p;
+        config.fresh_guess_per_email = fresh;
+        core::FocusedAttack attack(
+            config, core::attackable_body_words(target, tokenizer), run_rng);
+        spambayes::Filter filter = base;
+        for (const auto& m :
+             attack.generate(spam_headers, attack_count, run_rng)) {
+          filter.train_spam(m);
+        }
+        as[static_cast<int>(filter.classify(target).verdict)] += 1;
+      }
+      table.add_row({fresh ? "per-email (independent)" : "fixed (paper)",
+                     sbx::util::Table::cell(p, 1),
+                     sbx::util::Table::cell(100.0 * as[0] / targets, 1),
+                     sbx::util::Table::cell(100.0 * as[1] / targets, 1),
+                     sbx::util::Table::cell(100.0 * as[2] / targets, 1)});
+    }
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv(flags.csv_dir + "/ablation_focused_guessing.csv");
+  std::printf("CSV written to %s/ablation_focused_guessing.csv\n",
+              flags.csv_dir.c_str());
+  std::printf(
+      "\nreading: under per-email guessing even p=0.1 behaves like near-full\n"
+      "knowledge (every target token lands in some payload, and each email\n"
+      "adds spam evidence), so the Figure-2 p-dependence only exists under\n"
+      "the fixed-knowledge model.\n");
+  return 0;
+}

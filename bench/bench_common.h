@@ -1,0 +1,51 @@
+// Shared helpers for the bench binaries: flag parsing (--quick, --threads,
+// --seed, --csv-dir) and output conventions.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace sbx::bench {
+
+/// Common bench flags. Every experiment binary defaults to the paper-scale
+/// configuration; --quick shrinks it for smoke runs.
+struct BenchFlags {
+  bool quick = false;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  std::uint64_t seed = 0;   // 0 = keep the experiment default
+  std::string csv_dir = "results";
+};
+
+inline BenchFlags parse_flags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      flags.quick = true;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      flags.threads = static_cast<std::size_t>(std::atoll(arg + 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--csv-dir=", 10) == 0) {
+      flags.csv_dir = arg + 10;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: %s [--quick] [--threads=N] [--seed=S] [--csv-dir=DIR]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  return flags;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace sbx::bench

@@ -1,0 +1,76 @@
+// Extension: attack effectiveness across tokenizer flavors.
+//
+// Footnote 1 of the paper: "The primary difference between the learning
+// elements of these three filters [SpamBayes, BogoFilter, SpamAssassin's
+// Bayes component] is in their tokenization methods", and §7 conjectures
+// the attacks transfer. This bench runs the 1% Usenet dictionary attack
+// against the same learner under the three tokenizer presets. The
+// interesting mechanism: flavors that do NOT segregate header tokens by
+// field prefix (BogoFilter-style) let the body-only attack poison header
+// evidence too, removing ham's "safe" anchors.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/dictionary_attack.h"
+#include "eval/experiments.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
+  sbx::bench::print_header(
+      "Extension: dictionary attack vs. tokenizer flavors (1% control)",
+      "footnote 1 + Section 7 conjecture");
+
+  struct Flavor {
+    const char* name;
+    sbx::spambayes::TokenizerOptions options;
+  };
+  const Flavor flavors[] = {
+      {"spambayes", sbx::spambayes::TokenizerFlavors::spambayes()},
+      {"bogofilter", sbx::spambayes::TokenizerFlavors::bogofilter()},
+      {"spamassassin", sbx::spambayes::TokenizerFlavors::spamassassin()},
+  };
+
+  const sbx::corpus::TrecLikeGenerator generator;
+  const sbx::core::DictionaryAttack attack =
+      sbx::core::DictionaryAttack::usenet(generator.lexicons());
+
+  sbx::util::Table table({"flavor", "control %", "baseline ham misc %",
+                          "attacked ham->spam %",
+                          "attacked ham->spam|unsure %"});
+  for (const Flavor& flavor : flavors) {
+    sbx::eval::DictionaryCurveConfig config;
+    config.attack_fractions = {0.01};
+    config.filter.tokenizer = flavor.options;
+    config.threads = flags.threads;
+    if (flags.seed != 0) config.seed = flags.seed;
+    if (flags.quick) {
+      config.training_set_size = 2'000;
+      config.folds = 5;
+    } else {
+      config.training_set_size = 10'000;
+      config.folds = 10;
+    }
+    const auto curve =
+        sbx::eval::run_dictionary_curve(generator, attack, config);
+    const auto& control = curve.points.front();
+    const auto& attacked = curve.points.back();
+    table.add_row(
+        {flavor.name, "1.0",
+         sbx::util::Table::cell(100.0 * control.matrix.ham_misclassified_rate(),
+                                1),
+         sbx::util::Table::cell(100.0 * attacked.matrix.ham_as_spam_rate(), 1),
+         sbx::util::Table::cell(
+             100.0 * attacked.matrix.ham_misclassified_rate(), 1)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv(flags.csv_dir + "/ext_tokenizer_flavors.csv");
+  std::printf("CSV written to %s/ext_tokenizer_flavors.csv\n",
+              flags.csv_dir.c_str());
+  std::printf(
+      "\nreading: the attack transfers to every flavor (the learner, not\n"
+      "the tokenizer, is the vulnerability); unprefixed header tokenization\n"
+      "is strictly worse for the victim because body-only poison then also\n"
+      "taints header evidence.\n");
+  return 0;
+}

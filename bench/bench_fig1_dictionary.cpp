@@ -1,0 +1,97 @@
+// Figure 1: "Three dictionary attacks on initial training set of 10,000
+// messages (50% spam)."
+//
+// Reproduces the paper's curves: percent of test ham classified as spam
+// (the dashed lines) and as spam-or-unsure (the solid lines) against the
+// attack's share of the training set, for the optimal, Usenet and Aspell
+// dictionary attacks, averaged over 10-fold cross-validation.
+//
+// Also prints the §4.2 token-ratio statistic (at 2% control the Aspell
+// attack carries ~7x the tokens of the clean corpus, Usenet ~6.4x).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/dictionary_attack.h"
+#include "eval/experiments.h"
+#include "util/ascii_chart.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
+  sbx::bench::print_header(
+      "Figure 1: dictionary attacks vs. percent control of training set",
+      "Figure 1 + Section 4.2 of Nelson et al. 2008");
+
+  // Table 1 lists both training-set sizes; --quick runs only the small one.
+  std::vector<std::size_t> training_sizes = {2'000, 10'000};
+  if (flags.quick) training_sizes = {2'000};
+
+  const sbx::corpus::TrecLikeGenerator generator;
+  const std::vector<sbx::core::DictionaryAttack> attacks = {
+      sbx::core::DictionaryAttack::optimal(generator),
+      sbx::core::DictionaryAttack::usenet(generator.lexicons()),
+      sbx::core::DictionaryAttack::aspell(generator.lexicons()),
+  };
+
+  sbx::util::Table table({"training set", "attack", "dict words", "control %",
+                          "attack msgs", "ham->spam %", "ham->spam|unsure %",
+                          "fold stddev", "spam->misc %", "token ratio"});
+  std::vector<sbx::util::ChartSeries> chart;  // solid lines, largest run
+  const char kGlyphs[] = {'O', 'U', 'A'};
+  for (std::size_t training_size : training_sizes) {
+    sbx::eval::DictionaryCurveConfig config;
+    config.training_set_size = training_size;
+    config.threads = flags.threads;
+    if (flags.seed != 0) config.seed = flags.seed;
+    std::printf("running: %zu-message training set (%.0f%% spam), "
+                "%zu-fold CV...\n",
+                config.training_set_size, 100.0 * config.spam_fraction,
+                config.folds);
+    for (std::size_t ai = 0; ai < attacks.size(); ++ai) {
+      const auto& attack = attacks[ai];
+      const sbx::eval::DictionaryCurve curve =
+          sbx::eval::run_dictionary_curve(generator, attack, config);
+      if (training_size == training_sizes.back()) {
+        sbx::util::ChartSeries s;
+        s.label = curve.attack_name + " (ham as spam or unsure, %)";
+        s.glyph = kGlyphs[ai % 3];
+        for (const auto& p : curve.points) {
+          s.x.push_back(100.0 * p.attack_fraction);
+          s.y.push_back(100.0 * p.matrix.ham_misclassified_rate());
+        }
+        chart.push_back(std::move(s));
+      }
+      for (const auto& p : curve.points) {
+        table.add_row(
+            {std::to_string(training_size), curve.attack_name,
+             std::to_string(curve.dictionary_size),
+             sbx::util::Table::cell(100.0 * p.attack_fraction, 1),
+             std::to_string(p.attack_messages),
+             sbx::util::Table::cell(100.0 * p.matrix.ham_as_spam_rate(), 1),
+             sbx::util::Table::cell(100.0 * p.matrix.ham_misclassified_rate(),
+                                    1),
+             sbx::util::Table::cell(
+                 100.0 * p.ham_misclassified_by_fold.stddev(), 1),
+             sbx::util::Table::cell(
+                 100.0 * p.matrix.spam_misclassified_rate(), 1),
+             sbx::util::Table::cell(p.attack_token_ratio, 2)});
+      }
+    }
+  }
+  std::printf("\n%s\n", table.to_text().c_str());
+
+  sbx::util::ChartOptions chart_options;
+  chart_options.y_min = 0.0;
+  chart_options.y_max = 100.0;
+  chart_options.x_label = "percent control of training set";
+  chart_options.y_label = "percent of test ham misclassified";
+  std::printf("%s\n", sbx::util::render_chart(chart, chart_options).c_str());
+  table.write_csv(flags.csv_dir + "/fig1_dictionary.csv");
+  std::printf("CSV written to %s/fig1_dictionary.csv\n", flags.csv_dir.c_str());
+  std::printf(
+      "\npaper shape check: optimal >> usenet > aspell; all curves rise\n"
+      "steeply and the filter is unusable by ~1%% control (101 messages).\n"
+      "The fold-stddev column verifies §4.1's 'variation on our tests was\n"
+      "small' remark (no error bars in the paper's graphs).\n");
+  return 0;
+}

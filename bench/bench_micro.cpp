@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark) for the core operations every
+// experiment leans on: tokenization, training, untraining, batched
+// training, classification, chi-square evaluation, Zipf sampling and corpus
+// generation. These quantify why the experiment harness is fast enough to
+// run the paper's full parameter sweeps in seconds.
+#include <benchmark/benchmark.h>
+
+#include "core/dictionary_attack.h"
+#include "corpus/generator.h"
+#include "spambayes/filter.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace {
+
+const sbx::corpus::TrecLikeGenerator& shared_generator() {
+  static const sbx::corpus::TrecLikeGenerator gen;
+  return gen;
+}
+
+void BM_TokenizeHamMessage(benchmark::State& state) {
+  sbx::util::Rng rng(1);
+  const auto msg = shared_generator().generate_ham(rng);
+  const sbx::spambayes::Tokenizer tok;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok.tokenize(msg));
+  }
+}
+BENCHMARK(BM_TokenizeHamMessage);
+
+void BM_TrainHamMessage(benchmark::State& state) {
+  sbx::util::Rng rng(2);
+  const auto msg = shared_generator().generate_ham(rng);
+  const sbx::spambayes::Tokenizer tok;
+  const auto tokens = sbx::spambayes::unique_tokens(tok.tokenize(msg));
+  sbx::spambayes::Filter filter;
+  for (auto _ : state) {
+    filter.train_ham_tokens(tokens);
+  }
+}
+BENCHMARK(BM_TrainHamMessage);
+
+void BM_TrainUntrainRoundTrip(benchmark::State& state) {
+  sbx::util::Rng rng(3);
+  const auto msg = shared_generator().generate_spam(rng);
+  const sbx::spambayes::Tokenizer tok;
+  const auto tokens = sbx::spambayes::unique_tokens(tok.tokenize(msg));
+  sbx::spambayes::Filter filter;
+  for (auto _ : state) {
+    filter.train_spam_tokens(tokens);
+    filter.untrain_spam_tokens(tokens);
+  }
+}
+BENCHMARK(BM_TrainUntrainRoundTrip);
+
+void BM_DictionaryBatchTrain(benchmark::State& state) {
+  const auto& gen = shared_generator();
+  const sbx::core::DictionaryAttack attack =
+      sbx::core::DictionaryAttack::aspell(gen.lexicons());
+  const sbx::spambayes::Tokenizer tok;
+  const auto tokens =
+      sbx::spambayes::unique_tokens(tok.tokenize(attack.attack_message()));
+  for (auto _ : state) {
+    sbx::spambayes::Filter filter;
+    filter.train_spam_tokens(tokens, 101);  // 1% of a 10k inbox, one update
+    benchmark::DoNotOptimize(filter.database().vocabulary_size());
+  }
+}
+BENCHMARK(BM_DictionaryBatchTrain);
+
+void BM_ClassifyMessage(benchmark::State& state) {
+  sbx::util::Rng rng(4);
+  const auto& gen = shared_generator();
+  sbx::spambayes::Filter filter;
+  const sbx::spambayes::Tokenizer tok;
+  for (int i = 0; i < 200; ++i) {
+    filter.train_ham_tokens(sbx::spambayes::unique_tokens(
+        tok.tokenize(gen.generate_ham(rng))));
+    filter.train_spam_tokens(sbx::spambayes::unique_tokens(
+        tok.tokenize(gen.generate_spam(rng))));
+  }
+  const auto probe = sbx::spambayes::unique_tokens(
+      tok.tokenize(gen.generate_ham(rng)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.classify_tokens(probe).score);
+  }
+}
+BENCHMARK(BM_ClassifyMessage);
+
+void BM_Chi2EvenDof(benchmark::State& state) {
+  double x = 123.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sbx::util::chi2q_even_dof(x, 150));
+  }
+}
+BENCHMARK(BM_Chi2EvenDof);
+
+void BM_ZipfSample(benchmark::State& state) {
+  sbx::util::Rng rng(5);
+  sbx::util::ZipfSampler zipf(24'000, 1.08, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_GenerateHamEmail(benchmark::State& state) {
+  sbx::util::Rng rng(6);
+  const auto& gen = shared_generator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate_ham(rng));
+  }
+}
+BENCHMARK(BM_GenerateHamEmail);
+
+void BM_GenerateSpamEmail(benchmark::State& state) {
+  sbx::util::Rng rng(7);
+  const auto& gen = shared_generator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate_spam(rng));
+  }
+}
+BENCHMARK(BM_GenerateSpamEmail);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// make_corpus: export the synthetic TREC-like corpus as mbox files for use
+// outside this repository (e.g. to train a real SpamBayes/BogoFilter
+// installation against the same distribution, or to eyeball what the
+// generator produces).
+//
+// Usage:
+//   make_corpus [--ham N] [--spam N] [--seed S] [--out DIR]
+// Defaults mirror the TREC 2005 class balance at 1/20 scale
+// (ham 1,970 / spam 2,640 of the paper's 39,399 / 52,790).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "corpus/generator.h"
+#include "email/mbox.h"
+#include "util/error.h"
+#include "util/random.h"
+
+int main(int argc, char** argv) {
+  using namespace sbx;
+
+  std::size_t ham_count = 1'970;
+  std::size_t spam_count = 2'640;
+  std::uint64_t seed = 2005;
+  std::string out_dir = "corpus_out";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--ham") == 0) {
+      ham_count = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--spam") == 0) {
+      spam_count = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_dir = argv[i + 1];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  try {
+    corpus::TrecLikeGenerator generator;
+    util::Rng rng(seed);
+
+    std::filesystem::create_directories(out_dir);
+    std::vector<email::Message> ham, spam;
+    ham.reserve(ham_count);
+    spam.reserve(spam_count);
+    for (std::size_t i = 0; i < ham_count; ++i) {
+      ham.push_back(generator.generate_ham(rng));
+    }
+    for (std::size_t i = 0; i < spam_count; ++i) {
+      spam.push_back(generator.generate_spam(rng));
+    }
+    const std::string ham_path = out_dir + "/ham.mbox";
+    const std::string spam_path = out_dir + "/spam.mbox";
+    email::write_mbox_file(ham_path, ham);
+    email::write_mbox_file(spam_path, spam);
+
+    std::printf("wrote %zu ham -> %s\n", ham.size(), ham_path.c_str());
+    std::printf("wrote %zu spam -> %s\n", spam.size(), spam_path.c_str());
+    std::printf("\nround-trip check: ");
+    std::size_t reloaded = email::read_mbox_file(ham_path).size() +
+                           email::read_mbox_file(spam_path).size();
+    std::printf("%zu messages reload cleanly.\n", reloaded);
+    std::printf(
+        "\ntrain a filter on these with:\n"
+        "  sb_filter train --ham %s --spam %s --db tokens.db\n",
+        ham_path.c_str(), spam_path.c_str());
+    return 0;
+  } catch (const sbx::Error& e) {
+    std::fprintf(stderr, "make_corpus: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,153 @@
+#include "core/dynamic_threshold.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sbx::core {
+namespace {
+
+struct CandidateStats {
+  double t = 0.0;
+  std::size_t spam_below = 0;  // NS,<(t)
+  std::size_t ham_above = 0;   // NH,>(t)
+
+  bool perfect_separator() const { return spam_below + ham_above == 0; }
+  double g() const {
+    return static_cast<double>(spam_below) /
+           static_cast<double>(spam_below + ham_above);
+  }
+};
+
+// Enumerates candidate thresholds (midpoints between adjacent distinct
+// scores plus the extremes) with their NS,< / NH,> statistics.
+std::vector<CandidateStats> candidate_stats(std::vector<ScoredExample> v) {
+  std::sort(v.begin(), v.end(), [](const ScoredExample& a,
+                                   const ScoredExample& b) {
+    return a.score < b.score;
+  });
+  const std::size_t total_ham = static_cast<std::size_t>(
+      std::count_if(v.begin(), v.end(), [](const ScoredExample& e) {
+        return e.label == corpus::TrueLabel::ham;
+      }));
+
+  std::vector<CandidateStats> out;
+  out.reserve(v.size() + 2);
+  std::size_t spam_below = 0;
+  std::size_t ham_below = 0;
+  auto push = [&](double t) {
+    out.push_back({t, spam_below, total_ham - ham_below});
+  };
+  push(0.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i].label == corpus::TrueLabel::spam) {
+      ++spam_below;
+    } else {
+      ++ham_below;
+    }
+    // Candidate between this score and the next distinct one.
+    double next = i + 1 < v.size() ? v[i + 1].score : 1.0;
+    if (next > v[i].score) push((v[i].score + next) / 2.0);
+  }
+  push(1.0);
+  return out;
+}
+
+}  // namespace
+
+double threshold_utility(const std::vector<ScoredExample>& scored, double t) {
+  std::size_t spam_below = 0;
+  std::size_t ham_above = 0;
+  for (const auto& e : scored) {
+    if (e.label == corpus::TrueLabel::spam && e.score < t) ++spam_below;
+    if (e.label == corpus::TrueLabel::ham && e.score > t) ++ham_above;
+  }
+  if (spam_below + ham_above == 0) return 0.5;  // perfect separator
+  return static_cast<double>(spam_below) /
+         static_cast<double>(spam_below + ham_above);
+}
+
+ThresholdPair select_thresholds(const std::vector<ScoredExample>& scored,
+                                const DynamicThresholdConfig& config) {
+  if (scored.empty()) {
+    throw InvalidArgument("select_thresholds: empty validation set");
+  }
+  if (config.ham_target < 0 || config.spam_target > 1 ||
+      config.ham_target > config.spam_target) {
+    throw InvalidArgument("select_thresholds: invalid utility targets");
+  }
+  ThresholdPair pair{0.0, 1.0};
+  bool have_theta0 = false;
+  bool have_theta1 = false;
+  for (const CandidateStats& c : candidate_stats(scored)) {
+    // A candidate with zero errors on both sides separates the validation
+    // set perfectly and is acceptable for both cutoffs.
+    const bool ok_low = c.perfect_separator() || c.g() <= config.ham_target;
+    const bool ok_high = c.perfect_separator() || c.g() >= config.spam_target;
+    if (ok_low) {
+      pair.theta0 = c.t;  // candidates ascend; keep the largest
+      have_theta0 = true;
+    }
+    if (ok_high && !have_theta1) {
+      pair.theta1 = c.t;  // keep the smallest
+      have_theta1 = true;
+    }
+  }
+  if (!have_theta0) pair.theta0 = 0.0;
+  if (!have_theta1) pair.theta1 = 1.0;
+  if (pair.theta0 > pair.theta1) {
+    double mid = (pair.theta0 + pair.theta1) / 2.0;
+    pair.theta0 = pair.theta1 = mid;
+  }
+  return pair;
+}
+
+ThresholdPair compute_dynamic_thresholds(
+    const corpus::TokenizedDataset& training,
+    const std::vector<std::size_t>& training_indices,
+    const std::vector<SpamBatch>& extra_spam_batches,
+    const spambayes::FilterOptions& filter_options,
+    const DynamicThresholdConfig& config, util::Rng& rng) {
+  if (training_indices.size() < 2) {
+    throw InvalidArgument(
+        "compute_dynamic_thresholds: need at least 2 training messages");
+  }
+  std::vector<std::size_t> order = training_indices;
+  rng.shuffle(order);
+  const std::size_t half = order.size() / 2;
+
+  spambayes::Filter filter(filter_options);
+  for (std::size_t i = 0; i < half; ++i) {
+    const auto& item = training.items[order[i]];
+    if (item.label == corpus::TrueLabel::spam) {
+      filter.train_spam_tokens(item.tokens);
+    } else {
+      filter.train_ham_tokens(item.tokens);
+    }
+  }
+  // Attack copies arrive like any other training mail: split them evenly
+  // between the filter half and the validation half.
+  for (const SpamBatch& batch : extra_spam_batches) {
+    std::uint32_t to_train = batch.copies / 2;
+    if (to_train > 0) filter.train_spam_tokens(batch.tokens, to_train);
+  }
+
+  std::vector<ScoredExample> scored;
+  scored.reserve(order.size() - half + extra_spam_batches.size());
+  for (std::size_t i = half; i < order.size(); ++i) {
+    const auto& item = training.items[order[i]];
+    scored.push_back(
+        {filter.classify_tokens(item.tokens).score, item.label});
+  }
+  for (const SpamBatch& batch : extra_spam_batches) {
+    std::uint32_t to_validate = batch.copies - batch.copies / 2;
+    if (to_validate == 0) continue;
+    double score = filter.classify_tokens(batch.tokens).score;
+    for (std::uint32_t i = 0; i < to_validate; ++i) {
+      scored.push_back({score, corpus::TrueLabel::spam});
+    }
+  }
+  return select_thresholds(scored, config);
+}
+
+}  // namespace sbx::core

@@ -1,0 +1,19 @@
+#include "core/ham_labeled_attack.h"
+
+#include "email/builder.h"
+#include "util/error.h"
+
+namespace sbx::core {
+
+HamLabeledAttack::HamLabeledAttack(
+    std::vector<std::string> payload_words,
+    std::vector<email::HeaderField> ham_like_headers)
+    : payload_size_(payload_words.size()) {
+  if (payload_words.empty()) {
+    throw InvalidArgument("HamLabeledAttack: empty payload");
+  }
+  message_ = email::MessageBuilder().body_from_words(payload_words).build();
+  message_.set_headers(std::move(ham_like_headers));
+}
+
+}  // namespace sbx::core

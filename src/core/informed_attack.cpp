@@ -1,0 +1,31 @@
+#include "core/informed_attack.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sbx::core {
+
+DictionaryAttack make_informed_attack(
+    std::vector<corpus::TrecLikeGenerator::WordProbability> distribution,
+    std::size_t budget) {
+  if (budget == 0 || budget > distribution.size()) {
+    throw InvalidArgument("make_informed_attack: budget out of range");
+  }
+  std::sort(distribution.begin(), distribution.end(),
+            [](const auto& a, const auto& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.word < b.word;
+            });
+  std::vector<std::string> words;
+  words.reserve(budget);
+  for (std::size_t i = 0; i < budget; ++i) {
+    words.push_back(std::move(distribution[i].word));
+  }
+  return DictionaryAttack("informed-" + std::to_string(budget),
+                          std::move(words));
+}
+
+}  // namespace sbx::core

@@ -1,0 +1,27 @@
+#include "core/taxonomy.h"
+
+namespace sbx::core {
+
+std::string_view to_string(Influence v) {
+  return v == Influence::causative ? "Causative" : "Exploratory";
+}
+
+std::string_view to_string(Violation v) {
+  return v == Violation::integrity ? "Integrity" : "Availability";
+}
+
+std::string_view to_string(Specificity v) {
+  return v == Specificity::targeted ? "Targeted" : "Indiscriminate";
+}
+
+std::string AttackProperties::description() const {
+  std::string out;
+  out += to_string(influence);
+  out += ' ';
+  out += to_string(violation);
+  out += ' ';
+  out += to_string(specificity);
+  return out;
+}
+
+}  // namespace sbx::core

@@ -1,0 +1,40 @@
+// sbx/core/taxonomy.h
+//
+// The Barreno-Nelson attack taxonomy (§3.1): three axes classifying attacks
+// against machine-learning systems. Attack classes in this library carry
+// their taxonomy coordinates so experiment output can label them the way
+// the paper does.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sbx::core {
+
+/// Whether the attacker influences training (Causative) or only probes a
+/// fixed classifier (Exploratory).
+enum class Influence { causative, exploratory };
+
+/// Whether the attack creates false negatives (Integrity: spam gets
+/// through) or false positives (Availability: ham gets filtered).
+enum class Violation { integrity, availability };
+
+/// Whether the attack aims at a particular email type (Targeted) or at
+/// broad classes of email (Indiscriminate).
+enum class Specificity { targeted, indiscriminate };
+
+std::string_view to_string(Influence v);
+std::string_view to_string(Violation v);
+std::string_view to_string(Specificity v);
+
+/// Taxonomy coordinates of one attack.
+struct AttackProperties {
+  Influence influence = Influence::causative;
+  Violation violation = Violation::availability;
+  Specificity specificity = Specificity::indiscriminate;
+
+  /// e.g. "Causative Availability Indiscriminate".
+  std::string description() const;
+};
+
+}  // namespace sbx::core

@@ -1,0 +1,133 @@
+#include "corpus/vocabulary.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace sbx::corpus {
+namespace {
+
+// Syllable inventory. 20 onsets x 6 vowels x 10 codas = 1200 distinct
+// syllables; 2-3 syllables per word cover > 1200^3 combinations, far more
+// than the ~130k words we need.
+// Chosen so that coda+onset consonant clusters parse uniquely (e.g. no
+// onset "st", which would make "...s|t..." vs "...|st..." ambiguous and
+// allow two index pairs to produce the same concatenated word).
+constexpr std::array<const char*, 20> kOnsets = {
+    "b", "d", "f", "g", "h", "k", "l", "m",  "n",  "p",
+    "r", "s", "t", "v", "w", "z", "ch", "j", "br", "pl"};
+constexpr std::array<const char*, 6> kVowels = {"a", "e", "i", "o", "u", "ai"};
+constexpr std::array<const char*, 10> kCodas = {"", "n", "r", "s",  "t",
+                                                "l", "m", "d", "ck", "sh"};
+
+constexpr std::uint64_t kSyllables =
+    kOnsets.size() * kVowels.size() * kCodas.size();  // 1200
+
+std::string syllable(std::uint64_t index) {
+  std::uint64_t onset = index % kOnsets.size();
+  index /= kOnsets.size();
+  std::uint64_t vowel = index % kVowels.size();
+  index /= kVowels.size();
+  std::uint64_t coda = index % kCodas.size();
+  std::string s = kOnsets[onset];
+  s += kVowels[vowel];
+  s += kCodas[coda];
+  return s;
+}
+
+}  // namespace
+
+std::string WordGenerator::word(std::uint64_t index) {
+  // Two-syllable words for the first 1200^2 indices, three-syllable after.
+  // The syllable decomposition of the index is unique, so words collide only
+  // if a 2-syllable word equals another 2-syllable word, which cannot happen
+  // because the (onset, vowel, coda) decomposition of each half is unique
+  // and unambiguous in this inventory... except that string concatenation
+  // could theoretically align differently; we sidestep ambiguity by joining
+  // the two syllables as-is (inventory chosen so that resegmentation yields
+  // the same pair: onsets never end with a vowel and codas never start with
+  // one). Empirically verified distinct in tests over the full range used.
+  if (index < kSyllables * kSyllables) {
+    return syllable(index / kSyllables) + syllable(index % kSyllables);
+  }
+  std::uint64_t rest = index - kSyllables * kSyllables;
+  std::uint64_t a = rest / (kSyllables * kSyllables);
+  std::uint64_t b = (rest / kSyllables) % kSyllables;
+  std::uint64_t c = rest % kSyllables;
+  return syllable(a) + syllable(b) + syllable(c);
+}
+
+std::string WordGenerator::colloquial_word(std::uint64_t index) {
+  // Colloquial words come from a compact q-marked syllable space. No formal
+  // word contains the letter 'q' (the syllable inventory above has none),
+  // so the colloquial lexicon is disjoint from the Aspell-like lexicon by
+  // construction. Lengths stay within [5, 7] characters, comfortably inside
+  // the tokenizer's [3, 12] window, so these words always tokenize to
+  // themselves.
+  constexpr std::array<const char*, 16> kSimpleOnsets = {
+      "b", "d", "f", "g", "h", "k", "l", "m",
+      "n", "p", "r", "s", "t", "v", "w", "z"};
+  constexpr std::array<const char*, 5> kSimpleVowels = {"a", "e", "i", "o",
+                                                        "u"};
+  constexpr std::array<const char*, 8> kSimpleCodas = {"",  "n", "r", "s",
+                                                       "t", "l", "m", "d"};
+  constexpr std::uint64_t kCompact =
+      kSimpleOnsets.size() * kSimpleVowels.size() * kSimpleCodas.size();
+  auto compact_syllable = [&](std::uint64_t i) {
+    std::uint64_t onset = i % kSimpleOnsets.size();
+    i /= kSimpleOnsets.size();
+    std::uint64_t vowel = i % kSimpleVowels.size();
+    i /= kSimpleVowels.size();
+    std::uint64_t coda = i % kSimpleCodas.size();
+    std::string s = kSimpleOnsets[onset];
+    s += kSimpleVowels[vowel];
+    s += kSimpleCodas[coda];
+    return s;
+  };
+  if (index >= kCompact * kCompact) {
+    throw InvalidArgument("colloquial_word: index out of range");
+  }
+  return "q" + compact_syllable(index / kCompact) +
+         compact_syllable(index % kCompact);
+}
+
+Lexicons::Lexicons(const LexiconSizes& sizes) : sizes_(sizes) {
+  if (sizes_.overlap > sizes_.aspell || sizes_.overlap > sizes_.usenet) {
+    throw InvalidArgument("Lexicons: overlap exceeds lexicon size");
+  }
+  aspell_.reserve(sizes_.aspell);
+  for (std::size_t i = 0; i < sizes_.aspell; ++i) {
+    aspell_.push_back(WordGenerator::word(i));
+  }
+  aspell_set_.reserve(aspell_.size() * 2);
+  aspell_set_.insert(aspell_.begin(), aspell_.end());
+
+  const std::size_t colloquial_count = sizes_.usenet - sizes_.overlap;
+  colloquial_.reserve(colloquial_count);
+  for (std::size_t i = 0; i < colloquial_count; ++i) {
+    colloquial_.push_back(WordGenerator::colloquial_word(i));
+  }
+
+  // Usenet ranking: interleave the shared formal words (the front of the
+  // Aspell list — the common region ham actually uses) with colloquial
+  // words, mirroring how slang ranks highly in a real Usenet frequency
+  // list.
+  usenet_.reserve(sizes_.usenet);
+  std::size_t fi = 0;
+  std::size_t ci = 0;
+  while (usenet_.size() < sizes_.usenet) {
+    // Keep the shared:colloquial ratio ~ overlap:(usenet-overlap)
+    // throughout the ranking.
+    bool take_formal =
+        (fi * (sizes_.usenet - sizes_.overlap) <= ci * sizes_.overlap);
+    if (take_formal && fi < sizes_.overlap) {
+      usenet_.push_back(aspell_[fi++]);
+    } else if (ci < colloquial_count) {
+      usenet_.push_back(colloquial_[ci++]);
+    } else {
+      usenet_.push_back(aspell_[fi++]);
+    }
+  }
+}
+
+}  // namespace sbx::corpus

@@ -1,0 +1,60 @@
+#include "email/builder.h"
+
+namespace sbx::email {
+
+MessageBuilder& MessageBuilder::from(std::string addr) {
+  headers_.push_back({"From", std::move(addr)});
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::to(std::string addr) {
+  headers_.push_back({"To", std::move(addr)});
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::subject(std::string subject) {
+  headers_.push_back({"Subject", std::move(subject)});
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::date(std::string rfc2822_date) {
+  headers_.push_back({"Date", std::move(rfc2822_date)});
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::message_id(std::string id) {
+  headers_.push_back({"Message-ID", std::move(id)});
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::header(std::string name, std::string value) {
+  headers_.push_back({std::move(name), std::move(value)});
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::body(std::string text) {
+  body_ = std::move(text);
+  return *this;
+}
+
+MessageBuilder& MessageBuilder::body_from_words(
+    const std::vector<std::string>& words, std::size_t words_per_line) {
+  if (words_per_line == 0) words_per_line = 12;
+  body_.clear();
+  std::size_t total = 0;
+  for (const auto& w : words) total += w.size() + 1;
+  body_.reserve(total);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    body_ += words[i];
+    if (i + 1 == words.size() || (i + 1) % words_per_line == 0) {
+      body_ += '\n';
+    } else {
+      body_ += ' ';
+    }
+  }
+  return *this;
+}
+
+Message MessageBuilder::build() const { return Message(headers_, body_); }
+
+}  // namespace sbx::email

@@ -1,0 +1,42 @@
+// sbx/email/builder.h
+//
+// Fluent construction of Message objects. Used by the corpus generator to
+// synthesize realistic mail and by the attacks to craft poison messages
+// (which per the paper's threat model have attacker-chosen bodies but
+// restricted headers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "email/message.h"
+
+namespace sbx::email {
+
+/// Builder for Message. All setters return *this for chaining; build() can
+/// be called repeatedly (it copies the current state).
+class MessageBuilder {
+ public:
+  MessageBuilder& from(std::string addr);
+  MessageBuilder& to(std::string addr);
+  MessageBuilder& subject(std::string subject);
+  MessageBuilder& date(std::string rfc2822_date);
+  MessageBuilder& message_id(std::string id);
+  /// Adds an arbitrary header field.
+  MessageBuilder& header(std::string name, std::string value);
+  MessageBuilder& body(std::string text);
+
+  /// Sets the body to the given words laid out `words_per_line` per line.
+  /// This is how attack emails serialize their token payloads.
+  MessageBuilder& body_from_words(const std::vector<std::string>& words,
+                                  std::size_t words_per_line = 12);
+
+  /// Produces the message.
+  Message build() const;
+
+ private:
+  std::vector<HeaderField> headers_;
+  std::string body_;
+};
+
+}  // namespace sbx::email

@@ -1,0 +1,103 @@
+#include "email/mbox.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "email/rfc2822.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sbx::email {
+namespace {
+
+bool is_envelope_line(std::string_view line) {
+  return line.substr(0, 5) == "From ";
+}
+
+}  // namespace
+
+std::vector<Message> parse_mbox(std::string_view data) {
+  std::vector<Message> out;
+  if (util::trim(data).empty()) return out;
+
+  std::vector<std::string> current;
+  bool in_message = false;
+  auto flush = [&] {
+    if (!in_message) return;
+    std::string raw;
+    for (auto& line : current) {
+      // Unquote ">From " at line start (mboxo quoting).
+      if (line.substr(0, 6) == ">From ") {
+        raw.append(line.substr(1));
+      } else {
+        raw.append(line);
+      }
+      raw.push_back('\n');
+    }
+    out.push_back(parse_message(raw));
+    current.clear();
+  };
+
+  std::size_t pos = 0;
+  while (pos <= data.size()) {
+    std::size_t nl = data.find('\n', pos);
+    std::string_view line = nl == std::string_view::npos
+                                ? data.substr(pos)
+                                : data.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (is_envelope_line(line)) {
+      flush();
+      in_message = true;  // envelope line itself is not part of the message
+    } else if (in_message) {
+      current.emplace_back(line);
+    } else if (!util::trim(line).empty()) {
+      throw ParseError("mbox: content before first envelope line");
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  flush();
+  if (out.empty()) throw ParseError("mbox: no messages found");
+  return out;
+}
+
+std::vector<Message> read_mbox_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IoError("mbox: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_mbox(ss.str());
+}
+
+std::string render_mbox(const std::vector<Message>& messages) {
+  std::string out;
+  for (const auto& msg : messages) {
+    std::string from =
+        msg.header("From").value_or("MAILER-DAEMON@localhost");
+    out += "From " + from + " Thu Jan  1 00:00:00 1970\n";
+    std::string rendered = render_message(msg);
+    // Quote body/header lines that would be mistaken for envelopes.
+    std::size_t pos = 0;
+    while (pos < rendered.size()) {
+      std::size_t nl = rendered.find('\n', pos);
+      if (nl == std::string::npos) nl = rendered.size() - 1;
+      std::string_view line(rendered.data() + pos, nl - pos);
+      if (is_envelope_line(line)) out.push_back('>');
+      out.append(rendered, pos, nl - pos + 1);
+      pos = nl + 1;
+    }
+    if (out.empty() || out.back() != '\n') out.push_back('\n');
+    out.push_back('\n');  // message separator blank line
+  }
+  return out;
+}
+
+void write_mbox_file(const std::string& path,
+                     const std::vector<Message>& messages) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw IoError("mbox: cannot open for write: " + path);
+  f << render_mbox(messages);
+  if (!f) throw IoError("mbox: write failed: " + path);
+}
+
+}  // namespace sbx::email

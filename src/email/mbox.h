@@ -1,0 +1,34 @@
+// sbx/email/mbox.h
+//
+// Reader/writer for the classic mboxo mailbox format ("From " separator
+// lines, ">From " quoting). This is how the TREC-style corpora are stored on
+// disk and how the sb_filter example consumes mail.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "email/message.h"
+
+namespace sbx::email {
+
+/// Parses an mbox-formatted string into messages. Each message starts at a
+/// line beginning with "From " (the envelope line, which is consumed, not
+/// kept as a header). Body lines beginning with ">From " are unquoted to
+/// "From ". Returns an empty vector for empty input; throws ParseError if
+/// the input is non-empty but contains no envelope line.
+std::vector<Message> parse_mbox(std::string_view data);
+
+/// Reads and parses an mbox file. Throws IoError if unreadable.
+std::vector<Message> read_mbox_file(const std::string& path);
+
+/// Renders messages to mbox format, adding envelope lines and quoting body
+/// lines that begin with "From ".
+std::string render_mbox(const std::vector<Message>& messages);
+
+/// Writes messages to an mbox file. Throws IoError on failure.
+void write_mbox_file(const std::string& path,
+                     const std::vector<Message>& messages);
+
+}  // namespace sbx::email

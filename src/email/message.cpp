@@ -1,0 +1,42 @@
+#include "email/message.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sbx::email {
+
+void Message::add_header(std::string name, std::string value) {
+  headers_.push_back({std::move(name), std::move(value)});
+}
+
+std::optional<std::string> Message::header(std::string_view name) const {
+  for (const auto& h : headers_) {
+    if (util::iequals(h.name, name)) return h.value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Message::all_headers(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& h : headers_) {
+    if (util::iequals(h.name, name)) out.push_back(h.value);
+  }
+  return out;
+}
+
+bool Message::has_header(std::string_view name) const {
+  return header(name).has_value();
+}
+
+std::size_t Message::remove_headers(std::string_view name) {
+  auto it = std::remove_if(headers_.begin(), headers_.end(),
+                           [name](const HeaderField& h) {
+                             return util::iequals(h.name, name);
+                           });
+  std::size_t removed = static_cast<std::size_t>(headers_.end() - it);
+  headers_.erase(it, headers_.end());
+  return removed;
+}
+
+}  // namespace sbx::email

@@ -1,0 +1,64 @@
+// sbx/email/message.h
+//
+// In-memory representation of an RFC 2822 email message: an ordered list of
+// header fields plus an opaque body. Header order and duplicates are
+// preserved (both matter for faithful re-rendering and for header
+// tokenization), while lookup is case-insensitive per RFC 2822 §2.2.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbx::email {
+
+/// One header field: name and (unfolded) value.
+struct HeaderField {
+  std::string name;
+  std::string value;
+};
+
+/// A parsed email message.
+class Message {
+ public:
+  Message() = default;
+  Message(std::vector<HeaderField> headers, std::string body)
+      : headers_(std::move(headers)), body_(std::move(body)) {}
+
+  const std::vector<HeaderField>& headers() const { return headers_; }
+  const std::string& body() const { return body_; }
+
+  /// Replaces the body.
+  void set_body(std::string body) { body_ = std::move(body); }
+
+  /// Appends a header field (keeps duplicates and order).
+  void add_header(std::string name, std::string value);
+
+  /// First header with the given name (case-insensitive), if any.
+  std::optional<std::string> header(std::string_view name) const;
+
+  /// All values for the given header name (case-insensitive), in order.
+  std::vector<std::string> all_headers(std::string_view name) const;
+
+  /// True if at least one header with this name exists.
+  bool has_header(std::string_view name) const;
+
+  /// Removes every header with the given name; returns how many were removed.
+  std::size_t remove_headers(std::string_view name);
+
+  /// Replaces this message's entire header block with another message's
+  /// (used by the focused attack, which clones a real spam header per §4.1).
+  void set_headers(std::vector<HeaderField> headers) {
+    headers_ = std::move(headers);
+  }
+
+  /// Total number of header fields.
+  std::size_t header_count() const { return headers_.size(); }
+
+ private:
+  std::vector<HeaderField> headers_;
+  std::string body_;
+};
+
+}  // namespace sbx::email

@@ -1,0 +1,248 @@
+#include "email/mime.h"
+
+#include <array>
+#include <cctype>
+
+#include "email/rfc2822.h"
+#include "util/strings.h"
+
+namespace sbx::email {
+namespace {
+
+constexpr std::string_view kBase64Alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int, 256> build_base64_reverse() {
+  std::array<int, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<unsigned char>(kBase64Alphabet[i])] = i;
+  }
+  return rev;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string ContentType::boundary() const {
+  auto it = params.find("boundary");
+  return it == params.end() ? std::string() : it->second;
+}
+
+ContentType parse_content_type(std::string_view value) {
+  ContentType ct;
+  auto parts = util::split(value, ';');
+  if (parts.empty()) return ct;
+
+  auto media = util::trim(parts[0]);
+  auto slash = media.find('/');
+  if (slash != std::string_view::npos && slash > 0 &&
+      slash + 1 < media.size()) {
+    ct.type = util::to_lower(media.substr(0, slash));
+    ct.subtype = util::to_lower(media.substr(slash + 1));
+  }
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    auto param = util::trim(parts[i]);
+    auto eq = param.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    std::string key = util::to_lower(util::trim(param.substr(0, eq)));
+    std::string_view raw = util::trim(param.substr(eq + 1));
+    // Strip optional quotes.
+    if (raw.size() >= 2 && raw.front() == '"' && raw.back() == '"') {
+      raw = raw.substr(1, raw.size() - 2);
+    }
+    ct.params[key] = std::string(raw);
+  }
+  return ct;
+}
+
+std::string decode_base64(std::string_view input) {
+  static const std::array<int, 256> kReverse = build_base64_reverse();
+  std::string out;
+  out.reserve(input.size() * 3 / 4);
+  unsigned accum = 0;
+  int bits = 0;
+  for (char c : input) {
+    if (c == '=') break;  // padding: remaining bits are discarded
+    int v = kReverse[static_cast<unsigned char>(c)];
+    if (v < 0) continue;  // skip whitespace / invalid bytes
+    accum = (accum << 6) | static_cast<unsigned>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<char>((accum >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+std::string encode_base64(std::string_view input) {
+  std::string out;
+  out.reserve((input.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 2 < input.size()) {
+    unsigned v = (static_cast<unsigned char>(input[i]) << 16) |
+                 (static_cast<unsigned char>(input[i + 1]) << 8) |
+                 static_cast<unsigned char>(input[i + 2]);
+    out.push_back(kBase64Alphabet[(v >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 6) & 63]);
+    out.push_back(kBase64Alphabet[v & 63]);
+    i += 3;
+  }
+  std::size_t rem = input.size() - i;
+  if (rem == 1) {
+    unsigned v = static_cast<unsigned char>(input[i]) << 16;
+    out.push_back(kBase64Alphabet[(v >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 63]);
+    out.append("==");
+  } else if (rem == 2) {
+    unsigned v = (static_cast<unsigned char>(input[i]) << 16) |
+                 (static_cast<unsigned char>(input[i + 1]) << 8);
+    out.push_back(kBase64Alphabet[(v >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string decode_quoted_printable(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    char c = input[i];
+    if (c != '=') {
+      out.push_back(c);
+      continue;
+    }
+    // Soft break: "=\n" or "=\r\n" vanish.
+    if (i + 1 < input.size() && input[i + 1] == '\n') {
+      ++i;
+      continue;
+    }
+    if (i + 2 < input.size() && input[i + 1] == '\r' && input[i + 2] == '\n') {
+      i += 2;
+      continue;
+    }
+    if (i + 2 < input.size()) {
+      int hi = hex_digit(input[i + 1]);
+      int lo = hex_digit(input[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back('=');  // malformed escape: keep literally
+  }
+  return out;
+}
+
+std::string encode_quoted_printable(std::string_view input) {
+  constexpr std::size_t kLineLimit = 76;
+  constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  std::size_t col = 0;
+  auto soft_break = [&] {
+    out.append("=\n");
+    col = 0;
+  };
+  for (char c : input) {
+    auto uc = static_cast<unsigned char>(c);
+    if (c == '\n') {
+      out.push_back('\n');
+      col = 0;
+      continue;
+    }
+    bool literal = (uc >= 33 && uc <= 126 && c != '=') || c == ' ' || c == '\t';
+    std::size_t width = literal ? 1 : 3;
+    if (col + width > kLineLimit - 1) soft_break();
+    if (literal) {
+      out.push_back(c);
+    } else {
+      out.push_back('=');
+      out.push_back(kHex[uc >> 4]);
+      out.push_back(kHex[uc & 0xF]);
+    }
+    col += width;
+  }
+  return out;
+}
+
+std::string decode_transfer_encoding(std::string_view body,
+                                     std::string_view encoding) {
+  std::string enc = util::to_lower(util::trim(encoding));
+  if (enc == "base64") return decode_base64(body);
+  if (enc == "quoted-printable") return decode_quoted_printable(body);
+  return std::string(body);  // 7bit / 8bit / binary / unknown: identity
+}
+
+namespace {
+
+// Splits a multipart body on its boundary into raw sub-part strings.
+std::vector<std::string> split_multipart(std::string_view body,
+                                         const std::string& boundary) {
+  std::vector<std::string> parts;
+  const std::string delim = "--" + boundary;
+  std::size_t pos = 0;
+  std::size_t part_start = std::string::npos;
+  while (pos <= body.size()) {
+    std::size_t line_end = body.find('\n', pos);
+    if (line_end == std::string_view::npos) line_end = body.size();
+    std::string_view line = body.substr(pos, line_end - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    bool is_delim = line == delim || line == delim + "--";
+    if (is_delim) {
+      if (part_start != std::string::npos && pos > part_start) {
+        // Strip the trailing newline that belongs to the boundary line.
+        std::size_t end = pos;
+        if (end > part_start && body[end - 1] == '\n') --end;
+        if (end > part_start && body[end - 1] == '\r') --end;
+        parts.emplace_back(body.substr(part_start, end - part_start));
+      }
+      if (line == delim + "--") break;  // closing boundary
+      part_start = line_end + 1;
+    }
+    if (line_end == body.size()) break;
+    pos = line_end + 1;
+  }
+  return parts;
+}
+
+void extract_text_rec(const Message& msg, int depth, std::string& out) {
+  if (depth < 0) return;
+  ContentType ct =
+      parse_content_type(msg.header("Content-Type").value_or("text/plain"));
+  if (ct.is_multipart()) {
+    std::string boundary = ct.boundary();
+    if (boundary.empty()) return;
+    for (const auto& raw : split_multipart(msg.body(), boundary)) {
+      Message part = parse_message(raw);
+      extract_text_rec(part, depth - 1, out);
+    }
+    return;
+  }
+  if (!ct.is_text()) return;
+  std::string decoded = decode_transfer_encoding(
+      msg.body(), msg.header("Content-Transfer-Encoding").value_or(""));
+  if (!out.empty() && !decoded.empty()) out.push_back('\n');
+  out += decoded;
+}
+
+}  // namespace
+
+std::string extract_text(const Message& msg, int max_depth) {
+  std::string out;
+  extract_text_rec(msg, max_depth, out);
+  return out;
+}
+
+}  // namespace sbx::email

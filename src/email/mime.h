@@ -1,0 +1,62 @@
+// sbx/email/mime.h
+//
+// Just enough MIME to extract tokenizable text from real-world mail:
+// Content-Type parsing (type/subtype + parameters, notably `boundary` and
+// `charset`), Content-Transfer-Encoding decoding (base64 and
+// quoted-printable), and recursive multipart traversal that concatenates
+// every text/* part. The TREC 2005 corpus the paper uses is raw mail with
+// all of these, so the substrate must handle them even though our synthetic
+// generator mostly emits 7-bit text/plain.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "email/message.h"
+
+namespace sbx::email {
+
+/// Parsed Content-Type header value.
+struct ContentType {
+  std::string type = "text";      // lower-cased major type
+  std::string subtype = "plain";  // lower-cased subtype
+  std::map<std::string, std::string> params;  // lower-cased keys
+
+  bool is_multipart() const { return type == "multipart"; }
+  bool is_text() const { return type == "text"; }
+
+  /// The boundary parameter, or empty when absent.
+  std::string boundary() const;
+};
+
+/// Parses a Content-Type header value, e.g.
+/// `multipart/mixed; boundary="xyz"; charset=utf-8`. Tolerant: an
+/// unparseable value yields the text/plain default.
+ContentType parse_content_type(std::string_view value);
+
+/// Decodes base64 text (whitespace is skipped; padding optional). Invalid
+/// characters are ignored, matching permissive mail-client behaviour.
+std::string decode_base64(std::string_view input);
+
+/// Encodes bytes as base64 with no line breaks (used by tests/generator).
+std::string encode_base64(std::string_view input);
+
+/// Decodes quoted-printable text, including soft line breaks ("=\n").
+std::string decode_quoted_printable(std::string_view input);
+
+/// Encodes text as quoted-printable (soft-wrapped at 76 columns).
+std::string encode_quoted_printable(std::string_view input);
+
+/// Applies the message's Content-Transfer-Encoding to its body. Unknown or
+/// identity encodings (7bit, 8bit, binary) return the body unchanged.
+std::string decode_transfer_encoding(std::string_view body,
+                                     std::string_view encoding);
+
+/// Extracts all tokenizable text from a message: decodes the transfer
+/// encoding and, for multipart messages, recursively concatenates every
+/// text/* part (separated by newlines). Non-text leaf parts are skipped.
+/// Depth is limited to guard against adversarial nesting.
+std::string extract_text(const Message& msg, int max_depth = 8);
+
+}  // namespace sbx::email

@@ -1,0 +1,145 @@
+#include "email/rfc2822.h"
+
+#include <cctype>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sbx::email {
+namespace {
+
+// Splits `raw` into lines, treating "\r\n" and "\n" as terminators. The
+// terminator is not included in the returned views.
+std::vector<std::string_view> split_lines(std::string_view raw) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == '\n') {
+      std::size_t end = i;
+      if (end > start && raw[end - 1] == '\r') --end;
+      lines.push_back(raw.substr(start, end - start));
+      start = i + 1;
+    }
+  }
+  if (start < raw.size()) lines.push_back(raw.substr(start));
+  return lines;
+}
+
+bool is_header_name_char(char c) {
+  // RFC 2822: printable US-ASCII except colon.
+  return c > 32 && c < 127 && c != ':';
+}
+
+// Returns the colon position if the line looks like "Name: value".
+std::size_t find_header_colon(std::string_view line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == ':') return i == 0 ? std::string_view::npos : i;
+    if (!is_header_name_char(line[i])) return std::string_view::npos;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+Message parse_message(std::string_view raw, const ParseOptions& opts) {
+  auto lines = split_lines(raw);
+  Message msg;
+  std::size_t body_start_line = lines.size();
+  std::string pending_name;
+  std::string pending_value;
+  bool have_pending = false;
+
+  auto flush_pending = [&] {
+    if (have_pending) {
+      msg.add_header(std::move(pending_name),
+                     std::string(util::trim(pending_value)));
+      pending_name.clear();
+      pending_value.clear();
+      have_pending = false;
+    }
+  };
+
+  std::size_t i = 0;
+  for (; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (line.empty()) {  // blank line terminates the header block
+      body_start_line = i + 1;
+      break;
+    }
+    if ((line[0] == ' ' || line[0] == '\t') && have_pending) {
+      // Folded continuation: unfold with a single space.
+      pending_value += ' ';
+      pending_value += std::string(util::trim(line));
+      continue;
+    }
+    std::size_t colon = find_header_colon(line);
+    if (colon == std::string_view::npos) {
+      if (!opts.lenient) {
+        throw ParseError("rfc2822: malformed header line: " +
+                         std::string(line.substr(0, 60)));
+      }
+      // Tolerant mode: the "header block" ended early; everything from this
+      // line on is body.
+      body_start_line = i;
+      break;
+    }
+    flush_pending();
+    pending_name = std::string(line.substr(0, colon));
+    pending_value = std::string(util::trim(line.substr(colon + 1)));
+    have_pending = true;
+  }
+  if (i == lines.size()) body_start_line = lines.size();
+  flush_pending();
+
+  std::string body;
+  for (std::size_t j = body_start_line; j < lines.size(); ++j) {
+    body.append(lines[j]);
+    body.push_back('\n');
+  }
+  // Preserve the exact absence of a trailing newline.
+  if (!body.empty() && !raw.empty() && raw.back() != '\n' &&
+      !(raw.size() >= 2 && raw[raw.size() - 2] == '\r')) {
+    body.pop_back();
+  }
+  msg.set_body(std::move(body));
+  return msg;
+}
+
+namespace {
+
+// Folds one header field to <= 78 character lines at whitespace.
+void render_header(std::string& out, const HeaderField& h) {
+  constexpr std::size_t kLimit = 78;
+  std::string line = h.name + ": " + h.value;
+  while (line.size() > kLimit) {
+    // Find the last foldable space at or before the limit (but after the
+    // header name so we never emit an empty first line).
+    std::size_t fold = std::string::npos;
+    std::size_t min_pos = h.name.size() + 2;
+    for (std::size_t i = std::min(kLimit, line.size() - 1); i > min_pos; --i) {
+      if (line[i] == ' ') {
+        fold = i;
+        break;
+      }
+    }
+    if (fold == std::string::npos) break;  // one long token: leave unfolded
+    out.append(line, 0, fold);
+    out.append("\n");
+    line = "\t" + line.substr(fold + 1);
+  }
+  out.append(line);
+  out.append("\n");
+}
+
+}  // namespace
+
+std::string render_message(const Message& msg) {
+  std::string out;
+  for (const auto& h : msg.headers()) render_header(out, h);
+  out.append("\n");
+  out.append(msg.body());
+  if (!msg.body().empty() && msg.body().back() != '\n') out.push_back('\n');
+  return out;
+}
+
+}  // namespace sbx::email

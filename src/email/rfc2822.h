@@ -1,0 +1,35 @@
+// sbx/email/rfc2822.h
+//
+// RFC 2822 message parsing and rendering: header block / body split,
+// header folding (continuation lines) and unfolding, tolerant handling of
+// the malformed mail that real spam corpora are full of. The parser never
+// throws on merely ugly input — a spam filter must score whatever arrives —
+// but does throw ParseError on input that cannot be a message at all.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "email/message.h"
+
+namespace sbx::email {
+
+/// Parsing options.
+struct ParseOptions {
+  /// When true, a line in the header block that is neither a valid
+  /// "Name: value" field nor a continuation is folded into the body
+  /// (tolerant mode, like real mail clients). When false it raises
+  /// ParseError.
+  bool lenient = true;
+};
+
+/// Parses one RFC 2822 message (headers + body). Accepts both CRLF and LF
+/// line endings. An empty header block (message starting with a blank line
+/// or with a non-header line in lenient mode) yields a body-only message.
+Message parse_message(std::string_view raw, const ParseOptions& opts = {});
+
+/// Renders a message back to RFC 2822 text with LF line endings, folding
+/// header lines longer than 78 characters at whitespace where possible.
+std::string render_message(const Message& msg);
+
+}  // namespace sbx::email

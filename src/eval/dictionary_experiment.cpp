@@ -1,0 +1,100 @@
+// Figure 1 driver: dictionary attacks under K-fold cross-validation.
+#include <mutex>
+
+#include "core/attack_math.h"
+#include "eval/experiments.h"
+#include "util/thread_pool.h"
+
+namespace sbx::eval {
+
+DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
+                                     const core::DictionaryAttack& attack,
+                                     const DictionaryCurveConfig& config) {
+  util::Rng master(config.seed);
+
+  // Pool sized so each fold trains on ~training_set_size messages:
+  // train = pool * (K-1)/K.
+  const std::size_t pool_size =
+      config.training_set_size * config.folds / (config.folds - 1);
+  util::Rng corpus_rng = master.fork(1);
+  const corpus::Dataset dataset =
+      gen.sample_mailbox(pool_size, config.spam_fraction, corpus_rng);
+
+  const spambayes::Tokenizer tokenizer(config.filter.tokenizer);
+  const corpus::TokenizedDataset tokenized =
+      corpus::tokenize_dataset(dataset, tokenizer);
+  // §4.2 compares attack tokens against the tokens of the *training* inbox;
+  // scale the pool-wide count down to one fold's training share.
+  const std::size_t clean_tokens =
+      raw_token_count(dataset, tokenizer) * (config.folds - 1) / config.folds;
+
+  const spambayes::TokenSet attack_tokens = spambayes::unique_tokens(
+      tokenizer.tokenize(attack.attack_message()));
+  const std::size_t attack_tokens_per_message =
+      tokenizer.tokenize(attack.attack_message()).size();
+
+  util::Rng fold_rng = master.fork(2);
+  const std::vector<corpus::FoldSplit> folds =
+      corpus::k_fold_splits(tokenized.size(), config.folds, fold_rng);
+
+  // Fractions evaluated in ascending order so attack copies can be added
+  // incrementally; a leading 0 gives the control measurement.
+  std::vector<double> fractions = config.attack_fractions;
+  std::sort(fractions.begin(), fractions.end());
+  fractions.insert(fractions.begin(), 0.0);
+
+  std::vector<ConfusionMatrix> per_fraction(fractions.size());
+  std::vector<util::RunningStats> fold_spread(fractions.size());
+  std::mutex merge_mutex;
+
+  util::parallel_for(
+      folds.size(),
+      [&](std::size_t f) {
+        const corpus::FoldSplit& split = folds[f];
+        spambayes::Filter filter(config.filter);
+        train_on_indices(filter, tokenized, split.train);
+
+        std::size_t trained_attack = 0;
+        std::vector<ConfusionMatrix> local(fractions.size());
+        for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
+          const std::size_t want = core::attack_message_count(
+              split.train.size(), fractions[pi]);
+          if (want > trained_attack) {
+            filter.train_spam_tokens(
+                attack_tokens,
+                static_cast<std::uint32_t>(want - trained_attack));
+            trained_attack = want;
+          }
+          local[pi] = classify_indices(filter, tokenized, split.test);
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
+          per_fraction[pi].merge(local[pi]);
+          fold_spread[pi].add(local[pi].ham_misclassified_rate());
+        }
+      },
+      config.threads);
+
+  DictionaryCurve curve;
+  curve.attack_name = attack.name();
+  curve.dictionary_size = attack.dictionary_size();
+  const std::size_t train_size = folds.front().train.size();
+  for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
+    DictionaryCurvePoint point;
+    point.attack_fraction = fractions[pi];
+    point.attack_messages =
+        core::attack_message_count(train_size, fractions[pi]);
+    point.attack_token_ratio =
+        clean_tokens == 0
+            ? 0.0
+            : static_cast<double>(point.attack_messages *
+                                  attack_tokens_per_message) /
+                  static_cast<double>(clean_tokens);
+    point.matrix = per_fraction[pi];
+    point.ham_misclassified_by_fold = fold_spread[pi];
+    curve.points.push_back(std::move(point));
+  }
+  return curve;
+}
+
+}  // namespace sbx::eval

@@ -1,0 +1,232 @@
+// sbx/eval/experiments.h
+//
+// Experiment drivers regenerating every figure and table of the paper's
+// evaluation (§4-§5). Each driver owns the full pipeline — corpus sampling,
+// cross-validation, attack injection, measurement — and returns plain
+// result structs; the bench binaries only format them. Tests run the same
+// drivers at reduced scale.
+//
+// Determinism: every driver forks all randomness from its config seed, and
+// parallelism (folds / repetitions across threads) never changes results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dictionary_attack.h"
+#include "core/dynamic_threshold.h"
+#include "core/focused_attack.h"
+#include "core/roni.h"
+#include "corpus/dataset.h"
+#include "corpus/generator.h"
+#include "eval/metrics.h"
+#include "spambayes/filter.h"
+#include "util/stats.h"
+
+namespace sbx::eval {
+
+// ---------------------------------------------------------------------------
+// Figure 1: dictionary attacks vs. percent control of the training set.
+// ---------------------------------------------------------------------------
+
+/// Parameters (defaults = Table 1, large configuration: 10,000-message
+/// training set, 50% spam, 10-fold cross-validation).
+struct DictionaryCurveConfig {
+  std::size_t training_set_size = 10'000;
+  double spam_fraction = 0.5;
+  /// Attack strength as fraction of the *final* training set; 0 (control)
+  /// is always measured and need not be listed.
+  std::vector<double> attack_fractions = {0.001, 0.005, 0.01,
+                                          0.02,  0.05,  0.10};
+  std::size_t folds = 10;
+  std::uint64_t seed = 20080401;
+  spambayes::FilterOptions filter;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+/// One point of a Figure-1 curve (fold-aggregated).
+struct DictionaryCurvePoint {
+  double attack_fraction = 0.0;
+  std::size_t attack_messages = 0;  // per fold, a = clean*f/(1-f)
+  /// Ratio of attack token instances to clean-corpus token instances
+  /// (the §4.2 statistic: ~7x for Aspell at 2%).
+  double attack_token_ratio = 0.0;
+  ConfusionMatrix matrix;
+  /// Per-fold ham-misclassification rates — the spread behind the paper's
+  /// "variation on our tests was small" remark (§4.1).
+  util::RunningStats ham_misclassified_by_fold;
+};
+
+/// A full curve for one attack variant. points[0] is the control (no
+/// attack).
+struct DictionaryCurve {
+  std::string attack_name;
+  std::size_t dictionary_size = 0;
+  std::vector<DictionaryCurvePoint> points;
+};
+
+DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
+                                     const core::DictionaryAttack& attack,
+                                     const DictionaryCurveConfig& config);
+
+// ---------------------------------------------------------------------------
+// Figures 2 & 3: the focused attack.
+// ---------------------------------------------------------------------------
+
+/// Shared focused-attack experiment parameters (Table 1: 5,000-message
+/// inbox, 50% spam, 20 targets, 5 repetitions).
+struct FocusedConfig {
+  std::size_t inbox_size = 5'000;
+  double spam_fraction = 0.5;
+  std::size_t target_count = 20;
+  std::size_t repetitions = 5;
+  std::uint64_t seed = 20080402;
+  spambayes::FilterOptions filter;
+  std::size_t threads = 0;
+};
+
+/// Figure 2: post-attack verdict distribution of the targets as a function
+/// of the attacker's knowledge p.
+struct FocusedKnowledgePoint {
+  double guess_probability = 0.0;
+  std::size_t targets = 0;      // total (target, repetition) runs
+  std::size_t as_ham = 0;       // still delivered
+  std::size_t as_unsure = 0;
+  std::size_t as_spam = 0;
+  std::size_t control_as_ham = 0;  // pre-attack sanity: targets are ham
+};
+
+std::vector<FocusedKnowledgePoint> run_focused_knowledge(
+    const corpus::TrecLikeGenerator& gen,
+    const std::vector<double>& guess_probabilities, std::size_t attack_count,
+    const FocusedConfig& config);
+
+/// Figure 3: misclassification of the target as a function of attack size
+/// (guess probability fixed, paper: p = 0.5).
+struct FocusedSizePoint {
+  double attack_fraction = 0.0;
+  std::size_t attack_messages = 0;
+  std::size_t targets = 0;
+  std::size_t as_spam = 0;
+  std::size_t as_unsure_or_spam = 0;
+};
+
+std::vector<FocusedSizePoint> run_focused_size(
+    const corpus::TrecLikeGenerator& gen, double guess_probability,
+    const std::vector<double>& attack_fractions, const FocusedConfig& config);
+
+// ---------------------------------------------------------------------------
+// Figure 4: per-token score shift under the focused attack.
+// ---------------------------------------------------------------------------
+
+/// One token of the target email before/after the attack.
+struct TokenShiftPoint {
+  std::string token;
+  double score_before = 0.5;  // f(w), Eq. 2
+  double score_after = 0.5;
+  bool in_attack = false;  // did the attacker guess this token?
+};
+
+/// One representative target email (the paper shows three: post-attack
+/// spam, unsure, and ham).
+struct TokenShiftExample {
+  spambayes::Verdict verdict_after = spambayes::Verdict::unsure;
+  double message_score_before = 0.0;
+  double message_score_after = 0.0;
+  std::vector<TokenShiftPoint> tokens;
+};
+
+/// Runs focused attacks on fresh targets until one example of each
+/// requested post-attack verdict is found (or `max_targets` tried).
+std::vector<TokenShiftExample> run_token_shift(
+    const corpus::TrecLikeGenerator& gen, double guess_probability,
+    std::size_t attack_count, const FocusedConfig& config,
+    std::size_t max_targets = 60);
+
+// ---------------------------------------------------------------------------
+// §5.1: the RONI defense.
+// ---------------------------------------------------------------------------
+
+/// Parameters (defaults = §5.1: 120 non-attack spam queries, 15 repetitions
+/// of each dictionary-attack variant, T=20/V=50/5 resamples inside RONI).
+struct RoniExperimentConfig {
+  core::RoniConfig roni;
+  std::size_t pool_size = 1'000;  // clean pool RONI samples (T, V) from
+  double spam_fraction = 0.5;
+  std::size_t nonattack_queries = 120;
+  std::size_t attack_repetitions = 15;
+  std::uint64_t seed = 20080403;
+  spambayes::FilterOptions filter;
+  std::size_t threads = 0;
+};
+
+/// Aggregated assessment outcomes for one query class.
+struct RoniVariantResult {
+  std::string name;
+  util::RunningStats impact;  // ham-as-ham decrease per assessment
+  std::size_t assessed = 0;
+  std::size_t rejected = 0;
+
+  double rejection_rate() const {
+    return assessed == 0
+               ? 0.0
+               : static_cast<double>(rejected) / static_cast<double>(assessed);
+  }
+};
+
+struct RoniExperimentResult {
+  RoniVariantResult nonattack_spam;  // rejections here are false positives
+  std::vector<RoniVariantResult> attack_variants;
+};
+
+RoniExperimentResult run_roni_experiment(
+    const corpus::TrecLikeGenerator& gen,
+    const std::vector<const core::DictionaryAttack*>& attacks,
+    const RoniExperimentConfig& config);
+
+// ---------------------------------------------------------------------------
+// Figure 5: the dynamic threshold defense vs. the dictionary attack.
+// ---------------------------------------------------------------------------
+
+struct ThresholdDefenseConfig {
+  DictionaryCurveConfig base;
+  /// Defense variants; paper: Threshold-.05 = (0.05, 0.95) and
+  /// Threshold-.10 = (0.10, 0.90).
+  std::vector<core::DynamicThresholdConfig> variants = {{0.05, 0.95},
+                                                        {0.10, 0.90}};
+};
+
+struct ThresholdCurvePoint {
+  double attack_fraction = 0.0;
+  std::size_t attack_messages = 0;
+  ConfusionMatrix no_defense;
+  std::vector<ConfusionMatrix> defended;  // parallel to config.variants
+  /// Fold-averaged selected thresholds, parallel to config.variants.
+  std::vector<core::ThresholdPair> mean_thresholds;
+};
+
+std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
+    const corpus::TrecLikeGenerator& gen, const core::DictionaryAttack& attack,
+    const ThresholdDefenseConfig& config);
+
+// ---------------------------------------------------------------------------
+// Shared helpers (exposed for tests).
+// ---------------------------------------------------------------------------
+
+/// Trains a filter on the given items of a tokenized dataset.
+void train_on_indices(spambayes::Filter& filter,
+                      const corpus::TokenizedDataset& data,
+                      const std::vector<std::size_t>& indices);
+
+/// Classifies the given items and accumulates a confusion matrix.
+ConfusionMatrix classify_indices(const spambayes::Filter& filter,
+                                 const corpus::TokenizedDataset& data,
+                                 const std::vector<std::size_t>& indices);
+
+/// Total raw (with duplicates) token count of a dataset under a tokenizer —
+/// the denominator of the §4.2 token-ratio statistic.
+std::size_t raw_token_count(const corpus::Dataset& data,
+                            const spambayes::Tokenizer& tokenizer);
+
+}  // namespace sbx::eval

@@ -1,0 +1,38 @@
+#include "eval/experiments.h"
+
+namespace sbx::eval {
+
+void train_on_indices(spambayes::Filter& filter,
+                      const corpus::TokenizedDataset& data,
+                      const std::vector<std::size_t>& indices) {
+  for (std::size_t i : indices) {
+    const auto& item = data.items[i];
+    if (item.label == corpus::TrueLabel::spam) {
+      filter.train_spam_tokens(item.tokens);
+    } else {
+      filter.train_ham_tokens(item.tokens);
+    }
+  }
+}
+
+ConfusionMatrix classify_indices(const spambayes::Filter& filter,
+                                 const corpus::TokenizedDataset& data,
+                                 const std::vector<std::size_t>& indices) {
+  ConfusionMatrix matrix;
+  for (std::size_t i : indices) {
+    const auto& item = data.items[i];
+    matrix.add(item.label, filter.classify_tokens(item.tokens).verdict);
+  }
+  return matrix;
+}
+
+std::size_t raw_token_count(const corpus::Dataset& data,
+                            const spambayes::Tokenizer& tokenizer) {
+  std::size_t total = 0;
+  for (const auto& item : data.items) {
+    total += tokenizer.tokenize(item.message).size();
+  }
+  return total;
+}
+
+}  // namespace sbx::eval

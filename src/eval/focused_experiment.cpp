@@ -1,0 +1,323 @@
+// Figures 2, 3 and 4 drivers: the focused (targeted) attack.
+#include <algorithm>
+#include <mutex>
+#include <unordered_set>
+
+#include "core/attack_math.h"
+#include "eval/experiments.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace sbx::eval {
+namespace {
+
+/// Per-repetition environment shared by the focused-attack experiments:
+/// a fresh clean inbox, the trained base filter, and the pool of spam
+/// messages whose headers attack emails clone.
+struct FocusedRun {
+  corpus::Dataset inbox;
+  corpus::TokenizedDataset tokenized;
+  spambayes::Filter filter;
+  std::vector<const email::Message*> spam_headers;
+
+  FocusedRun(const corpus::TrecLikeGenerator& gen,
+             const FocusedConfig& config, util::Rng& rng)
+      : filter(config.filter) {
+    inbox = gen.sample_mailbox(config.inbox_size, config.spam_fraction, rng);
+    tokenized = corpus::tokenize_dataset(
+        inbox, spambayes::Tokenizer(config.filter.tokenizer));
+    for (std::size_t i = 0; i < inbox.items.size(); ++i) {
+      const auto& item = tokenized.items[i];
+      if (item.label == corpus::TrueLabel::spam) {
+        filter.train_spam_tokens(item.tokens);
+        spam_headers.push_back(&inbox.items[i].message);
+      } else {
+        filter.train_ham_tokens(item.tokens);
+      }
+    }
+    if (spam_headers.empty()) {
+      throw InvalidArgument("FocusedRun: inbox contains no spam headers");
+    }
+  }
+};
+
+/// Trains the given attack emails, runs `body`, then untrains them exactly,
+/// restoring the filter. Returns body's verdict-relevant result through the
+/// callable's side effects.
+template <typename Body>
+void with_attack_trained(spambayes::Filter& filter,
+                         const std::vector<spambayes::TokenSet>& attack_tokens,
+                         std::size_t count, Body&& body) {
+  for (std::size_t i = 0; i < count; ++i) {
+    filter.train_spam_tokens(attack_tokens[i]);
+  }
+  body();
+  for (std::size_t i = 0; i < count; ++i) {
+    filter.untrain_spam_tokens(attack_tokens[i]);
+  }
+}
+
+std::vector<spambayes::TokenSet> tokenize_attack_emails(
+    const std::vector<email::Message>& emails,
+    const spambayes::Tokenizer& tokenizer) {
+  std::vector<spambayes::TokenSet> out;
+  out.reserve(emails.size());
+  for (const auto& m : emails) {
+    out.push_back(spambayes::unique_tokens(tokenizer.tokenize(m)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<FocusedKnowledgePoint> run_focused_knowledge(
+    const corpus::TrecLikeGenerator& gen,
+    const std::vector<double>& guess_probabilities, std::size_t attack_count,
+    const FocusedConfig& config) {
+  util::Rng master(config.seed);
+
+  std::vector<FocusedKnowledgePoint> points(guess_probabilities.size());
+  for (std::size_t pi = 0; pi < guess_probabilities.size(); ++pi) {
+    points[pi].guess_probability = guess_probabilities[pi];
+  }
+  std::mutex merge_mutex;
+
+  // One task per repetition; targets/probabilities iterate inside so the
+  // expensive inbox construction is amortized.
+  std::vector<util::Rng> rep_rngs;
+  rep_rngs.reserve(config.repetitions);
+  for (std::size_t r = 0; r < config.repetitions; ++r) {
+    rep_rngs.push_back(master.fork(1000 + r));
+  }
+
+  util::parallel_for(
+      config.repetitions,
+      [&](std::size_t r) {
+        util::Rng rng = rep_rngs[r];
+        FocusedRun run(gen, config, rng);
+        const spambayes::Tokenizer tokenizer(config.filter.tokenizer);
+
+        std::vector<FocusedKnowledgePoint> local(points.size());
+        for (std::size_t t = 0; t < config.target_count; ++t) {
+          // Fresh held-out ham target (not part of the training inbox).
+          const email::Message target = gen.generate_ham(rng);
+          const spambayes::TokenSet target_tokens =
+              run.filter.message_tokens(target);
+          const spambayes::TokenSet body_words =
+              core::attackable_body_words(target, tokenizer);
+          const bool control_ham =
+              run.filter.classify_tokens(target_tokens).verdict ==
+              spambayes::Verdict::ham;
+
+          for (std::size_t pi = 0; pi < guess_probabilities.size(); ++pi) {
+            core::FocusedAttackConfig attack_config;
+            attack_config.guess_probability = guess_probabilities[pi];
+            util::Rng attack_rng = rng.fork(7919 * (t + 1) + pi);
+            core::FocusedAttack attack(attack_config, body_words, attack_rng);
+            const auto attack_tokens = tokenize_attack_emails(
+                attack.generate(run.spam_headers, attack_count, attack_rng),
+                tokenizer);
+
+            spambayes::Verdict verdict = spambayes::Verdict::unsure;
+            with_attack_trained(run.filter, attack_tokens,
+                                attack_tokens.size(), [&] {
+                                  verdict = run.filter
+                                                .classify_tokens(target_tokens)
+                                                .verdict;
+                                });
+            FocusedKnowledgePoint& p = local[pi];
+            p.targets += 1;
+            p.control_as_ham += control_ham ? 1 : 0;
+            switch (verdict) {
+              case spambayes::Verdict::ham:
+                p.as_ham += 1;
+                break;
+              case spambayes::Verdict::unsure:
+                p.as_unsure += 1;
+                break;
+              case spambayes::Verdict::spam:
+                p.as_spam += 1;
+                break;
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (std::size_t pi = 0; pi < points.size(); ++pi) {
+          points[pi].targets += local[pi].targets;
+          points[pi].as_ham += local[pi].as_ham;
+          points[pi].as_unsure += local[pi].as_unsure;
+          points[pi].as_spam += local[pi].as_spam;
+          points[pi].control_as_ham += local[pi].control_as_ham;
+        }
+      },
+      config.threads);
+  return points;
+}
+
+std::vector<FocusedSizePoint> run_focused_size(
+    const corpus::TrecLikeGenerator& gen, double guess_probability,
+    const std::vector<double>& attack_fractions, const FocusedConfig& config) {
+  util::Rng master(config.seed);
+
+  std::vector<double> fractions = attack_fractions;
+  std::sort(fractions.begin(), fractions.end());
+
+  std::vector<FocusedSizePoint> points(fractions.size());
+  std::mutex merge_mutex;
+
+  std::vector<util::Rng> rep_rngs;
+  rep_rngs.reserve(config.repetitions);
+  for (std::size_t r = 0; r < config.repetitions; ++r) {
+    rep_rngs.push_back(master.fork(2000 + r));
+  }
+
+  util::parallel_for(
+      config.repetitions,
+      [&](std::size_t r) {
+        util::Rng rng = rep_rngs[r];
+        FocusedRun run(gen, config, rng);
+        const spambayes::Tokenizer tokenizer(config.filter.tokenizer);
+        const std::size_t max_messages = core::attack_message_count(
+            config.inbox_size, fractions.back());
+
+        std::vector<FocusedSizePoint> local(fractions.size());
+        for (std::size_t t = 0; t < config.target_count; ++t) {
+          const email::Message target = gen.generate_ham(rng);
+          const spambayes::TokenSet target_tokens =
+              run.filter.message_tokens(target);
+          const spambayes::TokenSet body_words =
+              core::attackable_body_words(target, tokenizer);
+
+          core::FocusedAttackConfig attack_config;
+          attack_config.guess_probability = guess_probability;
+          util::Rng attack_rng = rng.fork(104729 * (t + 1));
+          core::FocusedAttack attack(attack_config, body_words, attack_rng);
+          const auto attack_tokens = tokenize_attack_emails(
+              attack.generate(run.spam_headers, max_messages, attack_rng),
+              tokenizer);
+
+          // Ascending sweep: train incrementally, then untrain everything.
+          std::size_t trained = 0;
+          for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
+            const std::size_t want = core::attack_message_count(
+                config.inbox_size, fractions[pi]);
+            for (; trained < want; ++trained) {
+              run.filter.train_spam_tokens(attack_tokens[trained]);
+            }
+            spambayes::Verdict verdict =
+                run.filter.classify_tokens(target_tokens).verdict;
+            FocusedSizePoint& p = local[pi];
+            p.targets += 1;
+            p.as_spam += verdict == spambayes::Verdict::spam ? 1 : 0;
+            p.as_unsure_or_spam +=
+                verdict != spambayes::Verdict::ham ? 1 : 0;
+          }
+          for (std::size_t i = 0; i < trained; ++i) {
+            run.filter.untrain_spam_tokens(attack_tokens[i]);
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
+          points[pi].targets += local[pi].targets;
+          points[pi].as_spam += local[pi].as_spam;
+          points[pi].as_unsure_or_spam += local[pi].as_unsure_or_spam;
+        }
+      },
+      config.threads);
+
+  for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
+    points[pi].attack_fraction = fractions[pi];
+    points[pi].attack_messages =
+        core::attack_message_count(config.inbox_size, fractions[pi]);
+  }
+  return points;
+}
+
+std::vector<TokenShiftExample> run_token_shift(
+    const corpus::TrecLikeGenerator& gen, double guess_probability,
+    std::size_t attack_count, const FocusedConfig& config,
+    std::size_t max_targets) {
+  util::Rng rng(config.seed);
+  FocusedRun run(gen, config, rng);
+  const spambayes::Tokenizer tokenizer(config.filter.tokenizer);
+  const spambayes::Classifier& classifier = run.filter.classifier();
+
+  bool have_spam = false;
+  bool have_unsure = false;
+  bool have_ham = false;
+  std::vector<TokenShiftExample> examples;
+
+  for (std::size_t t = 0; t < max_targets; ++t) {
+    if (have_spam && have_unsure && have_ham) break;
+    const email::Message target = gen.generate_ham(rng);
+    const spambayes::TokenSet target_tokens =
+        run.filter.message_tokens(target);
+    const spambayes::TokenSet body_words =
+        core::attackable_body_words(target, tokenizer);
+
+    core::FocusedAttackConfig attack_config;
+    attack_config.guess_probability = guess_probability;
+    util::Rng attack_rng = rng.fork(15485863 * (t + 1));
+    core::FocusedAttack attack(attack_config, body_words, attack_rng);
+    std::vector<email::Message> attack_emails =
+        attack.generate(run.spam_headers, attack_count, attack_rng);
+
+    // Token scores before.
+    const double score_before =
+        run.filter.classify_tokens(target_tokens).score;
+    std::vector<TokenShiftPoint> shift;
+    shift.reserve(target_tokens.size());
+    for (const auto& token : target_tokens) {
+      TokenShiftPoint p;
+      p.token = token;
+      p.score_before = classifier.token_score(run.filter.database(), token);
+      shift.push_back(std::move(p));
+    }
+
+    std::vector<spambayes::TokenSet> attack_tokens;
+    attack_tokens.reserve(attack_emails.size());
+    for (const auto& m : attack_emails) {
+      attack_tokens.push_back(spambayes::unique_tokens(tokenizer.tokenize(m)));
+    }
+    const std::unordered_set<std::string> guessed(
+        attack.guessed_words().begin(), attack.guessed_words().end());
+
+    for (const auto& tokens : attack_tokens) {
+      run.filter.train_spam_tokens(tokens);
+    }
+    const spambayes::ScoreResult after =
+        run.filter.classify_tokens(target_tokens);
+    for (auto& p : shift) {
+      p.score_after = classifier.token_score(run.filter.database(), p.token);
+      p.in_attack = guessed.count(p.token) != 0;
+    }
+    for (const auto& tokens : attack_tokens) {
+      run.filter.untrain_spam_tokens(tokens);
+    }
+
+    bool* flag = nullptr;
+    switch (after.verdict) {
+      case spambayes::Verdict::spam:
+        flag = &have_spam;
+        break;
+      case spambayes::Verdict::unsure:
+        flag = &have_unsure;
+        break;
+      case spambayes::Verdict::ham:
+        flag = &have_ham;
+        break;
+    }
+    if (flag != nullptr && !*flag) {
+      *flag = true;
+      TokenShiftExample ex;
+      ex.verdict_after = after.verdict;
+      ex.message_score_before = score_before;
+      ex.message_score_after = after.score;
+      ex.tokens = std::move(shift);
+      examples.push_back(std::move(ex));
+    }
+  }
+  return examples;
+}
+
+}  // namespace sbx::eval

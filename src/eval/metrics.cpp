@@ -1,0 +1,106 @@
+#include "eval/metrics.h"
+
+#include <sstream>
+
+namespace sbx::eval {
+namespace {
+
+std::size_t truth_index(corpus::TrueLabel t) {
+  return t == corpus::TrueLabel::ham ? 0 : 1;
+}
+
+std::size_t verdict_index(spambayes::Verdict v) {
+  switch (v) {
+    case spambayes::Verdict::ham:
+      return 0;
+    case spambayes::Verdict::unsure:
+      return 1;
+    case spambayes::Verdict::spam:
+      return 2;
+  }
+  return 1;
+}
+
+}  // namespace
+
+void ConfusionMatrix::add(corpus::TrueLabel truth, spambayes::Verdict verdict,
+                          std::size_t count) {
+  counts_[truth_index(truth)][verdict_index(verdict)] += count;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  for (int t = 0; t < 2; ++t) {
+    for (int v = 0; v < 3; ++v) counts_[t][v] += other.counts_[t][v];
+  }
+}
+
+std::size_t ConfusionMatrix::count(corpus::TrueLabel truth,
+                                   spambayes::Verdict verdict) const {
+  return counts_[truth_index(truth)][verdict_index(verdict)];
+}
+
+std::size_t ConfusionMatrix::total(corpus::TrueLabel truth) const {
+  const auto& row = counts_[truth_index(truth)];
+  return row[0] + row[1] + row[2];
+}
+
+std::size_t ConfusionMatrix::total() const {
+  return total(corpus::TrueLabel::ham) + total(corpus::TrueLabel::spam);
+}
+
+double ConfusionMatrix::rate(corpus::TrueLabel truth,
+                             spambayes::Verdict verdict) const {
+  std::size_t denom = total(truth);
+  if (denom == 0) return 0.0;
+  return static_cast<double>(count(truth, verdict)) /
+         static_cast<double>(denom);
+}
+
+double ConfusionMatrix::ham_as_spam_rate() const {
+  return rate(corpus::TrueLabel::ham, spambayes::Verdict::spam);
+}
+
+double ConfusionMatrix::ham_as_unsure_rate() const {
+  return rate(corpus::TrueLabel::ham, spambayes::Verdict::unsure);
+}
+
+double ConfusionMatrix::ham_misclassified_rate() const {
+  return ham_as_spam_rate() + ham_as_unsure_rate();
+}
+
+double ConfusionMatrix::spam_as_ham_rate() const {
+  return rate(corpus::TrueLabel::spam, spambayes::Verdict::ham);
+}
+
+double ConfusionMatrix::spam_as_unsure_rate() const {
+  return rate(corpus::TrueLabel::spam, spambayes::Verdict::unsure);
+}
+
+double ConfusionMatrix::spam_misclassified_rate() const {
+  return spam_as_ham_rate() + spam_as_unsure_rate();
+}
+
+double ConfusionMatrix::accuracy() const {
+  std::size_t denom = total();
+  if (denom == 0) return 0.0;
+  std::size_t correct = count(corpus::TrueLabel::ham, spambayes::Verdict::ham) +
+                        count(corpus::TrueLabel::spam,
+                              spambayes::Verdict::spam);
+  return static_cast<double>(correct) / static_cast<double>(denom);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream out;
+  out << "            ham   unsure  spam\n";
+  out << "true ham   " << count(corpus::TrueLabel::ham, spambayes::Verdict::ham)
+      << "  " << count(corpus::TrueLabel::ham, spambayes::Verdict::unsure)
+      << "  " << count(corpus::TrueLabel::ham, spambayes::Verdict::spam)
+      << "\n";
+  out << "true spam  "
+      << count(corpus::TrueLabel::spam, spambayes::Verdict::ham) << "  "
+      << count(corpus::TrueLabel::spam, spambayes::Verdict::unsure) << "  "
+      << count(corpus::TrueLabel::spam, spambayes::Verdict::spam) << "\n";
+  return out.str();
+}
+
+}  // namespace sbx::eval

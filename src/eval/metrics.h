@@ -1,0 +1,55 @@
+// sbx/eval/metrics.h
+//
+// Classification accounting for the three-way SpamBayes output. The paper
+// (§2.3) stresses that plain misclassification rates are not enough: ham
+// filed as *unsure* is nearly as costly to the user as ham filed as spam,
+// so every experiment reports both ham-as-spam and ham-as-spam-or-unsure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "corpus/dataset.h"
+#include "spambayes/classifier.h"
+
+namespace sbx::eval {
+
+/// 2 (true label) x 3 (verdict) confusion matrix.
+class ConfusionMatrix {
+ public:
+  /// Records one classification.
+  void add(corpus::TrueLabel truth, spambayes::Verdict verdict,
+           std::size_t count = 1);
+
+  /// Merges another matrix (fold aggregation).
+  void merge(const ConfusionMatrix& other);
+
+  std::size_t count(corpus::TrueLabel truth,
+                    spambayes::Verdict verdict) const;
+  std::size_t total(corpus::TrueLabel truth) const;
+  std::size_t total() const;
+
+  // --- ham-side rates (returns 0 when no ham was classified) ---
+  double ham_as_spam_rate() const;
+  double ham_as_unsure_rate() const;
+  /// The paper's "misclassified" solid lines: spam or unsure.
+  double ham_misclassified_rate() const;
+
+  // --- spam-side rates ---
+  double spam_as_ham_rate() const;
+  double spam_as_unsure_rate() const;
+  double spam_misclassified_rate() const;
+
+  /// Overall fraction classified correctly (unsure counts as incorrect).
+  double accuracy() const;
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+
+ private:
+  double rate(corpus::TrueLabel truth, spambayes::Verdict verdict) const;
+
+  std::size_t counts_[2][3] = {{0, 0, 0}, {0, 0, 0}};
+};
+
+}  // namespace sbx::eval

@@ -1,0 +1,139 @@
+#include "eval/retraining.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sbx::eval {
+namespace {
+
+struct WeekData {
+  std::vector<std::size_t> clean_indices;  // into the accumulated dataset
+  std::vector<core::SpamBatch> attacks;    // admitted attack batches
+};
+
+}  // namespace
+
+std::vector<WeekReport> run_retraining_timeline(
+    const corpus::TrecLikeGenerator& gen,
+    const std::vector<AttackInjection>& injections,
+    const RetrainingConfig& config) {
+  if (config.weeks == 0 || config.messages_per_week == 0) {
+    throw InvalidArgument("run_retraining_timeline: empty timeline");
+  }
+  if (!config.cumulative && config.window_weeks == 0) {
+    throw InvalidArgument("run_retraining_timeline: zero-width window");
+  }
+
+  util::Rng master(config.seed);
+  const spambayes::Tokenizer tokenizer(config.filter.tokenizer);
+  const core::RoniDefense roni(config.roni, config.filter);
+
+  corpus::TokenizedDataset all_clean;  // grows week by week
+  std::vector<WeekData> weeks(config.weeks);
+  std::vector<WeekReport> reports;
+  reports.reserve(config.weeks);
+
+  for (std::size_t week = 0; week < config.weeks; ++week) {
+    WeekReport report;
+    report.week = week;
+
+    // --- inbound mail for this week ---
+    util::Rng week_rng = master.fork(10'000 + week);
+    corpus::Dataset inbound = gen.sample_mailbox(
+        config.messages_per_week, config.spam_fraction, week_rng);
+    corpus::TokenizedDataset inbound_tokens =
+        corpus::tokenize_dataset(inbound, tokenizer);
+
+    // The RONI gate measures candidates against previously admitted mail.
+    const bool gate_active =
+        config.roni_gate &&
+        all_clean.size() >=
+            config.roni.train_size + config.roni.validation_size;
+
+    for (std::size_t i = 0; i < inbound_tokens.size(); ++i) {
+      auto& item = inbound_tokens.items[i];
+      if (gate_active && item.label == corpus::TrueLabel::spam) {
+        util::Rng gate_rng = week_rng.fork(500 + i);
+        if (roni.assess(item.tokens, all_clean, gate_rng).rejected) {
+          continue;  // ordinary mail rejected by the gate (false positive)
+        }
+      }
+      weeks[week].clean_indices.push_back(all_clean.size());
+      all_clean.items.push_back(std::move(item));
+    }
+
+    // --- attack injections scheduled for this week ---
+    for (const AttackInjection& inj : injections) {
+      if (inj.week != week || inj.copies == 0) continue;
+      report.attack_offered += inj.copies;
+      std::uint32_t admitted = inj.copies;
+      if (gate_active) {
+        // All copies are identical; one assessment decides the batch.
+        util::Rng gate_rng = week_rng.fork(99'000 + inj.week);
+        if (roni.assess(inj.tokens, all_clean, gate_rng).rejected) {
+          admitted = 0;
+        }
+      }
+      report.attack_admitted += admitted;
+      if (admitted > 0) {
+        weeks[week].attacks.push_back({inj.tokens, admitted});
+      }
+    }
+
+    // --- retrain on the configured scope ---
+    const std::size_t scope_begin =
+        config.cumulative
+            ? 0
+            : week + 1 - std::min(config.window_weeks, week + 1);
+    spambayes::Filter filter(config.filter);
+    std::vector<std::size_t> scope_indices;
+    std::vector<core::SpamBatch> scope_attacks;
+    for (std::size_t w = scope_begin; w <= week; ++w) {
+      for (std::size_t idx : weeks[w].clean_indices) {
+        const auto& item = all_clean.items[idx];
+        if (item.label == corpus::TrueLabel::spam) {
+          filter.train_spam_tokens(item.tokens);
+        } else {
+          filter.train_ham_tokens(item.tokens);
+        }
+        scope_indices.push_back(idx);
+      }
+      for (const auto& batch : weeks[w].attacks) {
+        filter.train_spam_tokens(batch.tokens, batch.copies);
+        scope_attacks.push_back(batch);
+        report.training_size += batch.copies;
+      }
+    }
+    report.training_size += scope_indices.size();
+
+    // --- per-cycle threshold re-derivation (§5.2) ---
+    core::ThresholdPair thresholds{config.filter.classifier.ham_cutoff,
+                                   config.filter.classifier.spam_cutoff};
+    if (config.dynamic_thresholds && scope_indices.size() >= 2) {
+      util::Rng split_rng = week_rng.fork(777);
+      thresholds = core::compute_dynamic_thresholds(
+          all_clean, scope_indices, scope_attacks, config.filter,
+          config.threshold_targets, split_rng);
+    }
+    report.thresholds = thresholds;
+
+    // --- measure on fresh mail ---
+    util::Rng test_rng = master.fork(50'000 + week);
+    corpus::Dataset fresh = gen.sample_mailbox(config.test_messages,
+                                               config.spam_fraction, test_rng);
+    for (const auto& item : fresh.items) {
+      const double score =
+          filter.classify_tokens(
+                    spambayes::unique_tokens(tokenizer.tokenize(item.message)))
+              .score;
+      report.test.add(item.label,
+                      spambayes::Classifier::verdict_for(
+                          score, thresholds.theta0, thresholds.theta1));
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace sbx::eval

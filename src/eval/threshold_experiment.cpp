@@ -1,0 +1,139 @@
+// Figure 5 driver: dynamic threshold defense vs. the dictionary attack.
+#include <algorithm>
+#include <mutex>
+
+#include "core/attack_math.h"
+#include "eval/experiments.h"
+#include "util/thread_pool.h"
+
+namespace sbx::eval {
+
+std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
+    const corpus::TrecLikeGenerator& gen, const core::DictionaryAttack& attack,
+    const ThresholdDefenseConfig& config) {
+  const DictionaryCurveConfig& base = config.base;
+  util::Rng master(base.seed);
+
+  const std::size_t pool_size =
+      base.training_set_size * base.folds / (base.folds - 1);
+  util::Rng corpus_rng = master.fork(1);
+  const corpus::Dataset dataset =
+      gen.sample_mailbox(pool_size, base.spam_fraction, corpus_rng);
+  const spambayes::Tokenizer tokenizer(base.filter.tokenizer);
+  const corpus::TokenizedDataset tokenized =
+      corpus::tokenize_dataset(dataset, tokenizer);
+  const spambayes::TokenSet attack_tokens = spambayes::unique_tokens(
+      tokenizer.tokenize(attack.attack_message()));
+
+  util::Rng fold_rng = master.fork(2);
+  const std::vector<corpus::FoldSplit> folds =
+      corpus::k_fold_splits(tokenized.size(), base.folds, fold_rng);
+
+  std::vector<double> fractions = base.attack_fractions;
+  std::sort(fractions.begin(), fractions.end());
+  fractions.insert(fractions.begin(), 0.0);
+
+  const std::size_t n_variants = config.variants.size();
+  std::vector<ThresholdCurvePoint> points(fractions.size());
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    points[pi].attack_fraction = fractions[pi];
+    points[pi].defended.resize(n_variants);
+    points[pi].mean_thresholds.resize(n_variants);
+  }
+  // Accumulate thresholds as sums, convert to means at the end.
+  std::vector<std::vector<core::ThresholdPair>> threshold_sums(
+      fractions.size(), std::vector<core::ThresholdPair>(n_variants,
+                                                         {0.0, 0.0}));
+  std::mutex merge_mutex;
+
+  std::vector<util::Rng> fold_rngs;
+  fold_rngs.reserve(folds.size());
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    fold_rngs.push_back(master.fork(3000 + f));
+  }
+
+  util::parallel_for(
+      folds.size(),
+      [&](std::size_t f) {
+        const corpus::FoldSplit& split = folds[f];
+        util::Rng rng = fold_rngs[f];
+        spambayes::Filter filter(base.filter);
+        train_on_indices(filter, tokenized, split.train);
+
+        std::size_t trained_attack = 0;
+        std::vector<ConfusionMatrix> local_plain(fractions.size());
+        std::vector<std::vector<ConfusionMatrix>> local_defended(
+            fractions.size(), std::vector<ConfusionMatrix>(n_variants));
+        std::vector<std::vector<core::ThresholdPair>> local_thresholds(
+            fractions.size(), std::vector<core::ThresholdPair>(n_variants));
+
+        for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
+          const std::size_t want =
+              core::attack_message_count(split.train.size(), fractions[pi]);
+          if (want > trained_attack) {
+            filter.train_spam_tokens(
+                attack_tokens,
+                static_cast<std::uint32_t>(want - trained_attack));
+            trained_attack = want;
+          }
+
+          // Dynamic thresholds from a half/half split of the poisoned
+          // training set.
+          std::vector<core::SpamBatch> batches;
+          if (trained_attack > 0) {
+            batches.push_back(
+                {attack_tokens, static_cast<std::uint32_t>(trained_attack)});
+          }
+          std::vector<core::ThresholdPair> pairs(n_variants);
+          for (std::size_t vi = 0; vi < n_variants; ++vi) {
+            util::Rng split_rng = rng.fork(17 * (pi + 1) + vi);
+            pairs[vi] = core::compute_dynamic_thresholds(
+                tokenized, split.train, batches, base.filter,
+                config.variants[vi], split_rng);
+            local_thresholds[pi][vi] = pairs[vi];
+          }
+
+          // Score the test fold once; apply every cutoff pair.
+          for (std::size_t i : split.test) {
+            const auto& item = tokenized.items[i];
+            const double score =
+                filter.classify_tokens(item.tokens).score;
+            local_plain[pi].add(
+                item.label,
+                filter.classifier().verdict_for(score));
+            for (std::size_t vi = 0; vi < n_variants; ++vi) {
+              local_defended[pi][vi].add(
+                  item.label,
+                  spambayes::Classifier::verdict_for(
+                      score, pairs[vi].theta0, pairs[vi].theta1));
+            }
+          }
+        }
+
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
+          points[pi].no_defense.merge(local_plain[pi]);
+          for (std::size_t vi = 0; vi < n_variants; ++vi) {
+            points[pi].defended[vi].merge(local_defended[pi][vi]);
+            threshold_sums[pi][vi].theta0 += local_thresholds[pi][vi].theta0;
+            threshold_sums[pi][vi].theta1 += local_thresholds[pi][vi].theta1;
+          }
+        }
+      },
+      base.threads);
+
+  const std::size_t train_size = folds.front().train.size();
+  for (std::size_t pi = 0; pi < points.size(); ++pi) {
+    points[pi].attack_messages =
+        core::attack_message_count(train_size, fractions[pi]);
+    for (std::size_t vi = 0; vi < n_variants; ++vi) {
+      points[pi].mean_thresholds[vi].theta0 =
+          threshold_sums[pi][vi].theta0 / static_cast<double>(folds.size());
+      points[pi].mean_thresholds[vi].theta1 =
+          threshold_sums[pi][vi].theta1 / static_cast<double>(folds.size());
+    }
+  }
+  return points;
+}
+
+}  // namespace sbx::eval

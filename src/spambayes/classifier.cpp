@@ -1,0 +1,125 @@
+#include "spambayes/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace sbx::spambayes {
+
+std::string_view to_string(Verdict v) {
+  switch (v) {
+    case Verdict::ham:
+      return "ham";
+    case Verdict::unsure:
+      return "unsure";
+    case Verdict::spam:
+      return "spam";
+  }
+  return "unsure";
+}
+
+Classifier::Classifier(ClassifierOptions opts) : opts_(opts) {
+  if (opts_.ham_cutoff < 0 || opts_.spam_cutoff > 1 ||
+      opts_.ham_cutoff > opts_.spam_cutoff) {
+    throw InvalidArgument("Classifier: cutoffs must satisfy 0 <= theta0 <= "
+                          "theta1 <= 1");
+  }
+}
+
+double Classifier::token_score(const TokenDatabase& db,
+                               std::string_view token) const {
+  const TokenCounts c = db.counts(token);
+  const double ns = db.spam_count();
+  const double nh = db.ham_count();
+  // Eq. 1. Expressed through per-class presence ratios, which is exactly
+  // NH*NS(w) / (NH*NS(w) + NS*NH(w)) when both class counts are nonzero and
+  // degrades gracefully when one class is empty.
+  const double spam_ratio = ns > 0 ? c.spam / ns : 0.0;
+  const double ham_ratio = nh > 0 ? c.ham / nh : 0.0;
+  double ps = 0.5;
+  if (spam_ratio + ham_ratio > 0) {
+    ps = spam_ratio / (spam_ratio + ham_ratio);
+  }
+  // Eq. 2: shrink toward the prior x with strength s.
+  const double n_w = static_cast<double>(c.spam) + static_cast<double>(c.ham);
+  const double s = opts_.unknown_word_strength;
+  const double x = opts_.unknown_word_prob;
+  return (s * x + n_w * ps) / (s + n_w);
+}
+
+ScoreResult Classifier::score(const TokenDatabase& db,
+                              const TokenSet& tokens) const {
+  ScoreResult result;
+  result.evidence.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    result.evidence.push_back({t, token_score(db, t), false});
+  }
+
+  // Select delta(E): up to max_discriminators tokens whose scores are
+  // strictly outside [0.5 - strength, 0.5 + strength], ordered by distance
+  // from 0.5 (ties broken by token text for determinism).
+  std::vector<std::size_t> candidates;
+  candidates.reserve(result.evidence.size());
+  for (std::size_t i = 0; i < result.evidence.size(); ++i) {
+    if (std::fabs(result.evidence[i].score - 0.5) >
+        opts_.minimum_prob_strength) {
+      candidates.push_back(i);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::size_t a, std::size_t b) {
+              double da = std::fabs(result.evidence[a].score - 0.5);
+              double db_ = std::fabs(result.evidence[b].score - 0.5);
+              if (da != db_) return da > db_;
+              return result.evidence[a].token < result.evidence[b].token;
+            });
+  if (candidates.size() > opts_.max_discriminators) {
+    candidates.resize(opts_.max_discriminators);
+  }
+
+  const std::size_t n = candidates.size();
+  result.tokens_used = n;
+  if (n == 0) {
+    // No evidence: I = 0.5, which the default thresholds call unsure.
+    result.score = 0.5;
+    result.spam_evidence = result.ham_evidence = 0.5;
+    result.verdict = verdict_for(result.score);
+    return result;
+  }
+
+  double sum_log_f = 0.0;
+  double sum_log_1mf = 0.0;
+  for (std::size_t idx : candidates) {
+    TokenEvidence& ev = result.evidence[idx];
+    ev.used = true;
+    // With s > 0 the smoothed score is strictly inside (0,1); clamp anyway
+    // so a degenerate configuration (s == 0) cannot produce log(0).
+    double f = std::clamp(ev.score, 1e-300, 1.0 - 1e-15);
+    sum_log_f += std::log(f);
+    sum_log_1mf += std::log1p(-f);
+  }
+
+  // Eq. 4 (survival form): H = Q(-2 sum log f; 2n), S = Q(-2 sum log(1-f)).
+  const double h = util::chi2q_even_dof(-2.0 * sum_log_f, n);
+  const double s = util::chi2q_even_dof(-2.0 * sum_log_1mf, n);
+  result.spam_evidence = h;
+  result.ham_evidence = s;
+  result.score = (1.0 + h - s) / 2.0;  // Eq. 3
+  result.verdict = verdict_for(result.score);
+  return result;
+}
+
+Verdict Classifier::verdict_for(double score) const {
+  return verdict_for(score, opts_.ham_cutoff, opts_.spam_cutoff);
+}
+
+Verdict Classifier::verdict_for(double score, double ham_cutoff,
+                                double spam_cutoff) {
+  if (score <= ham_cutoff) return Verdict::ham;
+  if (score <= spam_cutoff) return Verdict::unsure;
+  return Verdict::spam;
+}
+
+}  // namespace sbx::spambayes

@@ -1,0 +1,69 @@
+// sbx/spambayes/classifier.h
+//
+// The Robinson/Fisher scoring core of SpamBayes (paper §2.3, Eq. 1-4):
+// per-token spam scores smoothed toward a prior, combined across the most
+// significant tokens with Fisher's method, thresholded into
+// ham / unsure / spam.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spambayes/options.h"
+#include "spambayes/token_db.h"
+#include "spambayes/tokenizer.h"
+
+namespace sbx::spambayes {
+
+/// Three-way SpamBayes verdict.
+enum class Verdict { ham, unsure, spam };
+
+/// Human-readable verdict name ("ham" / "unsure" / "spam").
+std::string_view to_string(Verdict v);
+
+/// One token's contribution to a score, exposed for analysis (Figure 4
+/// plots these before/after an attack).
+struct TokenEvidence {
+  std::string token;
+  double score = 0.5;  // f(w) from Eq. 2
+  bool used = false;   // selected into delta(E)?
+};
+
+/// Full scoring breakdown for one message.
+struct ScoreResult {
+  double score = 0.5;          // I(E) in [0,1], Eq. 3
+  double spam_evidence = 0.0;  // H(E) in the paper's notation, Eq. 4
+  double ham_evidence = 0.0;   // S(E)
+  std::size_t tokens_used = 0;  // n = |delta(E)|
+  Verdict verdict = Verdict::unsure;
+  std::vector<TokenEvidence> evidence;  // one entry per distinct token
+};
+
+/// Stateless scorer over a TokenDatabase snapshot.
+class Classifier {
+ public:
+  explicit Classifier(ClassifierOptions opts = {});
+
+  /// f(w) per Eq. 1-2 against the given database.
+  double token_score(const TokenDatabase& db, std::string_view token) const;
+
+  /// Scores a deduplicated token set; fills the full breakdown.
+  ScoreResult score(const TokenDatabase& db, const TokenSet& tokens) const;
+
+  /// Maps a score I(E) to a verdict using the configured cutoffs:
+  /// ham for [0, theta0], unsure for (theta0, theta1], spam for (theta1, 1].
+  Verdict verdict_for(double score) const;
+
+  /// Verdict with explicit cutoffs (the dynamic-threshold defense swaps
+  /// thresholds without re-scoring).
+  static Verdict verdict_for(double score, double ham_cutoff,
+                             double spam_cutoff);
+
+  const ClassifierOptions& options() const { return opts_; }
+
+ private:
+  ClassifierOptions opts_;
+};
+
+}  // namespace sbx::spambayes

@@ -1,0 +1,77 @@
+// sbx/spambayes/filter.h
+//
+// End-to-end SpamBayes filter: tokenizer + training database + classifier.
+// This is the library's primary user-facing class and the system the
+// paper's attacks poison.
+//
+// Typical use:
+//   Filter filter;
+//   filter.train_ham(msg1);
+//   filter.train_spam(msg2);
+//   auto result = filter.classify(incoming);
+//   if (result.verdict == Verdict::spam) { ... }
+#pragma once
+
+#include <cstdint>
+
+#include "email/message.h"
+#include "spambayes/classifier.h"
+#include "spambayes/options.h"
+#include "spambayes/token_db.h"
+#include "spambayes/tokenizer.h"
+
+namespace sbx::spambayes {
+
+/// Trained spam filter. Copyable: experiments snapshot a clean filter and
+/// graft attack training onto the copy.
+class Filter {
+ public:
+  explicit Filter(FilterOptions opts = {});
+
+  /// Tokenizes and trains one message as ham/spam.
+  void train_ham(const email::Message& msg);
+  void train_spam(const email::Message& msg);
+
+  /// Trains `copies` identical spam messages in one O(|tokens|) update.
+  /// Counts are additive, so this is exactly equivalent to calling
+  /// train_spam(msg) `copies` times (the dictionary attack relies on this
+  /// for tractability at paper scale).
+  void train_spam_copies(const email::Message& msg, std::uint32_t copies);
+
+  /// Exactly reverses a previous training call (RONI needs this).
+  void untrain_ham(const email::Message& msg);
+  void untrain_spam(const email::Message& msg);
+
+  /// Pre-tokenized variants (hot paths in the experiment harness, which
+  /// tokenizes each corpus message once and reuses the token sets).
+  void train_ham_tokens(const TokenSet& tokens, std::uint32_t copies = 1);
+  void train_spam_tokens(const TokenSet& tokens, std::uint32_t copies = 1);
+  void untrain_ham_tokens(const TokenSet& tokens, std::uint32_t copies = 1);
+  void untrain_spam_tokens(const TokenSet& tokens, std::uint32_t copies = 1);
+
+  /// Scores and labels a message.
+  ScoreResult classify(const email::Message& msg) const;
+
+  /// Scores a pre-tokenized message.
+  ScoreResult classify_tokens(const TokenSet& tokens) const;
+
+  /// Tokenize-and-deduplicate helper matching what train/classify do.
+  TokenSet message_tokens(const email::Message& msg) const;
+
+  const TokenDatabase& database() const { return db_; }
+  TokenDatabase& mutable_database() { return db_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+  const Classifier& classifier() const { return classifier_; }
+  const FilterOptions& options() const { return opts_; }
+
+  /// Replaces the classification cutoffs (dynamic-threshold defense).
+  void set_cutoffs(double ham_cutoff, double spam_cutoff);
+
+ private:
+  FilterOptions opts_;
+  Tokenizer tokenizer_;
+  Classifier classifier_;
+  TokenDatabase db_;
+};
+
+}  // namespace sbx::spambayes

@@ -1,0 +1,129 @@
+#include "spambayes/token_db.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace sbx::spambayes {
+
+void TokenDatabase::add(const TokenSet& tokens, std::uint32_t copies,
+                        bool spam) {
+  if (copies == 0) return;
+  for (const auto& t : tokens) {
+    TokenCounts& c = counts_[t];
+    (spam ? c.spam : c.ham) += copies;
+  }
+  (spam ? nspam_ : nham_) += copies;
+}
+
+void TokenDatabase::remove(const TokenSet& tokens, std::uint32_t copies,
+                           bool spam) {
+  if (copies == 0) return;
+  std::uint32_t& total = spam ? nspam_ : nham_;
+  if (total < copies) {
+    throw InvalidArgument("TokenDatabase: untraining more emails than known");
+  }
+  for (const auto& t : tokens) {
+    auto it = counts_.find(t);
+    std::uint32_t have = it == counts_.end() ? 0 : (spam ? it->second.spam
+                                                         : it->second.ham);
+    if (have < copies) {
+      throw InvalidArgument("TokenDatabase: untraining unknown token '" + t +
+                            "'");
+    }
+    std::uint32_t& field = spam ? it->second.spam : it->second.ham;
+    field -= copies;
+    if (it->second.spam == 0 && it->second.ham == 0) counts_.erase(it);
+  }
+  total -= copies;
+}
+
+void TokenDatabase::train_spam(const TokenSet& tokens, std::uint32_t copies) {
+  add(tokens, copies, /*spam=*/true);
+}
+
+void TokenDatabase::train_ham(const TokenSet& tokens, std::uint32_t copies) {
+  add(tokens, copies, /*spam=*/false);
+}
+
+void TokenDatabase::untrain_spam(const TokenSet& tokens,
+                                 std::uint32_t copies) {
+  remove(tokens, copies, /*spam=*/true);
+}
+
+void TokenDatabase::untrain_ham(const TokenSet& tokens, std::uint32_t copies) {
+  remove(tokens, copies, /*spam=*/false);
+}
+
+TokenCounts TokenDatabase::counts(std::string_view token) const {
+  auto it = counts_.find(std::string(token));
+  return it == counts_.end() ? TokenCounts{} : it->second;
+}
+
+void TokenDatabase::merge(const TokenDatabase& other) {
+  for (const auto& [token, c] : other.counts_) {
+    TokenCounts& mine = counts_[token];
+    mine.spam += c.spam;
+    mine.ham += c.ham;
+  }
+  nspam_ += other.nspam_;
+  nham_ += other.nham_;
+}
+
+void TokenDatabase::save(std::ostream& out) const {
+  out << "SBXDB 1\n" << nspam_ << ' ' << nham_ << '\n';
+  for (const auto& [token, c] : counts_) {
+    out << c.spam << ' ' << c.ham << ' ' << token << '\n';
+  }
+}
+
+TokenDatabase TokenDatabase::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "SBXDB" || version != 1) {
+    throw ParseError("TokenDatabase: bad header");
+  }
+  TokenDatabase db;
+  if (!(in >> db.nspam_ >> db.nham_)) {
+    throw ParseError("TokenDatabase: bad counts line");
+  }
+  std::string line;
+  std::getline(in, line);  // consume rest of counts line
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    TokenCounts c;
+    if (!(ls >> c.spam >> c.ham)) {
+      throw ParseError("TokenDatabase: bad token line: " + line);
+    }
+    std::string token;
+    std::getline(ls, token);
+    if (!token.empty() && token.front() == ' ') token.erase(0, 1);
+    if (token.empty()) {
+      throw ParseError("TokenDatabase: empty token in line: " + line);
+    }
+    if (c.spam == 0 && c.ham == 0) {
+      throw ParseError("TokenDatabase: zero-count token: " + token);
+    }
+    db.counts_[token] = c;
+  }
+  return db;
+}
+
+void TokenDatabase::save_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw IoError("TokenDatabase: cannot open for write: " + path);
+  save(f);
+  if (!f) throw IoError("TokenDatabase: write failed: " + path);
+}
+
+TokenDatabase TokenDatabase::load_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw IoError("TokenDatabase: cannot open: " + path);
+  return load(f);
+}
+
+}  // namespace sbx::spambayes

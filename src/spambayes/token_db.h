@@ -1,0 +1,91 @@
+// sbx/spambayes/token_db.h
+//
+// The SpamBayes training state: per-token email-presence counts
+// (NS(w), NH(w)) plus the global email counts (NS, NH). Supports exact
+// untraining (required by the RONI defense, which measures the marginal
+// impact of individual messages) and batched training of identical messages
+// (the dictionary attack sends thousands of identical emails; adding them
+// with one O(|tokens|) update is mathematically identical because all
+// counts are additive).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "spambayes/tokenizer.h"
+
+namespace sbx::spambayes {
+
+/// Per-token presence counts.
+struct TokenCounts {
+  std::uint32_t spam = 0;  // NS(w): spam emails containing w
+  std::uint32_t ham = 0;   // NH(w): ham emails containing w
+};
+
+/// Mutable training database. Copyable (experiments snapshot a clean
+/// database, then graft attacks onto copies).
+class TokenDatabase {
+ public:
+  TokenDatabase() = default;
+
+  /// Records `copies` spam emails, each containing exactly the tokens in
+  /// `tokens` (a deduplicated set, see unique_tokens()).
+  void train_spam(const TokenSet& tokens, std::uint32_t copies = 1);
+
+  /// Records `copies` ham emails with the given token set.
+  void train_ham(const TokenSet& tokens, std::uint32_t copies = 1);
+
+  /// Exactly reverses a train_spam call with the same arguments.
+  /// Throws InvalidArgument if the counts would go negative (i.e. the
+  /// message was never trained).
+  void untrain_spam(const TokenSet& tokens, std::uint32_t copies = 1);
+
+  /// Exactly reverses a train_ham call with the same arguments.
+  void untrain_ham(const TokenSet& tokens, std::uint32_t copies = 1);
+
+  /// Number of spam / ham training emails (NS, NH).
+  std::uint32_t spam_count() const { return nspam_; }
+  std::uint32_t ham_count() const { return nham_; }
+
+  /// Counts for one token; zeros if unseen.
+  TokenCounts counts(std::string_view token) const;
+
+  /// Number of distinct tokens with nonzero counts.
+  std::size_t vocabulary_size() const { return counts_.size(); }
+
+  /// Merges another database into this one (counts add; used to combine
+  /// per-shard training).
+  void merge(const TokenDatabase& other);
+
+  /// Serializes to a line-oriented text format:
+  ///   SBXDB 1
+  ///   <nspam> <nham>
+  ///   <spam> <ham> <token...>   (one line per token; token may contain
+  ///                              spaces and extends to end of line)
+  void save(std::ostream& out) const;
+
+  /// Parses the save() format. Throws ParseError on malformed input.
+  static TokenDatabase load(std::istream& in);
+
+  /// Convenience file wrappers; throw IoError on filesystem failure.
+  void save_file(const std::string& path) const;
+  static TokenDatabase load_file(const std::string& path);
+
+  /// Read-only iteration over (token, counts).
+  const std::unordered_map<std::string, TokenCounts>& tokens() const {
+    return counts_;
+  }
+
+ private:
+  void add(const TokenSet& tokens, std::uint32_t copies, bool spam);
+  void remove(const TokenSet& tokens, std::uint32_t copies, bool spam);
+
+  std::unordered_map<std::string, TokenCounts> counts_;
+  std::uint32_t nspam_ = 0;
+  std::uint32_t nham_ = 0;
+};
+
+}  // namespace sbx::spambayes

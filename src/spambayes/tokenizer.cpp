@@ -1,0 +1,180 @@
+#include "spambayes/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "email/mime.h"
+#include "util/strings.h"
+
+namespace sbx::spambayes {
+namespace {
+
+bool is_word_char(char c) {
+  auto uc = static_cast<unsigned char>(c);
+  return std::isalnum(uc) != 0 || c == '\'' || c == '-' || c == '$' ||
+         c == '!';
+}
+
+// Strips characters that are not word characters from both ends.
+std::string_view strip_punct(std::string_view w) {
+  std::size_t b = 0;
+  std::size_t e = w.size();
+  while (b < e && !is_word_char(w[b])) ++b;
+  while (e > b && !is_word_char(w[e - 1])) --e;
+  return w.substr(b, e - b);
+}
+
+bool looks_like_url(std::string_view w) {
+  return util::istarts_with(w, "http://") || util::istarts_with(w, "https://") ||
+         util::istarts_with(w, "www.");
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions opts) : opts_(opts) {}
+
+void Tokenizer::emit_word(std::string_view word, TokenList& out) const {
+  std::string_view w = strip_punct(word);
+  if (w.empty()) return;
+  if (w.size() < opts_.min_token_length) return;
+  if (w.size() <= opts_.max_token_length) {
+    out.push_back(util::to_lower(w));
+    return;
+  }
+  // Over-length word: SpamBayes emits a "skip" pseudo-token recording the
+  // first character and the length bucketed to 10, then retokenizes the
+  // pieces between punctuation so embedded words still count.
+  if (opts_.generate_skip_tokens) {
+    std::string skip = "skip:";
+    skip += static_cast<char>(std::tolower(static_cast<unsigned char>(w[0])));
+    skip += ' ';
+    skip += std::to_string(w.size() / 10 * 10);
+    out.push_back(std::move(skip));
+  }
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= w.size(); ++i) {
+    bool boundary = i == w.size() || !(std::isalnum(static_cast<unsigned char>(
+                                           w[i])) != 0);
+    if (boundary) {
+      if (i > start) {
+        std::string_view piece = w.substr(start, i - start);
+        if (piece.size() >= opts_.min_token_length &&
+            piece.size() <= opts_.max_token_length && piece.size() < w.size()) {
+          out.push_back(util::to_lower(piece));
+        }
+      }
+      start = i + 1;
+    }
+  }
+}
+
+void Tokenizer::emit_url(std::string_view url, TokenList& out) const {
+  // Normalize: strip scheme, then split host/path on separators.
+  std::string_view rest = url;
+  if (util::istarts_with(rest, "http://")) {
+    out.push_back("url:http");
+    rest.remove_prefix(7);
+  } else if (util::istarts_with(rest, "https://")) {
+    out.push_back("url:https");
+    rest.remove_prefix(8);
+  }
+  std::size_t path_start = rest.find('/');
+  std::string_view host =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  for (const auto& label : util::split(std::string(host), '.')) {
+    auto piece = strip_punct(label);
+    if (!piece.empty()) out.push_back("url:" + util::to_lower(piece));
+  }
+  if (path_start != std::string_view::npos) {
+    std::string_view path = rest.substr(path_start + 1);
+    for (const auto& seg : util::split(std::string(path), '/')) {
+      auto piece = strip_punct(seg);
+      if (piece.size() >= opts_.min_token_length &&
+          piece.size() <= opts_.max_token_length) {
+        out.push_back("url:" + util::to_lower(piece));
+      }
+    }
+  }
+}
+
+void Tokenizer::tokenize_header_value(std::string_view field,
+                                      std::string_view value,
+                                      TokenList& out) const {
+  std::string prefix =
+      opts_.prefix_header_tokens ? util::to_lower(field) + ":" : "";
+  // Address-ish headers split on whitespace and on @/<>/" characters so the
+  // local part and domain labels become separate tokens.
+  std::string cleaned;
+  cleaned.reserve(value.size());
+  for (char c : value) {
+    cleaned.push_back((c == '@' || c == '<' || c == '>' || c == '"' ||
+                       c == ',' || c == '(' || c == ')')
+                          ? ' '
+                          : c);
+  }
+  // Prefixed header tokens keep even short words ("RE:" in a subject is
+  // evidence); unprefixed ones share the body token space and follow its
+  // minimum length.
+  const std::size_t min_len =
+      opts_.prefix_header_tokens ? 2 : opts_.min_token_length;
+  for (const auto& word : util::split_whitespace(cleaned)) {
+    std::string_view w = strip_punct(word);
+    if (w.empty()) continue;
+    if (w.size() > opts_.max_token_length) {
+      // Split long header atoms (e.g. message-ids) on dots.
+      for (const auto& piece : util::split(std::string(w), '.')) {
+        auto p = strip_punct(piece);
+        if (p.size() >= min_len && p.size() <= opts_.max_token_length) {
+          out.push_back(prefix + util::to_lower(p));
+        }
+      }
+      continue;
+    }
+    if (w.size() >= min_len) out.push_back(prefix + util::to_lower(w));
+  }
+}
+
+TokenList Tokenizer::tokenize(const email::Message& msg) const {
+  TokenList out;
+  if (opts_.tokenize_headers) {
+    static constexpr std::string_view kFields[] = {"Subject", "From", "To",
+                                                   "Reply-To"};
+    for (auto field : kFields) {
+      for (const auto& value : msg.all_headers(field)) {
+        tokenize_header_value(field, value, out);
+      }
+    }
+  }
+  std::string text = email::extract_text(msg);
+  TokenList body = tokenize_text(text);
+  out.insert(out.end(), std::make_move_iterator(body.begin()),
+             std::make_move_iterator(body.end()));
+  return out;
+}
+
+TokenList Tokenizer::tokenize_text(std::string_view text) const {
+  TokenList out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && util::is_space(text[i])) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !util::is_space(text[i])) ++i;
+    if (i == start) continue;
+    std::string_view word = text.substr(start, i - start);
+    if (opts_.tokenize_urls && looks_like_url(word)) {
+      emit_url(strip_punct(word), out);
+    } else {
+      emit_word(word, out);
+    }
+  }
+  return out;
+}
+
+TokenSet unique_tokens(const TokenList& tokens) {
+  TokenSet set = tokens;
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  return set;
+}
+
+}  // namespace sbx::spambayes

@@ -1,0 +1,66 @@
+// sbx/spambayes/tokenizer.h
+//
+// SpamBayes-style tokenization. The paper (footnote 1) notes tokenization is
+// the main difference between SpamBayes, BogoFilter and SpamAssassin's
+// learner; we reimplement the SpamBayes flavour:
+//
+//  * The MIME-decoded body is split on whitespace; each chunk is stripped of
+//    surrounding punctuation and lower-cased.
+//  * Words of length [min, max] become tokens verbatim.
+//  * Longer words become "skip:<c> <n>" pseudo-tokens (first character plus
+//    length bucketed to 10) and are additionally split on punctuation so
+//    embedded words still contribute.
+//  * http/https URLs yield "url:<component>" pseudo-tokens for the scheme,
+//    host labels and path segments.
+//  * Subject/From/To/Reply-To header values are tokenized with a
+//    "<field>:" prefix so header evidence is distinct from body evidence
+//    (this is why the focused attack clones real spam headers: they carry
+//    spammy header tokens).
+//
+// Tokens are returned with duplicates; the classifier counts *presence*, so
+// TokenDatabase consumes the deduplicated set (unique_tokens()).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "email/message.h"
+#include "spambayes/options.h"
+
+namespace sbx::spambayes {
+
+/// A list of tokens in occurrence order (may contain duplicates).
+using TokenList = std::vector<std::string>;
+
+/// A deduplicated, sorted token set (what training/classification uses).
+using TokenSet = std::vector<std::string>;
+
+/// Stateless tokenizer; cheap to copy.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions opts = {});
+
+  /// Tokenizes a full message (headers per options + MIME-decoded body).
+  TokenList tokenize(const email::Message& msg) const;
+
+  /// Tokenizes a plain text blob (no header handling).
+  TokenList tokenize_text(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return opts_; }
+
+ private:
+  void emit_word(std::string_view word, TokenList& out) const;
+  void emit_url(std::string_view url, TokenList& out) const;
+  void tokenize_header_value(std::string_view field, std::string_view value,
+                             TokenList& out) const;
+
+  TokenizerOptions opts_;
+};
+
+/// Deduplicates a token list into a sorted set. Classification and training
+/// operate on token presence (Eq. 1 counts emails containing w, not
+/// occurrences), so this is the canonical form.
+TokenSet unique_tokens(const TokenList& tokens);
+
+}  // namespace sbx::spambayes

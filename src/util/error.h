@@ -1,0 +1,37 @@
+// sbx/util/error.h
+//
+// Library-wide exception type. All sbx components throw sbx::Error (or a
+// subclass) for runtime failures so callers can catch one type at the API
+// boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sbx {
+
+/// Base exception for all sbx runtime failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when parsing external input (email, mbox, CLI flags) fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a function is called with arguments outside its contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on file-system level failures (open/read/write).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace sbx

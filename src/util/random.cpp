@@ -1,0 +1,218 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace sbx::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) {
+  // The increment must be odd; fold the stream selector accordingly.
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0;
+  (void)(*this)();
+  state_ += seed;
+  (void)(*this)();
+}
+
+Pcg32::result_type Pcg32::operator()() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+void Pcg32::advance(std::uint64_t n) {
+  // Brown, "Random Number Generation with Arbitrary Strides": compute
+  // (mult^n) and the matching increment in O(log n).
+  std::uint64_t cur_mult = 6364136223846793005ULL;
+  std::uint64_t cur_plus = inc_;
+  std::uint64_t acc_mult = 1;
+  std::uint64_t acc_plus = 0;
+  while (n > 0) {
+    if (n & 1u) {
+      acc_mult *= cur_mult;
+      acc_plus = acc_plus * cur_mult + cur_plus;
+    }
+    cur_plus = (cur_mult + 1) * cur_plus;
+    cur_mult *= cur_mult;
+    n >>= 1u;
+  }
+  state_ = acc_mult * state_ + acc_plus;
+}
+
+Rng::Rng(std::uint64_t seed) : engine_(0, 0), seed_(seed) {
+  std::uint64_t sm = seed;
+  std::uint64_t s0 = splitmix64(sm);
+  std::uint64_t s1 = splitmix64(sm);
+  engine_ = Pcg32(s0, s1);
+}
+
+Rng Rng::fork(std::uint64_t key) {
+  // Mix (seed, key, counter) through SplitMix64 to derive a fresh stream.
+  std::uint64_t sm = seed_ ^ (0x9e3779b97f4a7c15ULL * (key + 1));
+  sm ^= splitmix64(sm) + (++fork_counter_) * 0xd1b54a32d192ed03ULL;
+  std::uint64_t s0 = splitmix64(sm);
+  std::uint64_t s1 = splitmix64(sm);
+  Rng child{Pcg32(s0, s1)};
+  child.seed_ = s0 ^ s1;
+  return child;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw InvalidArgument("Rng::uniform_int: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    std::uint64_t v = (static_cast<std::uint64_t>(engine_()) << 32) | engine_();
+    return static_cast<std::int64_t>(v);
+  }
+  // Lemire-style rejection sampling for an unbiased bounded draw.
+  std::uint64_t x, r;
+  do {
+    x = (static_cast<std::uint64_t>(engine_()) << 32) | engine_();
+    r = x % span;
+  } while (x - r > (~span + 1));
+  return lo + static_cast<std::int64_t>(r);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw InvalidArgument("Rng::index: n == 0");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  std::uint64_t hi = engine_();
+  std::uint64_t lo = engine_();
+  std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; one draw per call keeps the stream position deterministic.
+  double u1 = uniform();
+  double u2 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  double z = std::sqrt(-2.0 * std::log(u1)) *
+             std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+double Rng::log_normal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+int Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    double limit = std::exp(-mean);
+    double prod = uniform();
+    int n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= uniform();
+    }
+    return n;
+  }
+  // Normal approximation for large means; adequate for email lengths.
+  double draw = normal(mean, std::sqrt(mean));
+  return draw < 0.0 ? 0 : static_cast<int>(draw + 0.5);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) {
+    throw InvalidArgument("Rng::sample_without_replacement: k > n");
+  }
+  // Partial Fisher-Yates over an index vector: O(n) memory, O(n + k) time.
+  // For the sizes used in the experiments (n <= ~100k) this is fine.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw InvalidArgument("AliasSampler: empty weights");
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw InvalidArgument("AliasSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw InvalidArgument("AliasSampler: all weights zero");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    std::uint32_t s = small.back();
+    small.pop_back();
+    std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: everything remaining has probability ~1.
+  for (std::uint32_t s : small) prob_[s] = 1.0;
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  std::size_t column = rng.index(prob_.size());
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s, double q)
+    : pmf_([n, s, q] {
+        if (n == 0) throw InvalidArgument("ZipfSampler: n == 0");
+        if (s <= 0) throw InvalidArgument("ZipfSampler: s <= 0");
+        if (q < 0) throw InvalidArgument("ZipfSampler: q < 0");
+        std::vector<double> w(n);
+        double total = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+          w[k] = 1.0 / std::pow(static_cast<double>(k) + 1.0 + q, s);
+          total += w[k];
+        }
+        for (double& x : w) x /= total;
+        return w;
+      }()),
+      alias_(pmf_) {}
+
+double ZipfSampler::probability(std::size_t k) const {
+  if (k >= pmf_.size()) throw InvalidArgument("ZipfSampler: rank out of range");
+  return pmf_[k];
+}
+
+}  // namespace sbx::util

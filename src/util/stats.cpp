@@ -1,0 +1,186 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace sbx::util {
+namespace {
+
+constexpr double kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+
+// Lower incomplete gamma via its power series; converges fast for x < a+1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+// Upper incomplete gamma via Lentz's continued fraction; for x >= a+1.
+double gamma_q_continued_fraction(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+}  // namespace
+
+double log_gamma(double x) {
+  if (x <= 0.0) throw InvalidArgument("log_gamma: x <= 0");
+  // Lanczos approximation, g = 7, n = 9 coefficients.
+  static const double kCoeffs[] = {
+      0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula keeps accuracy for small x.
+    return std::log(3.14159265358979323846 /
+                    std::sin(3.14159265358979323846 * x)) -
+           log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoeffs[0];
+  double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoeffs[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * 3.14159265358979323846) +
+         (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+double regularized_gamma_p(double a, double x) {
+  if (a <= 0.0) throw InvalidArgument("regularized_gamma_p: a <= 0");
+  if (x < 0.0) throw InvalidArgument("regularized_gamma_p: x < 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  if (a <= 0.0) throw InvalidArgument("regularized_gamma_q: a <= 0");
+  if (x < 0.0) throw InvalidArgument("regularized_gamma_q: x < 0");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_continued_fraction(a, x);
+}
+
+double chi_square_cdf(double x, double dof) {
+  if (dof <= 0.0) throw InvalidArgument("chi_square_cdf: dof <= 0");
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(dof / 2.0, x / 2.0);
+}
+
+double chi_square_sf(double x, double dof) {
+  if (dof <= 0.0) throw InvalidArgument("chi_square_sf: dof <= 0");
+  if (x <= 0.0) return 1.0;
+  return regularized_gamma_q(dof / 2.0, x / 2.0);
+}
+
+double log_sum_exp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+double chi2q_even_dof(double x, std::size_t n) {
+  if (x < 0.0) throw InvalidArgument("chi2q_even_dof: x < 0");
+  if (n == 0) return 1.0;
+  // Q(x; 2n) = exp(-m) * sum_{i=0}^{n-1} m^i / i!,  m = x/2.
+  // Accumulate log(sum m^i/i!) with log_sum_exp, then subtract m.
+  const double m = x / 2.0;
+  if (m == 0.0) return 1.0;
+  const double log_m = std::log(m);
+  double log_term = 0.0;  // log(m^0 / 0!) = 0
+  double log_sum = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    log_term += log_m - std::log(static_cast<double>(i));
+    log_sum = log_sum_exp(log_sum, log_term);
+  }
+  double log_q = log_sum - m;
+  if (log_q >= 0.0) return 1.0;
+  return std::exp(log_q);
+}
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel variance combination.
+  double delta = other.mean_ - mean_;
+  std::size_t total = count_ + other.count_;
+  double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) /
+                  static_cast<double>(total);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ = new_mean;
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw InvalidArgument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw InvalidArgument("quantile: q outside [0,1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = q * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= values.size()) return values.back();
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+}  // namespace sbx::util

@@ -1,0 +1,48 @@
+// sbx/util/strings.h
+//
+// Small ASCII string helpers shared by the email parser and tokenizer.
+// Locale-independent by design: email headers and token statistics must not
+// change behaviour with the process locale.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbx::util {
+
+/// ASCII-only lower-casing (locale independent).
+std::string to_lower(std::string_view s);
+
+/// ASCII-only upper-casing (locale independent).
+std::string to_upper(std::string_view s);
+
+/// True if `c` is ASCII whitespace (space, tab, CR, LF, FF, VT).
+bool is_space(char c);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> split_whitespace(std::string_view s);
+
+/// Joins elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// True if `s` begins with `prefix`, case-insensitively.
+bool istarts_with(std::string_view s, std::string_view prefix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+/// Formats a double with fixed precision (printf "%.*f").
+std::string format_double(double v, int precision);
+
+}  // namespace sbx::util

@@ -1,0 +1,99 @@
+#include "util/table.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sbx::util {
+namespace {
+
+std::string escape_csv(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  return "\"" + replace_all(cell, "\"", "\"\"") + "\"";
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw InvalidArgument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw InvalidArgument("Table::add_row: expected " +
+                          std::to_string(headers_.size()) + " cells, got " +
+                          std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double v, int precision) {
+  return format_double(v, precision);
+}
+
+std::string Table::cell(std::size_t v) { return std::to_string(v); }
+
+std::string Table::cell(int v) { return std::to_string(v); }
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += c == 0 ? "| " : " | ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += c == 0 ? "|-" : "-|-";
+    rule.append(widths[c], '-');
+  }
+  rule += "-|\n";
+  out += rule;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += escape_csv(row[c]);
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) throw IoError("Table::write_csv: mkdir failed for " + path);
+  }
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw IoError("Table::write_csv: cannot open " + path);
+  f << to_csv();
+  if (!f) throw IoError("Table::write_csv: write failed for " + path);
+}
+
+}  // namespace sbx::util

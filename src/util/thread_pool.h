@@ -1,0 +1,56 @@
+// sbx/util/thread_pool.h
+//
+// A small fixed-size thread pool used to parallelize embarrassingly
+// parallel experiment loops (cross-validation folds, per-target focused
+// attack repetitions). Determinism is preserved because each work item owns
+// a pre-forked RNG stream and writes to its own result slot; the pool only
+// changes wall-clock time, never results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sbx::util {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; submit() returns
+/// a future for completion/exception propagation.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future reports completion or rethrows
+  /// the task's exception.
+  std::future<void> submit(std::function<void()> task);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across a transient pool and rethrows the
+/// first exception, if any. For n == 0 this is a no-op; for small n the
+/// pool size shrinks to n.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace sbx::util

@@ -1,0 +1,192 @@
+// Tests for the §3.4 optimal constrained attack (informed_attack) and the
+// Exploratory good-word attack.
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/good_word_attack.h"
+#include "core/informed_attack.h"
+#include "corpus/generator.h"
+#include "email/builder.h"
+#include "spambayes/filter.h"
+#include "util/error.h"
+
+namespace sbx::core {
+namespace {
+
+const corpus::TrecLikeGenerator& generator() {
+  static const corpus::TrecLikeGenerator gen;
+  return gen;
+}
+
+TEST(HamWordDistribution, IsAProbabilityDistribution) {
+  auto dist = generator().ham_word_distribution();
+  ASSERT_FALSE(dist.empty());
+  double total = 0;
+  std::unordered_set<std::string> seen;
+  for (const auto& [word, p] : dist) {
+    EXPECT_GT(p, 0.0) << word;
+    EXPECT_TRUE(seen.insert(word).second) << "duplicate " << word;
+    total += p;
+  }
+  // Sums to < 1 (numbers/URLs excluded) but close.
+  EXPECT_GT(total, 0.85);
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST(HamWordDistribution, TopWordsAreTheHamCoreHead) {
+  // The Zipf head of the ham core must dominate the distribution.
+  auto dist = generator().ham_word_distribution();
+  std::sort(dist.begin(), dist.end(), [](const auto& a, const auto& b) {
+    return a.probability > b.probability;
+  });
+  const auto& core_words = generator().ham_core_words();
+  std::unordered_set<std::string> head(core_words.begin(),
+                                       core_words.begin() + 100);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < 50; ++i) hits += head.count(dist[i].word);
+  EXPECT_GT(hits, 40u);
+}
+
+TEST(InformedAttack, PicksHighestProbabilityWords) {
+  std::vector<corpus::TrecLikeGenerator::WordProbability> dist = {
+      {"rare", 0.01}, {"common", 0.5}, {"mid", 0.2}, {"tie-b", 0.1},
+      {"tie-a", 0.1}};
+  DictionaryAttack attack = make_informed_attack(dist, 3);
+  EXPECT_EQ(attack.name(), "informed-3");
+  EXPECT_EQ(attack.dictionary_size(), 3u);
+  const std::string& body = attack.attack_message().body();
+  EXPECT_NE(body.find("common"), std::string::npos);
+  EXPECT_NE(body.find("mid"), std::string::npos);
+  EXPECT_NE(body.find("tie-a"), std::string::npos);  // lexicographic tie-break
+  EXPECT_EQ(body.find("tie-b"), std::string::npos);
+  EXPECT_EQ(body.find("rare"), std::string::npos);
+}
+
+TEST(InformedAttack, BudgetValidation) {
+  std::vector<corpus::TrecLikeGenerator::WordProbability> dist = {
+      {"a", 0.5}, {"b", 0.5}};
+  EXPECT_THROW(make_informed_attack(dist, 0), InvalidArgument);
+  EXPECT_THROW(make_informed_attack(dist, 3), InvalidArgument);
+}
+
+TEST(InformedAttack, BeatsUnrankedDictionaryAtEqualBudget) {
+  // The §3.4 claim at experiment level (small scale): the informed top-N
+  // payload causes more damage than the first N formal-dictionary words.
+  util::Rng rng(5);
+  spambayes::Filter base;
+  for (int i = 0; i < 300; ++i) {
+    base.train_ham(generator().generate_ham(rng));
+    base.train_spam(generator().generate_spam(rng));
+  }
+  const std::size_t budget = 8'000;
+  DictionaryAttack informed =
+      make_informed_attack(generator().ham_word_distribution(), budget);
+  DictionaryAttack unranked =
+      DictionaryAttack::aspell_truncated(generator().lexicons(), budget);
+
+  auto damage = [&](const DictionaryAttack& attack) {
+    spambayes::Filter filter = base;
+    filter.train_spam_copies(attack.attack_message(), 6);  // ~1% of 600
+    util::Rng probe(77);
+    int bad = 0;
+    for (int i = 0; i < 100; ++i) {
+      bad += filter.classify(generator().generate_ham(probe)).verdict !=
+                     spambayes::Verdict::ham
+                 ? 1
+                 : 0;
+    }
+    return bad;
+  };
+  EXPECT_GT(damage(informed), damage(unranked));
+}
+
+class GoodWordAttackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(9);
+    for (int i = 0; i < 300; ++i) {
+      filter.train_ham(generator().generate_ham(rng));
+      filter.train_spam(generator().generate_spam(rng));
+    }
+    candidates.assign(generator().ham_core_words().begin(),
+                      generator().ham_core_words().begin() + 1'000);
+  }
+
+  spambayes::Filter filter;
+  std::vector<std::string> candidates;
+};
+
+TEST_F(GoodWordAttackTest, TaxonomyAndValidation) {
+  EXPECT_EQ(GoodWordAttack::properties().description(),
+            "Exploratory Integrity Targeted");
+  EXPECT_THROW(GoodWordAttack({}), InvalidArgument);
+}
+
+TEST_F(GoodWordAttackTest, PadsSpamOutOfTheSpamFolder) {
+  util::Rng rng(10);
+  GoodWordAttack attack(candidates, 10);
+  int evaded = 0;
+  for (int i = 0; i < 20; ++i) {
+    email::Message spam = generator().generate_spam(rng);
+    // Skip the hard-spam tail that already starts outside the spam folder.
+    if (filter.classify(spam).verdict != spambayes::Verdict::spam) continue;
+    auto result = attack.evade(filter, spam, 1'000);
+    if (result.evaded) {
+      ++evaded;
+      EXPECT_LT(result.score_after, result.score_before);
+      EXPECT_NE(filter.classify(result.message).verdict,
+                spambayes::Verdict::spam);
+      EXPECT_GT(result.words_added, 0u);
+    }
+  }
+  EXPECT_GT(evaded, 5);  // the attack works on a solid share of messages
+}
+
+TEST_F(GoodWordAttackTest, DoesNotTouchTraining) {
+  util::Rng rng(11);
+  email::Message spam = generator().generate_spam(rng);
+  const std::uint32_t spam_before = filter.database().spam_count();
+  GoodWordAttack attack(candidates, 25);
+  (void)attack.evade(filter, spam, 500);
+  // Exploratory: the filter's training state is untouched.
+  EXPECT_EQ(filter.database().spam_count(), spam_before);
+}
+
+TEST_F(GoodWordAttackTest, AlreadyHamMessageNeedsNoWork) {
+  util::Rng rng(12);
+  GoodWordAttack attack(candidates);
+  auto result = attack.evade(filter, generator().generate_ham(rng), 100);
+  EXPECT_TRUE(result.evaded);
+  EXPECT_EQ(result.words_added, 0u);
+  EXPECT_EQ(result.queries, 1u);
+}
+
+TEST_F(GoodWordAttackTest, BudgetExhaustionReportsFailure) {
+  util::Rng rng(13);
+  GoodWordAttack attack(candidates, 5);
+  email::Message spam = generator().generate_spam(rng);
+  auto result = attack.evade(filter, spam, /*max_words=*/5,
+                             spambayes::Verdict::ham);
+  // Five common words cannot whitewash a full spam message.
+  EXPECT_FALSE(result.evaded);
+  EXPECT_EQ(result.words_added, 5u);
+}
+
+TEST_F(GoodWordAttackTest, StrongerGoalIsHarder) {
+  util::Rng rng(14);
+  GoodWordAttack attack(candidates, 10);
+  int unsure_ok = 0, ham_ok = 0;
+  for (int i = 0; i < 15; ++i) {
+    email::Message spam = generator().generate_spam(rng);
+    unsure_ok +=
+        attack.evade(filter, spam, 1'000, spambayes::Verdict::unsure).evaded;
+    ham_ok +=
+        attack.evade(filter, spam, 1'000, spambayes::Verdict::ham).evaded;
+  }
+  EXPECT_GE(unsure_ok, ham_ok);
+}
+
+}  // namespace
+}  // namespace sbx::core

@@ -1,0 +1,113 @@
+// Tests for the generator realism features that calibrate score overlap:
+// hard spam (plain-text scams) and ham-mimicking spam subjects. These are
+// what make the Figure-5 dynamic-threshold trade-off reproducible (see
+// GeneratorConfig documentation).
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "spambayes/filter.h"
+#include "util/random.h"
+#include "util/strings.h"
+
+namespace sbx::corpus {
+namespace {
+
+TEST(HardSpam, SubjectsMixHamVocabulary) {
+  TrecLikeGenerator gen;
+  std::unordered_set<std::string> ham_core(gen.ham_core_words().begin(),
+                                           gen.ham_core_words().end());
+  util::Rng rng(3);
+  std::size_t ham_words = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    email::Message spam = gen.generate_spam(rng);
+    for (const auto& w :
+         util::split_whitespace(spam.header("Subject").value_or(""))) {
+      total += 1;
+      ham_words += ham_core.count(util::to_lower(w)) ? 1 : 0;
+    }
+  }
+  double fraction = static_cast<double>(ham_words) / total;
+  // Configured at 0.5; the "!!!" suffix and sampling noise shift it a bit.
+  EXPECT_GT(fraction, 0.3);
+  EXPECT_LT(fraction, 0.7);
+}
+
+TEST(HardSpam, CanBeDisabled) {
+  GeneratorConfig config;
+  config.hard_spam_fraction = 0.0;
+  config.spam_subject_ham_word_prob = 0.0;
+  TrecLikeGenerator gen(config);
+  std::unordered_set<std::string> ham_core(gen.ham_core_words().begin(),
+                                           gen.ham_core_words().end());
+  util::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    email::Message spam = gen.generate_spam(rng);
+    for (const auto& w :
+         util::split_whitespace(spam.header("Subject").value_or(""))) {
+      std::string lower = util::to_lower(w);
+      if (lower.size() >= 3 && lower.find("!!!") == std::string::npos) {
+        EXPECT_FALSE(ham_core.count(lower)) << lower;
+      }
+    }
+  }
+}
+
+TEST(HardSpam, CreatesScoreOverlapTail) {
+  // With hard spam enabled, a trained filter must see a low-score tail in
+  // the spam score distribution; without it, spam scores concentrate at 1.
+  auto spam_scores = [](double hard_fraction) {
+    GeneratorConfig config;
+    config.hard_spam_fraction = hard_fraction;
+    TrecLikeGenerator gen(config);
+    util::Rng rng(5);
+    spambayes::Filter filter;
+    for (int i = 0; i < 400; ++i) {
+      filter.train_ham(gen.generate_ham(rng));
+      filter.train_spam(gen.generate_spam(rng));
+    }
+    std::vector<double> scores;
+    for (int i = 0; i < 200; ++i) {
+      scores.push_back(filter.classify(gen.generate_spam(rng)).score);
+    }
+    return scores;
+  };
+
+  auto low_tail = [](const std::vector<double>& scores) {
+    std::size_t n = 0;
+    for (double s : scores) n += s < 0.99 ? 1 : 0;
+    return static_cast<double>(n) / static_cast<double>(scores.size());
+  };
+
+  EXPECT_GT(low_tail(spam_scores(0.25)), low_tail(spam_scores(0.0)));
+}
+
+TEST(HardSpam, BaselineAccuracyStaysUsable) {
+  // The realism features must not break the clean filter: ham stays
+  // essentially perfectly classified, spam errors stay a small tail.
+  TrecLikeGenerator gen;
+  util::Rng rng(6);
+  spambayes::Filter filter;
+  for (int i = 0; i < 500; ++i) {
+    filter.train_ham(gen.generate_ham(rng));
+    filter.train_spam(gen.generate_spam(rng));
+  }
+  int ham_bad = 0, spam_bad = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    ham_bad += filter.classify(gen.generate_ham(rng)).verdict !=
+                       spambayes::Verdict::ham
+                   ? 1
+                   : 0;
+    spam_bad += filter.classify(gen.generate_spam(rng)).verdict !=
+                        spambayes::Verdict::spam
+                    ? 1
+                    : 0;
+  }
+  EXPECT_LT(ham_bad / static_cast<double>(n), 0.02);
+  EXPECT_LT(spam_bad / static_cast<double>(n), 0.15);
+}
+
+}  // namespace
+}  // namespace sbx::corpus

@@ -1,0 +1,70 @@
+// Tests for email/builder.
+#include "email/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "email/rfc2822.h"
+
+namespace sbx::email {
+namespace {
+
+TEST(MessageBuilder, ChainsHeaders) {
+  Message m = MessageBuilder()
+                  .from("a@example")
+                  .to("b@example")
+                  .subject("subj")
+                  .date("Mon, 14 Feb 2005 09:30:00 -0800")
+                  .message_id("<id@example>")
+                  .header("X-Custom", "value")
+                  .body("hello\n")
+                  .build();
+  EXPECT_EQ(m.header("From").value(), "a@example");
+  EXPECT_EQ(m.header("To").value(), "b@example");
+  EXPECT_EQ(m.header("Subject").value(), "subj");
+  EXPECT_EQ(m.header("Message-ID").value(), "<id@example>");
+  EXPECT_EQ(m.header("X-Custom").value(), "value");
+  EXPECT_EQ(m.body(), "hello\n");
+}
+
+TEST(MessageBuilder, BuildIsRepeatable) {
+  MessageBuilder b;
+  b.subject("same");
+  Message m1 = b.build();
+  Message m2 = b.build();
+  EXPECT_EQ(m1.header("Subject").value(), m2.header("Subject").value());
+}
+
+TEST(MessageBuilder, BodyFromWordsLaysOutLines) {
+  std::vector<std::string> words;
+  for (int i = 0; i < 30; ++i) words.push_back("w" + std::to_string(i));
+  Message m = MessageBuilder().body_from_words(words, 10).build();
+  const std::string& body = m.body();
+  // 30 words at 10 per line -> 3 lines, each ending with newline.
+  EXPECT_EQ(std::count(body.begin(), body.end(), '\n'), 3);
+  EXPECT_NE(body.find("w0 w1"), std::string::npos);
+  EXPECT_NE(body.find("w29"), std::string::npos);
+}
+
+TEST(MessageBuilder, BodyFromWordsEmptyAndSingle) {
+  EXPECT_TRUE(MessageBuilder().body_from_words({}).build().body().empty());
+  Message one = MessageBuilder().body_from_words({"solo"}).build();
+  EXPECT_EQ(one.body(), "solo\n");
+}
+
+TEST(MessageBuilder, ZeroWordsPerLineFallsBackToDefault) {
+  std::vector<std::string> words(24, "x");
+  Message m = MessageBuilder().body_from_words(words, 0).build();
+  EXPECT_EQ(std::count(m.body().begin(), m.body().end(), '\n'), 2);
+}
+
+TEST(MessageBuilder, EmptyHeaderMessageRendersParsable) {
+  // Dictionary attack emails have no headers at all; the render/parse cycle
+  // must keep the body intact.
+  Message m = MessageBuilder().body_from_words({"alpha", "beta"}).build();
+  EXPECT_EQ(m.header_count(), 0u);
+  Message re = parse_message(render_message(m));
+  EXPECT_NE(re.body().find("alpha beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbx::email

@@ -1,0 +1,91 @@
+// Tests for email/mbox: parsing, quoting, file round trips.
+#include "email/mbox.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace sbx::email {
+namespace {
+
+TEST(Mbox, ParsesMultipleMessages) {
+  const char* data =
+      "From alice@example Mon Jan  1 00:00:00 2005\n"
+      "From: alice@example\n"
+      "Subject: one\n"
+      "\n"
+      "first body\n"
+      "\n"
+      "From bob@example Mon Jan  1 00:00:01 2005\n"
+      "From: bob@example\n"
+      "Subject: two\n"
+      "\n"
+      "second body\n";
+  auto messages = parse_mbox(data);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].header("Subject").value(), "one");
+  EXPECT_EQ(messages[1].header("Subject").value(), "two");
+  EXPECT_NE(messages[1].body().find("second body"), std::string::npos);
+}
+
+TEST(Mbox, UnquotesFromLines) {
+  const char* data =
+      "From sender@example Mon Jan  1 00:00:00 2005\n"
+      "Subject: quoting\n"
+      "\n"
+      ">From the beginning, it was quoted\n"
+      "plain line\n";
+  auto messages = parse_mbox(data);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_NE(messages[0].body().find("From the beginning"), std::string::npos);
+  EXPECT_EQ(messages[0].body().find(">From"), std::string::npos);
+}
+
+TEST(Mbox, EmptyInputYieldsNoMessages) {
+  EXPECT_TRUE(parse_mbox("").empty());
+  EXPECT_TRUE(parse_mbox("  \n \n").empty());
+}
+
+TEST(Mbox, RejectsContentBeforeEnvelope) {
+  EXPECT_THROW(parse_mbox("Subject: orphan\n\nbody\n"), ParseError);
+}
+
+TEST(Mbox, RenderParseRoundTrip) {
+  Message a({{"From", "a@example"}, {"Subject", "first"}},
+            "body a\nFrom the top\n");  // body line needs quoting
+  Message b({{"From", "b@example"}, {"Subject", "second"}}, "body b\n");
+  std::string rendered = render_mbox({a, b});
+  auto parsed = parse_mbox(rendered);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].header("Subject").value(), "first");
+  EXPECT_NE(parsed[0].body().find("From the top"), std::string::npos);
+  EXPECT_EQ(parsed[1].header("Subject").value(), "second");
+}
+
+TEST(Mbox, FileRoundTrip) {
+  auto path = std::filesystem::temp_directory_path() / "sbx_mbox_test.mbox";
+  Message m({{"From", "x@example"}, {"Subject", "file"}}, "contents\n");
+  write_mbox_file(path.string(), {m});
+  auto loaded = read_mbox_file(path.string());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].header("Subject").value(), "file");
+  std::filesystem::remove(path);
+}
+
+TEST(Mbox, MissingFileThrows) {
+  EXPECT_THROW(read_mbox_file("/nonexistent/dir/x.mbox"), IoError);
+}
+
+TEST(Mbox, MessageWithoutFromHeaderGetsPlaceholderEnvelope) {
+  Message m({{"Subject", "anonymous"}}, "b\n");
+  std::string rendered = render_mbox({m});
+  EXPECT_EQ(rendered.rfind("From MAILER-DAEMON@localhost", 0), 0u);
+  auto parsed = parse_mbox(rendered);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].header("Subject").value(), "anonymous");
+}
+
+}  // namespace
+}  // namespace sbx::email

@@ -1,0 +1,69 @@
+// Tests for email/message: header storage, lookup and manipulation.
+#include "email/message.h"
+
+#include <gtest/gtest.h>
+
+namespace sbx::email {
+namespace {
+
+TEST(Message, HeaderLookupIsCaseInsensitive) {
+  Message m;
+  m.add_header("Subject", "hello");
+  EXPECT_TRUE(m.has_header("subject"));
+  EXPECT_TRUE(m.has_header("SUBJECT"));
+  EXPECT_EQ(m.header("sUbJeCt").value(), "hello");
+  EXPECT_FALSE(m.has_header("From"));
+  EXPECT_EQ(m.header("From"), std::nullopt);
+}
+
+TEST(Message, PreservesOrderAndDuplicates) {
+  Message m;
+  m.add_header("Received", "hop1");
+  m.add_header("Subject", "s");
+  m.add_header("Received", "hop2");
+  ASSERT_EQ(m.header_count(), 3u);
+  EXPECT_EQ(m.headers()[0].value, "hop1");
+  EXPECT_EQ(m.headers()[2].value, "hop2");
+  auto all = m.all_headers("received");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "hop1");
+  EXPECT_EQ(all[1], "hop2");
+  // header() returns the first.
+  EXPECT_EQ(m.header("Received").value(), "hop1");
+}
+
+TEST(Message, RemoveHeaders) {
+  Message m;
+  m.add_header("X-A", "1");
+  m.add_header("X-B", "2");
+  m.add_header("x-a", "3");
+  EXPECT_EQ(m.remove_headers("X-A"), 2u);
+  EXPECT_EQ(m.header_count(), 1u);
+  EXPECT_FALSE(m.has_header("X-A"));
+  EXPECT_EQ(m.remove_headers("X-A"), 0u);
+}
+
+TEST(Message, SetHeadersReplacesBlock) {
+  Message m;
+  m.add_header("A", "1");
+  m.set_headers({{"B", "2"}, {"C", "3"}});
+  EXPECT_FALSE(m.has_header("A"));
+  EXPECT_EQ(m.header_count(), 2u);
+  EXPECT_EQ(m.header("C").value(), "3");
+}
+
+TEST(Message, BodyRoundTrip) {
+  Message m;
+  EXPECT_TRUE(m.body().empty());
+  m.set_body("line one\nline two\n");
+  EXPECT_EQ(m.body(), "line one\nline two\n");
+}
+
+TEST(Message, ConstructorTakesHeadersAndBody) {
+  Message m({{"From", "a@b"}, {"To", "c@d"}}, "hi\n");
+  EXPECT_EQ(m.header_count(), 2u);
+  EXPECT_EQ(m.body(), "hi\n");
+}
+
+}  // namespace
+}  // namespace sbx::email

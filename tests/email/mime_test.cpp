@@ -1,0 +1,181 @@
+// Tests for email/mime: content-type parsing, base64/quoted-printable
+// codecs and multipart text extraction.
+#include "email/mime.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "email/rfc2822.h"
+
+namespace sbx::email {
+namespace {
+
+TEST(ContentTypeParse, MediaTypeAndParams) {
+  ContentType ct = parse_content_type(
+      "multipart/mixed; boundary=\"xyz 123\"; charset=UTF-8");
+  EXPECT_EQ(ct.type, "multipart");
+  EXPECT_EQ(ct.subtype, "mixed");
+  EXPECT_TRUE(ct.is_multipart());
+  EXPECT_EQ(ct.boundary(), "xyz 123");
+  EXPECT_EQ(ct.params.at("charset"), "UTF-8");
+}
+
+TEST(ContentTypeParse, DefaultsOnGarbage) {
+  ContentType ct = parse_content_type("complete nonsense");
+  EXPECT_EQ(ct.type, "text");
+  EXPECT_EQ(ct.subtype, "plain");
+  EXPECT_TRUE(ct.is_text());
+  EXPECT_EQ(ct.boundary(), "");
+}
+
+TEST(ContentTypeParse, CaseNormalization) {
+  ContentType ct = parse_content_type("TEXT/HTML; CHARSET=ascii");
+  EXPECT_EQ(ct.type, "text");
+  EXPECT_EQ(ct.subtype, "html");
+  EXPECT_EQ(ct.params.at("charset"), "ascii");
+}
+
+TEST(Base64, RoundTrip) {
+  for (const std::string& plain :
+       {std::string(""), std::string("a"), std::string("ab"),
+        std::string("abc"), std::string("hello, world!"),
+        std::string("\x00\x01\xfe\xff", 4)}) {
+    EXPECT_EQ(decode_base64(encode_base64(plain)), plain);
+  }
+}
+
+TEST(Base64, KnownVectors) {
+  EXPECT_EQ(encode_base64("Man"), "TWFu");
+  EXPECT_EQ(encode_base64("Ma"), "TWE=");
+  EXPECT_EQ(encode_base64("M"), "TQ==");
+  EXPECT_EQ(decode_base64("TWFu"), "Man");
+  EXPECT_EQ(decode_base64("TQ=="), "M");
+}
+
+TEST(Base64, IgnoresWhitespaceAndJunk) {
+  EXPECT_EQ(decode_base64("TW\nFu"), "Man");
+  EXPECT_EQ(decode_base64("T W F u"), "Man");
+  EXPECT_EQ(decode_base64("TW*Fu"), "Man");
+}
+
+TEST(QuotedPrintable, RoundTrip) {
+  const std::string plain = "Hello=World\nwith special \xE9 bytes\n";
+  EXPECT_EQ(decode_quoted_printable(encode_quoted_printable(plain)), plain);
+}
+
+TEST(QuotedPrintable, DecodesEscapes) {
+  EXPECT_EQ(decode_quoted_printable("a=3Db"), "a=b");
+  EXPECT_EQ(decode_quoted_printable("caf=E9"), "caf\xE9");
+  // Soft breaks vanish.
+  EXPECT_EQ(decode_quoted_printable("long=\nline"), "longline");
+  EXPECT_EQ(decode_quoted_printable("long=\r\nline"), "longline");
+  // Malformed escapes are kept literally.
+  EXPECT_EQ(decode_quoted_printable("100=zz"), "100=zz");
+  EXPECT_EQ(decode_quoted_printable("end="), "end=");
+}
+
+TEST(QuotedPrintable, EncoderWrapsLines) {
+  std::string long_line(300, 'a');
+  std::string encoded = encode_quoted_printable(long_line);
+  std::size_t start = 0;
+  while (start < encoded.size()) {
+    std::size_t nl = encoded.find('\n', start);
+    if (nl == std::string::npos) nl = encoded.size();
+    EXPECT_LE(nl - start, 76u);
+    start = nl + 1;
+  }
+  EXPECT_EQ(decode_quoted_printable(encoded), long_line);
+}
+
+TEST(TransferEncoding, Dispatch) {
+  EXPECT_EQ(decode_transfer_encoding("TWFu", "base64"), "Man");
+  EXPECT_EQ(decode_transfer_encoding("a=3Db", "Quoted-Printable"), "a=b");
+  EXPECT_EQ(decode_transfer_encoding("as is", "7bit"), "as is");
+  EXPECT_EQ(decode_transfer_encoding("as is", ""), "as is");
+  EXPECT_EQ(decode_transfer_encoding("as is", "x-unknown"), "as is");
+}
+
+TEST(ExtractText, PlainMessage) {
+  Message m = parse_message("Subject: s\n\nplain body\n");
+  EXPECT_EQ(extract_text(m), "plain body\n");
+}
+
+TEST(ExtractText, Base64Body) {
+  Message m;
+  m.add_header("Content-Transfer-Encoding", "base64");
+  m.set_body(encode_base64("decoded payload"));
+  EXPECT_EQ(extract_text(m), "decoded payload");
+}
+
+TEST(ExtractText, MultipartConcatenatesTextParts) {
+  const char* raw =
+      "Content-Type: multipart/alternative; boundary=BBB\n"
+      "\n"
+      "preamble is ignored\n"
+      "--BBB\n"
+      "Content-Type: text/plain\n"
+      "\n"
+      "first part\n"
+      "--BBB\n"
+      "Content-Type: text/html\n"
+      "\n"
+      "<p>second part</p>\n"
+      "--BBB\n"
+      "Content-Type: image/png\n"
+      "Content-Transfer-Encoding: base64\n"
+      "\n"
+      "aWdub3JlZA==\n"
+      "--BBB--\n"
+      "epilogue ignored\n";
+  Message m = parse_message(raw);
+  std::string text = extract_text(m);
+  EXPECT_NE(text.find("first part"), std::string::npos);
+  EXPECT_NE(text.find("second part"), std::string::npos);
+  EXPECT_EQ(text.find("ignored"), std::string::npos);
+  EXPECT_EQ(text.find("preamble"), std::string::npos);
+}
+
+TEST(ExtractText, NestedMultipart) {
+  const char* raw =
+      "Content-Type: multipart/mixed; boundary=OUTER\n"
+      "\n"
+      "--OUTER\n"
+      "Content-Type: multipart/alternative; boundary=INNER\n"
+      "\n"
+      "--INNER\n"
+      "Content-Type: text/plain\n"
+      "\n"
+      "nested text\n"
+      "--INNER--\n"
+      "--OUTER--\n";
+  Message m = parse_message(raw);
+  EXPECT_NE(extract_text(m).find("nested text"), std::string::npos);
+}
+
+TEST(ExtractText, DepthLimitStopsRecursion) {
+  // A multipart that contains itself conceptually: build 12 nesting levels
+  // and confirm extraction terminates and respects the depth cap.
+  std::string raw = "Content-Type: text/plain\n\ndeepest\n";
+  for (int i = 0; i < 12; ++i) {
+    std::string boundary = "B" + std::to_string(i);
+    raw = "Content-Type: multipart/mixed; boundary=" + boundary +
+          "\n\n--" + boundary + "\n" + raw + "\n--" + boundary + "--\n";
+  }
+  Message m = parse_message(raw);
+  EXPECT_EQ(extract_text(m, 8).find("deepest"), std::string::npos);
+  EXPECT_NE(extract_text(m, 20).find("deepest"), std::string::npos);
+}
+
+TEST(ExtractText, MultipartWithoutBoundaryYieldsNothing) {
+  Message m = parse_message("Content-Type: multipart/mixed\n\nopaque\n");
+  EXPECT_EQ(extract_text(m), "");
+}
+
+TEST(ExtractText, NonTextLeafSkipped) {
+  Message m = parse_message("Content-Type: application/pdf\n\n%PDF-1.4\n");
+  EXPECT_EQ(extract_text(m), "");
+}
+
+}  // namespace
+}  // namespace sbx::email

@@ -1,0 +1,142 @@
+// Tests for email/rfc2822: parsing (folding, CRLF, malformed input) and
+// rendering round trips.
+#include "email/rfc2822.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sbx::email {
+namespace {
+
+TEST(Rfc2822Parse, SimpleMessage) {
+  Message m = parse_message("From: a@b.example\nSubject: hi\n\nbody text\n");
+  EXPECT_EQ(m.header("From").value(), "a@b.example");
+  EXPECT_EQ(m.header("Subject").value(), "hi");
+  EXPECT_EQ(m.body(), "body text\n");
+}
+
+TEST(Rfc2822Parse, CrLfLineEndings) {
+  Message m =
+      parse_message("From: a@b\r\nSubject: crlf\r\n\r\nbody\r\nmore\r\n");
+  EXPECT_EQ(m.header("Subject").value(), "crlf");
+  EXPECT_EQ(m.body(), "body\nmore\n");
+}
+
+TEST(Rfc2822Parse, UnfoldsContinuationLines) {
+  Message m = parse_message(
+      "Subject: a very long\n\tfolded subject\n continuation\n\nbody\n");
+  EXPECT_EQ(m.header("Subject").value(),
+            "a very long folded subject continuation");
+}
+
+TEST(Rfc2822Parse, EmptyBody) {
+  Message m = parse_message("Subject: only headers\n\n");
+  EXPECT_TRUE(m.body().empty());
+  Message m2 = parse_message("Subject: no blank line at all\n");
+  EXPECT_EQ(m2.header("Subject").value(), "no blank line at all");
+  EXPECT_TRUE(m2.body().empty());
+}
+
+TEST(Rfc2822Parse, EmptyHeaderBlock) {
+  Message m = parse_message("\njust a body\n");
+  EXPECT_EQ(m.header_count(), 0u);
+  EXPECT_EQ(m.body(), "just a body\n");
+}
+
+TEST(Rfc2822Parse, LenientModeTreatsJunkAsBody) {
+  Message m = parse_message("From: a@b\nthis is not a header\nmore\n");
+  EXPECT_EQ(m.header_count(), 1u);
+  EXPECT_EQ(m.body(), "this is not a header\nmore\n");
+}
+
+TEST(Rfc2822Parse, StrictModeThrowsOnJunk) {
+  ParseOptions strict;
+  strict.lenient = false;
+  EXPECT_THROW(parse_message("From: a@b\nnot a header\n\nbody\n", strict),
+               ParseError);
+}
+
+TEST(Rfc2822Parse, HeaderValueWhitespaceTrimmed) {
+  Message m = parse_message("Subject:    spaced out   \n\n");
+  EXPECT_EQ(m.header("Subject").value(), "spaced out");
+}
+
+TEST(Rfc2822Parse, EmptyHeaderValueAllowed) {
+  Message m = parse_message("X-Empty:\nSubject: s\n\nb\n");
+  EXPECT_EQ(m.header("X-Empty").value(), "");
+  EXPECT_EQ(m.header("Subject").value(), "s");
+}
+
+TEST(Rfc2822Parse, ColonAtLineStartIsNotAHeader) {
+  Message m = parse_message(": no name\n\nbody\n");
+  EXPECT_EQ(m.header_count(), 0u);
+  // Lenient: the junk line becomes body.
+  EXPECT_EQ(m.body(), ": no name\n\nbody\n");
+}
+
+TEST(Rfc2822Render, RoundTripSimple) {
+  Message m;
+  m.add_header("From", "a@b.example");
+  m.add_header("Subject", "round trip");
+  m.set_body("the body\n");
+  Message re = parse_message(render_message(m));
+  EXPECT_EQ(re.header("From").value(), "a@b.example");
+  EXPECT_EQ(re.header("Subject").value(), "round trip");
+  EXPECT_EQ(re.body(), "the body\n");
+}
+
+TEST(Rfc2822Render, FoldsLongHeaders) {
+  Message m;
+  std::string long_value;
+  for (int i = 0; i < 30; ++i) long_value += "wordwordword ";
+  m.add_header("Subject", long_value);
+  std::string rendered = render_message(m);
+  // Every physical line stays within a sane bound.
+  std::size_t start = 0;
+  while (start < rendered.size()) {
+    std::size_t nl = rendered.find('\n', start);
+    if (nl == std::string::npos) nl = rendered.size();
+    EXPECT_LE(nl - start, 80u);
+    start = nl + 1;
+  }
+  // And unfolding restores the value (modulo collapsed whitespace).
+  Message re = parse_message(rendered);
+  EXPECT_EQ(re.header("Subject").value(),
+            std::string(sbx::util::trim(long_value)));
+}
+
+TEST(Rfc2822Render, BodyGetsTrailingNewline) {
+  Message m;
+  m.add_header("A", "1");
+  m.set_body("no newline");
+  std::string rendered = render_message(m);
+  EXPECT_EQ(rendered.back(), '\n');
+  Message re = parse_message(rendered);
+  EXPECT_EQ(re.body(), "no newline\n");
+}
+
+TEST(Rfc2822Parse, RealWorldShape) {
+  const char* raw =
+      "Received: from mail.example (mail.example [10.0.0.1])\n"
+      "\tby mx.victim.example with SMTP id abc123\n"
+      "From: \"Sales Team\" <sales@offers.example>\n"
+      "To: victim@corp.example\n"
+      "Subject: limited time offer\n"
+      "Date: Mon, 14 Feb 2005 09:30:00 -0800\n"
+      "Message-ID: <20050214@offers.example>\n"
+      "MIME-Version: 1.0\n"
+      "Content-Type: text/plain; charset=us-ascii\n"
+      "\n"
+      "Buy now.\n";
+  Message m = parse_message(raw);
+  EXPECT_EQ(m.header_count(), 8u);
+  EXPECT_EQ(m.header("Received").value(),
+            "from mail.example (mail.example [10.0.0.1]) by mx.victim.example "
+            "with SMTP id abc123");
+  EXPECT_EQ(m.body(), "Buy now.\n");
+}
+
+}  // namespace
+}  // namespace sbx::email

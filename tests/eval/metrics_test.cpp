@@ -1,0 +1,74 @@
+// Tests for eval/metrics: confusion matrix accounting and rates.
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace sbx::eval {
+namespace {
+
+using corpus::TrueLabel;
+using spambayes::Verdict;
+
+TEST(ConfusionMatrix, CountsAndTotals) {
+  ConfusionMatrix m;
+  m.add(TrueLabel::ham, Verdict::ham, 7);
+  m.add(TrueLabel::ham, Verdict::unsure, 2);
+  m.add(TrueLabel::ham, Verdict::spam);
+  m.add(TrueLabel::spam, Verdict::spam, 9);
+  m.add(TrueLabel::spam, Verdict::ham);
+
+  EXPECT_EQ(m.count(TrueLabel::ham, Verdict::ham), 7u);
+  EXPECT_EQ(m.count(TrueLabel::ham, Verdict::unsure), 2u);
+  EXPECT_EQ(m.count(TrueLabel::ham, Verdict::spam), 1u);
+  EXPECT_EQ(m.total(TrueLabel::ham), 10u);
+  EXPECT_EQ(m.total(TrueLabel::spam), 10u);
+  EXPECT_EQ(m.total(), 20u);
+}
+
+TEST(ConfusionMatrix, Rates) {
+  ConfusionMatrix m;
+  m.add(TrueLabel::ham, Verdict::ham, 6);
+  m.add(TrueLabel::ham, Verdict::unsure, 3);
+  m.add(TrueLabel::ham, Verdict::spam, 1);
+  m.add(TrueLabel::spam, Verdict::spam, 8);
+  m.add(TrueLabel::spam, Verdict::unsure, 1);
+  m.add(TrueLabel::spam, Verdict::ham, 1);
+
+  EXPECT_DOUBLE_EQ(m.ham_as_spam_rate(), 0.1);
+  EXPECT_DOUBLE_EQ(m.ham_as_unsure_rate(), 0.3);
+  EXPECT_DOUBLE_EQ(m.ham_misclassified_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(m.spam_as_ham_rate(), 0.1);
+  EXPECT_DOUBLE_EQ(m.spam_as_unsure_rate(), 0.1);
+  EXPECT_DOUBLE_EQ(m.spam_misclassified_rate(), 0.2);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 14.0 / 20.0);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixHasZeroRates) {
+  ConfusionMatrix m;
+  EXPECT_DOUBLE_EQ(m.ham_as_spam_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.spam_misclassified_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(ConfusionMatrix, MergeAdds) {
+  ConfusionMatrix a, b;
+  a.add(TrueLabel::ham, Verdict::ham, 5);
+  b.add(TrueLabel::ham, Verdict::spam, 5);
+  b.add(TrueLabel::spam, Verdict::spam, 10);
+  a.merge(b);
+  EXPECT_EQ(a.total(TrueLabel::ham), 10u);
+  EXPECT_DOUBLE_EQ(a.ham_as_spam_rate(), 0.5);
+  EXPECT_EQ(a.total(), 20u);
+}
+
+TEST(ConfusionMatrix, ToStringContainsCounts) {
+  ConfusionMatrix m;
+  m.add(TrueLabel::ham, Verdict::unsure, 42);
+  std::string s = m.to_string();
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("true ham"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbx::eval

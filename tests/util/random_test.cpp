@@ -1,0 +1,216 @@
+// Tests for util/random: determinism, stream independence, distribution
+// sanity, sampling without replacement, alias/Zipf samplers.
+#include "util/random.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace sbx::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Pcg32, DeterministicAndSeedSensitive) {
+  Pcg32 a(1, 1), b(1, 1), c(2, 1);
+  std::vector<std::uint32_t> va, vb, vc;
+  for (int i = 0; i < 100; ++i) {
+    va.push_back(a());
+    vb.push_back(b());
+    vc.push_back(c());
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(Pcg32, AdvanceMatchesStepping) {
+  Pcg32 a(7, 3), b(7, 3);
+  for (int i = 0; i < 1000; ++i) (void)a();
+  b.advance(1000);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(123);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+  EXPECT_THROW(rng.uniform_int(2, 1), InvalidArgument);
+}
+
+TEST(Rng, UniformInHalfOpenInterval) {
+  Rng rng(9);
+  double mean = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= 10000;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgesAndRate) {
+  Rng rng(77);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(11);
+  for (double lambda : {3.0, 80.0}) {
+    double sum = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) sum += rng.poisson(lambda);
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.1) << "lambda=" << lambda;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(1);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(1);  // same key, later counter: still distinct
+  Rng c = parent.fork(2);
+  std::vector<std::uint32_t> va, vb, vc;
+  for (int i = 0; i < 50; ++i) {
+    va.push_back(a());
+    vb.push_back(b());
+    vc.push_back(c());
+  }
+  EXPECT_NE(va, vb);
+  EXPECT_NE(va, vc);
+  EXPECT_NE(vb, vc);
+}
+
+TEST(Rng, ForkIsDeterministicAcrossRuns) {
+  Rng r1(99), r2(99);
+  Rng c1 = r1.fork(7);
+  Rng c2 = r2.fork(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(17);
+  auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), InvalidArgument);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, ChoiceUniform) {
+  Rng rng(21);
+  std::vector<int> v = {1, 2, 3};
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 3000; ++i) counts[rng.choice(v)] += 1;
+  for (int k = 1; k <= 3; ++k) EXPECT_NEAR(counts[k] / 3000.0, 1.0 / 3, 0.05);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.choice(empty), InvalidArgument);
+}
+
+TEST(AliasSampler, MatchesWeights) {
+  Rng rng(31);
+  AliasSampler sampler({1.0, 2.0, 3.0, 4.0});
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[sampler.sample(rng)] += 1;
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), (k + 1) / 10.0, 0.02);
+  }
+}
+
+TEST(AliasSampler, RejectsDegenerateInput) {
+  EXPECT_THROW(AliasSampler({}), InvalidArgument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(AliasSampler({1.0, -1.0}), InvalidArgument);
+}
+
+TEST(AliasSampler, HandlesZeroWeightEntries) {
+  Rng rng(33);
+  AliasSampler sampler({0.0, 1.0, 0.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(ZipfSampler, ProbabilitiesNormalizedAndDecreasing) {
+  ZipfSampler z(1000, 1.1, 2.7);
+  double total = 0;
+  double prev = 1.0;
+  for (std::size_t k = 0; k < 1000; ++k) {
+    double p = z.probability(k);
+    EXPECT_LE(p, prev);
+    total += p;
+    prev = p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_THROW(z.probability(1000), InvalidArgument);
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  Rng rng(41);
+  ZipfSampler z(50, 1.2, 2.0);
+  std::vector<int> counts(50, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) counts[z.sample(rng)] += 1;
+  for (std::size_t k : {0u, 1u, 5u, 20u}) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), z.probability(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), InvalidArgument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), InvalidArgument);
+  EXPECT_THROW(ZipfSampler(10, 1.0, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sbx::util

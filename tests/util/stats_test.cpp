@@ -1,0 +1,166 @@
+// Tests for util/stats: log-gamma, incomplete gamma, chi-square CDF/SF and
+// the even-dof Erlang shortcut the classifier uses, plus running stats and
+// quantiles.
+#include "util/stats.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace sbx::util {
+namespace {
+
+TEST(LogGamma, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGamma, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(3.14159265358979323846), 1e-12);
+  // Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(log_gamma(1.5),
+              0.5 * std::log(3.14159265358979323846) - std::log(2.0), 1e-12);
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), InvalidArgument);
+  EXPECT_THROW(log_gamma(-1.5), InvalidArgument);
+}
+
+TEST(RegularizedGamma, ComplementsSumToOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 75.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0, 120.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(regularized_gamma_p(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+  // P(a, 0) = 0; Q(a, 0) = 1.
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(3.0, 0.0), 1.0);
+}
+
+TEST(ChiSquare, MedianAndExtremes) {
+  // Exponential special case: chi2 with 2 dof has CDF 1 - exp(-x/2).
+  EXPECT_NEAR(chi_square_cdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(chi_square_cdf(0.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 4.0), 1.0);
+  EXPECT_NEAR(chi_square_sf(1000.0, 4.0), 0.0, 1e-12);
+}
+
+TEST(Chi2QEvenDof, MatchesGeneralImplementation) {
+  // The Erlang log-space shortcut must agree with the incomplete-gamma
+  // implementation across the dof/x ranges the classifier uses.
+  for (std::size_t n : {1u, 2u, 5u, 10u, 50u, 150u}) {
+    for (double x : {0.01, 0.5, 1.0, 10.0, 50.0, 250.0, 600.0}) {
+      const double expected = chi_square_sf(x, 2.0 * static_cast<double>(n));
+      const double actual = chi2q_even_dof(x, n);
+      EXPECT_NEAR(actual, expected, 1e-9)
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Chi2QEvenDof, Boundaries) {
+  EXPECT_DOUBLE_EQ(chi2q_even_dof(0.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(chi2q_even_dof(5.0, 0), 1.0);
+  EXPECT_THROW(chi2q_even_dof(-1.0, 3), InvalidArgument);
+  // Very large x underflows to 0, never to garbage.
+  EXPECT_GE(chi2q_even_dof(1e6, 150), 0.0);
+  EXPECT_LE(chi2q_even_dof(1e6, 150), 1e-12);
+}
+
+TEST(Chi2QEvenDof, MonotoneDecreasingInX) {
+  double prev = 1.0;
+  for (double x = 0.0; x <= 400.0; x += 10.0) {
+    double q = chi2q_even_dof(x, 75);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(LogSumExp, BasicIdentities) {
+  EXPECT_NEAR(log_sum_exp(std::log(2.0), std::log(3.0)), std::log(5.0),
+              1e-12);
+  EXPECT_NEAR(log_sum_exp(-1000.0, 0.0), 0.0, 1e-12);
+  double neg_inf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(log_sum_exp(neg_inf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(log_sum_exp(1.5, neg_inf), 1.5);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  // Sample variance of the classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(static_cast<double>(i)) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Quantile, InterpolatesOrderStatistics) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile(v, 1.5), InvalidArgument);
+}
+
+// Parameterized cross-check sweep: chi2q_even_dof vs chi_square_sf over a
+// grid (property-style verification of the classifier's core numeric).
+class Chi2Sweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(Chi2Sweep, AgreesWithIncompleteGamma) {
+  const int n = std::get<0>(GetParam());
+  const double x = std::get<1>(GetParam());
+  EXPECT_NEAR(chi2q_even_dof(x, static_cast<std::size_t>(n)),
+              chi_square_sf(x, 2.0 * n), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Chi2Sweep,
+    ::testing::Combine(::testing::Values(1, 3, 20, 75, 150, 300),
+                       ::testing::Values(0.05, 2.0, 30.0, 150.0, 400.0,
+                                         900.0)));
+
+}  // namespace
+}  // namespace sbx::util

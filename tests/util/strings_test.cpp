@@ -1,0 +1,74 @@
+// Tests for util/strings.
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace sbx::util {
+namespace {
+
+TEST(Strings, ToLowerUpperAsciiOnly) {
+  EXPECT_EQ(to_lower("HeLLo-123"), "hello-123");
+  EXPECT_EQ(to_upper("HeLLo-123"), "HELLO-123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b \t\r\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  auto parts = split_whitespace("  one \t two\nthree  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[2], "three");
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, CaseInsensitiveComparisons) {
+  EXPECT_TRUE(iequals("Content-Type", "content-type"));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_TRUE(istarts_with("Content-Type: text", "content-type"));
+  EXPECT_FALSE(istarts_with("abc", "abcd"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("none here", "x", "y"), "none here");
+  EXPECT_EQ(replace_all("\"quoted\"", "\"", "\"\""), "\"\"quoted\"\"");
+  EXPECT_THROW(replace_all("x", "", "y"), InvalidArgument);
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, IsSpace) {
+  for (char c : {' ', '\t', '\r', '\n', '\f', '\v'}) EXPECT_TRUE(is_space(c));
+  EXPECT_FALSE(is_space('a'));
+  EXPECT_FALSE(is_space('\0'));
+}
+
+}  // namespace
+}  // namespace sbx::util

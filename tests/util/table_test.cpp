@@ -1,0 +1,64 @@
+// Tests for util/table.
+#include "util/table.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace sbx::util {
+namespace {
+
+TEST(Table, RequiresHeadersAndMatchingRowWidth) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, TextRenderingAligns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::string text = t.to_text();
+  EXPECT_NE(text.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(text.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::cell(std::size_t{42}), "42");
+  EXPECT_EQ(Table::cell(-7), "-7");
+}
+
+TEST(Table, WriteCsvCreatesDirectories) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "sbx_table_test";
+  std::filesystem::remove_all(dir);
+  Table t({"h"});
+  t.add_row({"v"});
+  std::string path = (dir / "nested" / "out.csv").string();
+  t.write_csv(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "h\nv\n");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sbx::util
