@@ -1,22 +1,22 @@
 // Figure 1 driver: dictionary attacks under K-fold cross-validation.
-#include <mutex>
+#include <algorithm>
 
 #include "core/attack_math.h"
 #include "eval/experiments.h"
-#include "util/thread_pool.h"
+#include "eval/runner.h"
 
 namespace sbx::eval {
 
 DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
                                      const core::DictionaryAttack& attack,
                                      const DictionaryCurveConfig& config) {
-  util::Rng master(config.seed);
+  Runner runner(config.seed, config.threads);
 
   // Pool sized so each fold trains on ~training_set_size messages:
   // train = pool * (K-1)/K.
   const std::size_t pool_size =
       config.training_set_size * config.folds / (config.folds - 1);
-  util::Rng corpus_rng = master.fork(1);
+  util::Rng corpus_rng = runner.fork(1);
   const corpus::Dataset dataset =
       gen.sample_mailbox(pool_size, config.spam_fraction, corpus_rng);
 
@@ -33,7 +33,7 @@ DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
   const std::size_t attack_tokens_per_message =
       tokenizer.tokenize(attack.attack_message()).size();
 
-  util::Rng fold_rng = master.fork(2);
+  util::Rng fold_rng = runner.fork(2);
   const std::vector<corpus::FoldSplit> folds =
       corpus::k_fold_splits(tokenized.size(), config.folds, fold_rng);
 
@@ -45,11 +45,10 @@ DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
 
   std::vector<ConfusionMatrix> per_fraction(fractions.size());
   std::vector<util::RunningStats> fold_spread(fractions.size());
-  std::mutex merge_mutex;
 
-  util::parallel_for(
-      folds.size(),
-      [&](std::size_t f) {
+  runner.map_reduce(
+      folds.size(), /*salt=*/100,
+      [&](std::size_t f, util::Rng&) {
         const corpus::FoldSplit& split = folds[f];
         spambayes::Filter filter(config.filter);
         train_on_indices(filter, tokenized, split.train);
@@ -57,8 +56,8 @@ DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
         std::size_t trained_attack = 0;
         std::vector<ConfusionMatrix> local(fractions.size());
         for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
-          const std::size_t want = core::attack_message_count(
-              split.train.size(), fractions[pi]);
+          const std::size_t want =
+              core::attack_message_count(split.train.size(), fractions[pi]);
           if (want > trained_attack) {
             filter.train_spam_tokens(
                 attack_tokens,
@@ -67,13 +66,14 @@ DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
           }
           local[pi] = classify_indices(filter, tokenized, split.test);
         }
-        std::lock_guard<std::mutex> lock(merge_mutex);
+        return local;
+      },
+      [&](std::size_t, std::vector<ConfusionMatrix> local) {
         for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
           per_fraction[pi].merge(local[pi]);
           fold_spread[pi].add(local[pi].ham_misclassified_rate());
         }
-      },
-      config.threads);
+      });
 
   DictionaryCurve curve;
   curve.attack_name = attack.name();

@@ -8,6 +8,10 @@
 //
 // Determinism: every driver forks all randomness from its config seed, and
 // parallelism (folds / repetitions across threads) never changes results.
+// All drivers execute through eval::Runner (runner.h), which enforces this:
+// per-trial RNG streams are pre-forked from the master stream in program
+// order and results are merged in trial order, so thread count affects
+// wall-clock time only.
 #pragma once
 
 #include <cstdint>

@@ -1,12 +1,11 @@
 // Figures 2, 3 and 4 drivers: the focused (targeted) attack.
 #include <algorithm>
-#include <mutex>
 #include <unordered_set>
 
 #include "core/attack_math.h"
 #include "eval/experiments.h"
+#include "eval/runner.h"
 #include "util/error.h"
-#include "util/thread_pool.h"
 
 namespace sbx::eval {
 namespace {
@@ -74,26 +73,18 @@ std::vector<FocusedKnowledgePoint> run_focused_knowledge(
     const corpus::TrecLikeGenerator& gen,
     const std::vector<double>& guess_probabilities, std::size_t attack_count,
     const FocusedConfig& config) {
-  util::Rng master(config.seed);
+  Runner runner(config.seed, config.threads);
 
   std::vector<FocusedKnowledgePoint> points(guess_probabilities.size());
   for (std::size_t pi = 0; pi < guess_probabilities.size(); ++pi) {
     points[pi].guess_probability = guess_probabilities[pi];
   }
-  std::mutex merge_mutex;
 
-  // One task per repetition; targets/probabilities iterate inside so the
+  // One trial per repetition; targets/probabilities iterate inside so the
   // expensive inbox construction is amortized.
-  std::vector<util::Rng> rep_rngs;
-  rep_rngs.reserve(config.repetitions);
-  for (std::size_t r = 0; r < config.repetitions; ++r) {
-    rep_rngs.push_back(master.fork(1000 + r));
-  }
-
-  util::parallel_for(
-      config.repetitions,
-      [&](std::size_t r) {
-        util::Rng rng = rep_rngs[r];
+  runner.map_reduce(
+      config.repetitions, /*salt=*/1000,
+      [&](std::size_t, util::Rng& rng) {
         FocusedRun run(gen, config, rng);
         const spambayes::Tokenizer tokenizer(config.filter.tokenizer);
 
@@ -141,7 +132,9 @@ std::vector<FocusedKnowledgePoint> run_focused_knowledge(
             }
           }
         }
-        std::lock_guard<std::mutex> lock(merge_mutex);
+        return local;
+      },
+      [&](std::size_t, std::vector<FocusedKnowledgePoint> local) {
         for (std::size_t pi = 0; pi < points.size(); ++pi) {
           points[pi].targets += local[pi].targets;
           points[pi].as_ham += local[pi].as_ham;
@@ -149,32 +142,23 @@ std::vector<FocusedKnowledgePoint> run_focused_knowledge(
           points[pi].as_spam += local[pi].as_spam;
           points[pi].control_as_ham += local[pi].control_as_ham;
         }
-      },
-      config.threads);
+      });
   return points;
 }
 
 std::vector<FocusedSizePoint> run_focused_size(
     const corpus::TrecLikeGenerator& gen, double guess_probability,
     const std::vector<double>& attack_fractions, const FocusedConfig& config) {
-  util::Rng master(config.seed);
+  Runner runner(config.seed, config.threads);
 
   std::vector<double> fractions = attack_fractions;
   std::sort(fractions.begin(), fractions.end());
 
   std::vector<FocusedSizePoint> points(fractions.size());
-  std::mutex merge_mutex;
 
-  std::vector<util::Rng> rep_rngs;
-  rep_rngs.reserve(config.repetitions);
-  for (std::size_t r = 0; r < config.repetitions; ++r) {
-    rep_rngs.push_back(master.fork(2000 + r));
-  }
-
-  util::parallel_for(
-      config.repetitions,
-      [&](std::size_t r) {
-        util::Rng rng = rep_rngs[r];
+  runner.map_reduce(
+      config.repetitions, /*salt=*/2000,
+      [&](std::size_t, util::Rng& rng) {
         FocusedRun run(gen, config, rng);
         const spambayes::Tokenizer tokenizer(config.filter.tokenizer);
         const std::size_t max_messages = core::attack_message_count(
@@ -216,14 +200,15 @@ std::vector<FocusedSizePoint> run_focused_size(
             run.filter.untrain_spam_tokens(attack_tokens[i]);
           }
         }
-        std::lock_guard<std::mutex> lock(merge_mutex);
+        return local;
+      },
+      [&](std::size_t, std::vector<FocusedSizePoint> local) {
         for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
           points[pi].targets += local[pi].targets;
           points[pi].as_spam += local[pi].as_spam;
           points[pi].as_unsure_or_spam += local[pi].as_unsure_or_spam;
         }
-      },
-      config.threads);
+      });
 
   for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
     points[pi].attack_fraction = fractions[pi];

@@ -1,19 +1,32 @@
 // §5.1 driver: the RONI defense against dictionary-attack and non-attack
 // spam queries.
-#include <mutex>
-
 #include "eval/experiments.h"
-#include "util/thread_pool.h"
+#include "eval/runner.h"
 
 namespace sbx::eval {
+namespace {
+
+/// One RONI assessment outcome, merged in query order by the Runner.
+struct AssessmentOutcome {
+  double impact = 0.0;
+  bool rejected = false;
+};
+
+void merge_outcome(RoniVariantResult& variant, const AssessmentOutcome& o) {
+  variant.impact.add(o.impact);
+  variant.assessed += 1;
+  variant.rejected += o.rejected ? 1 : 0;
+}
+
+}  // namespace
 
 RoniExperimentResult run_roni_experiment(
     const corpus::TrecLikeGenerator& gen,
     const std::vector<const core::DictionaryAttack*>& attacks,
     const RoniExperimentConfig& config) {
-  util::Rng master(config.seed);
+  Runner runner(config.seed, config.threads);
 
-  util::Rng pool_rng = master.fork(1);
+  util::Rng pool_rng = runner.fork(1);
   const corpus::Dataset pool_dataset =
       gen.sample_mailbox(config.pool_size, config.spam_fraction, pool_rng);
   const spambayes::Tokenizer tokenizer(config.filter.tokenizer);
@@ -27,30 +40,22 @@ RoniExperimentResult run_roni_experiment(
 
   // --- non-attack spam queries: fresh spam emails, one assessment each ---
   {
-    util::Rng query_rng = master.fork(2);
+    util::Rng query_rng = runner.fork(2);
     std::vector<spambayes::TokenSet> queries;
     queries.reserve(config.nonattack_queries);
     for (std::size_t i = 0; i < config.nonattack_queries; ++i) {
       queries.push_back(spambayes::unique_tokens(
           tokenizer.tokenize(gen.generate_spam(query_rng))));
     }
-    std::vector<util::Rng> rngs;
-    rngs.reserve(queries.size());
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      rngs.push_back(query_rng.fork(i));
-    }
-    std::mutex merge_mutex;
-    util::parallel_for(
-        queries.size(),
-        [&](std::size_t i) {
-          util::Rng rng = rngs[i];
+    runner.map_reduce(
+        queries.size(), query_rng,
+        [&](std::size_t i, util::Rng& rng) {
           const core::RoniAssessment a = defense.assess(queries[i], pool, rng);
-          std::lock_guard<std::mutex> lock(merge_mutex);
-          result.nonattack_spam.impact.add(a.mean_ham_as_ham_decrease);
-          result.nonattack_spam.assessed += 1;
-          result.nonattack_spam.rejected += a.rejected ? 1 : 0;
+          return AssessmentOutcome{a.mean_ham_as_ham_decrease, a.rejected};
         },
-        config.threads);
+        [&](std::size_t, AssessmentOutcome o) {
+          merge_outcome(result.nonattack_spam, o);
+        });
   }
 
   // --- dictionary attack variants, `attack_repetitions` assessments each ---
@@ -61,25 +66,15 @@ RoniExperimentResult run_roni_experiment(
     const spambayes::TokenSet attack_tokens = spambayes::unique_tokens(
         tokenizer.tokenize(attack.attack_message()));
 
-    util::Rng attack_rng = master.fork(100 + ai);
-    std::vector<util::Rng> rngs;
-    rngs.reserve(config.attack_repetitions);
-    for (std::size_t i = 0; i < config.attack_repetitions; ++i) {
-      rngs.push_back(attack_rng.fork(i));
-    }
-    std::mutex merge_mutex;
-    util::parallel_for(
-        config.attack_repetitions,
-        [&](std::size_t i) {
-          util::Rng rng = rngs[i];
+    util::Rng attack_rng = runner.fork(100 + ai);
+    runner.map_reduce(
+        config.attack_repetitions, attack_rng,
+        [&](std::size_t, util::Rng& rng) {
           const core::RoniAssessment a =
               defense.assess(attack_tokens, pool, rng);
-          std::lock_guard<std::mutex> lock(merge_mutex);
-          variant.impact.add(a.mean_ham_as_ham_decrease);
-          variant.assessed += 1;
-          variant.rejected += a.rejected ? 1 : 0;
+          return AssessmentOutcome{a.mean_ham_as_ham_decrease, a.rejected};
         },
-        config.threads);
+        [&](std::size_t, AssessmentOutcome o) { merge_outcome(variant, o); });
     result.attack_variants.push_back(std::move(variant));
   }
   return result;

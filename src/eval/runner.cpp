@@ -1,0 +1,51 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <thread>
+
+namespace sbx::eval {
+
+Runner::Runner(std::uint64_t seed, std::size_t threads)
+    : master_(seed),
+      threads_(threads != 0
+                   ? threads
+                   : std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency())) {}
+
+std::vector<util::Rng> Runner::fork_streams(std::uint64_t salt,
+                                            std::size_t n) {
+  std::vector<util::Rng> rngs;
+  rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rngs.push_back(master_.fork(salt + i));
+  }
+  return rngs;
+}
+
+void Runner::dispatch(std::size_t n,
+                      const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (std::min(threads_, n) <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(threads_);
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool_->submit([i, &body] { body(i); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sbx::eval

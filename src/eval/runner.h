@@ -1,0 +1,122 @@
+// sbx/eval/runner.h
+//
+// eval::Runner — the single parallel execution path shared by every
+// experiment driver. It enforces the determinism contract experiments.h
+// promises:
+//
+//  * every trial's RNG is pre-forked sequentially from the master stream,
+//    in program order, before any trial starts — streams depend on the
+//    seed and the sequence of forks taken from the master (util::Rng::fork
+//    is stateful), never on thread scheduling;
+//  * trial results land in per-index slots and are merged on the calling
+//    thread in ascending index order, so floating-point accumulation
+//    (util::RunningStats, threshold sums) is bit-identical at any thread
+//    count;
+//  * the thread count changes wall-clock time only, never results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace sbx::eval {
+
+/// Fans experiment trials (cross-validation folds, repetitions, RONI
+/// queries) out across a lazily created util::ThreadPool that is reused for
+/// every map() of the same run. Trial exceptions are rethrown on the
+/// calling thread after all trials finish.
+class Runner {
+ public:
+  /// `threads` = 0 selects hardware concurrency (min 1). A Runner with an
+  /// effective thread count of 1 runs trials inline, with no pool.
+  explicit Runner(std::uint64_t seed, std::size_t threads = 0);
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Setup randomness (corpus sampling, fold splits) — forked from the same
+  /// master stream as the trials so one seed drives the whole run.
+  util::Rng fork(std::uint64_t key) { return master_.fork(key); }
+
+  std::size_t thread_count() const { return threads_; }
+
+  /// Runs trial(i, rng_i) for i in [0, trials) across the pool and returns
+  /// the results in trial-index order. rng_i = master.fork(salt + i),
+  /// forked in ascending i before any trial starts. Note util::Rng::fork
+  /// is stateful: a stream also depends on every fork previously taken
+  /// from the master (setup fork() calls, earlier map() batches), so keep
+  /// a driver's fork order fixed to keep its streams reproducible.
+  template <typename Trial>
+  auto map(std::size_t trials, std::uint64_t salt, Trial&& trial) {
+    return map_impl(trials, fork_streams(salt, trials),
+                    std::forward<Trial>(trial));
+  }
+
+  /// Same, but forks the per-trial streams from `parent` (rng_i =
+  /// parent.fork(i)) — for drivers that scope a batch of trials to a
+  /// sub-experiment stream.
+  template <typename Trial>
+  auto map(std::size_t trials, util::Rng& parent, Trial&& trial) {
+    std::vector<util::Rng> rngs;
+    rngs.reserve(trials);
+    for (std::size_t i = 0; i < trials; ++i) rngs.push_back(parent.fork(i));
+    return map_impl(trials, std::move(rngs), std::forward<Trial>(trial));
+  }
+
+  /// map() followed by an ordered merge: merge(i, result_i) runs on the
+  /// calling thread in ascending trial order. This is the only sanctioned
+  /// way to accumulate across trials — merging from inside trials (under a
+  /// mutex) would reorder floating-point sums with the schedule.
+  template <typename Trial, typename Merge>
+  void map_reduce(std::size_t trials, std::uint64_t salt, Trial&& trial,
+                  Merge&& merge) {
+    auto results = map(trials, salt, std::forward<Trial>(trial));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      merge(i, std::move(results[i]));
+    }
+  }
+
+  /// map_reduce with parent-scoped trial streams (see the map overload).
+  template <typename Trial, typename Merge>
+  void map_reduce(std::size_t trials, util::Rng& parent, Trial&& trial,
+                  Merge&& merge) {
+    auto results = map(trials, parent, std::forward<Trial>(trial));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      merge(i, std::move(results[i]));
+    }
+  }
+
+ private:
+  std::vector<util::Rng> fork_streams(std::uint64_t salt, std::size_t n);
+
+  template <typename Trial>
+  auto map_impl(std::size_t trials, std::vector<util::Rng> rngs,
+                Trial&& trial) {
+    using Result =
+        std::decay_t<std::invoke_result_t<Trial&, std::size_t, util::Rng&>>;
+    // std::vector<bool> packs bits: concurrent per-index writes would race.
+    static_assert(!std::is_same_v<Result, bool>,
+                  "Runner::map: return a struct (or char) instead of bool");
+    std::vector<Result> results(trials);
+    dispatch(trials,
+             [&](std::size_t i) { results[i] = trial(i, rngs[i]); });
+    return results;
+  }
+
+  /// Runs body(i) for i in [0, n) — inline when min(threads, n) == 1,
+  /// otherwise on the pool — and rethrows the first trial exception.
+  void dispatch(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  util::Rng master_;
+  std::size_t threads_;
+  std::unique_ptr<util::ThreadPool> pool_;  // created on first parallel map
+};
+
+}  // namespace sbx::eval

@@ -1,22 +1,31 @@
 // Figure 5 driver: dynamic threshold defense vs. the dictionary attack.
 #include <algorithm>
-#include <mutex>
 
 #include "core/attack_math.h"
 #include "eval/experiments.h"
-#include "util/thread_pool.h"
+#include "eval/runner.h"
 
 namespace sbx::eval {
+namespace {
+
+/// One fold's measurements across every (fraction, variant) cell.
+struct ThresholdFoldResult {
+  std::vector<ConfusionMatrix> plain;  // per fraction
+  std::vector<std::vector<ConfusionMatrix>> defended;
+  std::vector<std::vector<core::ThresholdPair>> thresholds;
+};
+
+}  // namespace
 
 std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
     const corpus::TrecLikeGenerator& gen, const core::DictionaryAttack& attack,
     const ThresholdDefenseConfig& config) {
   const DictionaryCurveConfig& base = config.base;
-  util::Rng master(base.seed);
+  Runner runner(base.seed, base.threads);
 
   const std::size_t pool_size =
       base.training_set_size * base.folds / (base.folds - 1);
-  util::Rng corpus_rng = master.fork(1);
+  util::Rng corpus_rng = runner.fork(1);
   const corpus::Dataset dataset =
       gen.sample_mailbox(pool_size, base.spam_fraction, corpus_rng);
   const spambayes::Tokenizer tokenizer(base.filter.tokenizer);
@@ -25,7 +34,7 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
   const spambayes::TokenSet attack_tokens = spambayes::unique_tokens(
       tokenizer.tokenize(attack.attack_message()));
 
-  util::Rng fold_rng = master.fork(2);
+  util::Rng fold_rng = runner.fork(2);
   const std::vector<corpus::FoldSplit> folds =
       corpus::k_fold_splits(tokenized.size(), base.folds, fold_rng);
 
@@ -44,28 +53,21 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
   std::vector<std::vector<core::ThresholdPair>> threshold_sums(
       fractions.size(), std::vector<core::ThresholdPair>(n_variants,
                                                          {0.0, 0.0}));
-  std::mutex merge_mutex;
 
-  std::vector<util::Rng> fold_rngs;
-  fold_rngs.reserve(folds.size());
-  for (std::size_t f = 0; f < folds.size(); ++f) {
-    fold_rngs.push_back(master.fork(3000 + f));
-  }
-
-  util::parallel_for(
-      folds.size(),
-      [&](std::size_t f) {
+  runner.map_reduce(
+      folds.size(), /*salt=*/3000,
+      [&](std::size_t f, util::Rng& rng) {
         const corpus::FoldSplit& split = folds[f];
-        util::Rng rng = fold_rngs[f];
         spambayes::Filter filter(base.filter);
         train_on_indices(filter, tokenized, split.train);
 
         std::size_t trained_attack = 0;
-        std::vector<ConfusionMatrix> local_plain(fractions.size());
-        std::vector<std::vector<ConfusionMatrix>> local_defended(
-            fractions.size(), std::vector<ConfusionMatrix>(n_variants));
-        std::vector<std::vector<core::ThresholdPair>> local_thresholds(
-            fractions.size(), std::vector<core::ThresholdPair>(n_variants));
+        ThresholdFoldResult local;
+        local.plain.resize(fractions.size());
+        local.defended.assign(fractions.size(),
+                              std::vector<ConfusionMatrix>(n_variants));
+        local.thresholds.assign(fractions.size(),
+                                std::vector<core::ThresholdPair>(n_variants));
 
         for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
           const std::size_t want =
@@ -90,7 +92,7 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
             pairs[vi] = core::compute_dynamic_thresholds(
                 tokenized, split.train, batches, base.filter,
                 config.variants[vi], split_rng);
-            local_thresholds[pi][vi] = pairs[vi];
+            local.thresholds[pi][vi] = pairs[vi];
           }
 
           // Score the test fold once; apply every cutoff pair.
@@ -98,29 +100,29 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
             const auto& item = tokenized.items[i];
             const double score =
                 filter.classify_tokens(item.tokens).score;
-            local_plain[pi].add(
+            local.plain[pi].add(
                 item.label,
                 filter.classifier().verdict_for(score));
             for (std::size_t vi = 0; vi < n_variants; ++vi) {
-              local_defended[pi][vi].add(
+              local.defended[pi][vi].add(
                   item.label,
                   spambayes::Classifier::verdict_for(
                       score, pairs[vi].theta0, pairs[vi].theta1));
             }
           }
         }
-
-        std::lock_guard<std::mutex> lock(merge_mutex);
+        return local;
+      },
+      [&](std::size_t, ThresholdFoldResult local) {
         for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
-          points[pi].no_defense.merge(local_plain[pi]);
+          points[pi].no_defense.merge(local.plain[pi]);
           for (std::size_t vi = 0; vi < n_variants; ++vi) {
-            points[pi].defended[vi].merge(local_defended[pi][vi]);
-            threshold_sums[pi][vi].theta0 += local_thresholds[pi][vi].theta0;
-            threshold_sums[pi][vi].theta1 += local_thresholds[pi][vi].theta1;
+            points[pi].defended[vi].merge(local.defended[pi][vi]);
+            threshold_sums[pi][vi].theta0 += local.thresholds[pi][vi].theta0;
+            threshold_sums[pi][vi].theta1 += local.thresholds[pi][vi].theta1;
           }
         }
-      },
-      base.threads);
+      });
 
   const std::size_t train_size = folds.front().train.size();
   for (std::size_t pi = 0; pi < points.size(); ++pi) {

@@ -11,7 +11,12 @@ namespace {
 
 std::string escape_csv(const std::string& cell) {
   if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
-  return "\"" + replace_all(cell, "\"", "\"\"") + "\"";
+  // Built with insert/append rather than operator+ chaining: GCC 12's
+  // -Wrestrict misfires on `"lit" + std::string&&` (GCC PR 105329).
+  std::string escaped = replace_all(cell, "\"", "\"\"");
+  escaped.insert(escaped.begin(), '"');
+  escaped.push_back('"');
+  return escaped;
 }
 
 }  // namespace

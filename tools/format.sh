@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Formats (or with --check, verifies) every C++ source in the tree with the
+# repo's .clang-format. Usage:
+#   tools/format.sh           # rewrite files in place
+#   tools/format.sh --check   # exit non-zero on drift (what CI runs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT=clang-format-18)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.cpp' 'src/**/*.h' \
+  'tests/**/*.cpp' 'bench/*.cpp' 'bench/*.h' 'examples/*.cpp')
+
+if [[ "${1:-}" == "--check" ]]; then
+  "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+  echo "format check passed (${#files[@]} files)"
+else
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+fi
