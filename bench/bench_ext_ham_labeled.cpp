@@ -37,9 +37,9 @@ int main(int argc, char** argv) {
   spambayes::Filter base;
   for (const auto& item : tokenized.items) {
     if (item.label == corpus::TrueLabel::spam) {
-      base.train_spam_tokens(item.tokens);
+      base.train_spam_ids(item.ids);
     } else {
-      base.train_ham_tokens(item.tokens);
+      base.train_ham_ids(item.ids);
     }
   }
 

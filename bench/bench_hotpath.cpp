@@ -1,0 +1,187 @@
+// bench_hotpath: machine-readable perf baselines for the hot paths the
+// interning refactor targets — classification (msgs/sec), train/untrain
+// round trips (ops/sec) and tokenization (MB/s) — each measured through the
+// legacy string-set path and the interned id path.
+//
+// Unlike bench_micro (google-benchmark, optional dependency), this binary
+// always builds and emits JSON for the tracked BENCH_baseline.json
+// regression gate (tools/check_bench.py compares a fresh run against the
+// committed baseline and fails CI on >25% throughput regression).
+//
+//   $ ./bench_hotpath [--quick] [--min-seconds=S] [--json=PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "email/rfc2822.h"
+#include "spambayes/filter.h"
+#include "util/random.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Runs `op` in growing batches until at least `min_seconds` of wall clock
+/// has been spent, returning operations per second.
+template <typename Op>
+double ops_per_sec(double min_seconds, Op&& op) {
+  // Warm-up: touch caches/pages, and give the optimizer-visible state its
+  // steady shape.
+  for (int i = 0; i < 3; ++i) op();
+  std::size_t batch = 8;
+  std::size_t total_ops = 0;
+  double total_sec = 0.0;
+  while (total_sec < min_seconds) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < batch; ++i) op();
+    total_sec += std::chrono::duration<double>(Clock::now() - start).count();
+    total_ops += batch;
+    if (batch < (std::size_t{1} << 20)) batch *= 2;
+  }
+  return static_cast<double>(total_ops) / total_sec;
+}
+
+volatile double g_sink = 0.0;  // keeps scores observable
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double min_seconds = 0.4;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      min_seconds = 0.08;
+    } else if (std::strncmp(arg, "--min-seconds=", 14) == 0) {
+      min_seconds = std::atof(arg + 14);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: %s [--quick] [--min-seconds=S] [--json=PATH]\n",
+                  argv[0]);
+      return 0;
+    }
+  }
+
+  using namespace sbx;
+  const corpus::TrecLikeGenerator gen;
+  const spambayes::Tokenizer tok;
+
+  // --- classification: 400-message filter, fresh ham probe ---------------
+  // (the same workload bench_micro's BM_ClassifyMessage uses)
+  util::Rng rng(4);
+  spambayes::Filter filter;
+  for (int i = 0; i < 200; ++i) {
+    filter.train_ham_ids(spambayes::unique_token_ids(
+        tok.tokenize_ids(gen.generate_ham(rng))));
+    filter.train_spam_ids(spambayes::unique_token_ids(
+        tok.tokenize_ids(gen.generate_spam(rng))));
+  }
+  const email::Message probe_msg = gen.generate_ham(rng);
+  const spambayes::TokenSet probe_tokens =
+      spambayes::unique_tokens(tok.tokenize(probe_msg));
+  const spambayes::TokenIdSet probe_ids =
+      spambayes::unique_token_ids(tok.tokenize_ids(probe_msg));
+
+  const double classify_string = ops_per_sec(min_seconds, [&] {
+    g_sink = filter.classify_tokens(probe_tokens).score;
+  });
+  const double classify_interned = ops_per_sec(min_seconds, [&] {
+    g_sink = filter.classify_ids(probe_ids).score;
+  });
+
+  // --- train/untrain round trip (RONI's inner loop shape) ----------------
+  util::Rng train_rng(3);
+  const email::Message spam_msg = gen.generate_spam(train_rng);
+  const spambayes::TokenSet spam_tokens =
+      spambayes::unique_tokens(tok.tokenize(spam_msg));
+  const spambayes::TokenIdSet spam_ids =
+      spambayes::unique_token_ids(tok.tokenize_ids(spam_msg));
+
+  const double train_string = ops_per_sec(min_seconds, [&] {
+    filter.train_spam_tokens(spam_tokens);
+    filter.untrain_spam_tokens(spam_tokens);
+  });
+  const double train_interned = ops_per_sec(min_seconds, [&] {
+    filter.train_spam_ids(spam_ids);
+    filter.untrain_spam_ids(spam_ids);
+  });
+
+  // --- tokenization (message -> deduplicated token set, the unit every
+  // consumer uses: Filter::message_tokens vs message_token_ids) -----------
+  util::Rng tok_rng(1);
+  const email::Message ham_msg = gen.generate_ham(tok_rng);
+  const double msg_mb =
+      static_cast<double>(email::render_message(ham_msg).size()) / 1.0e6;
+
+  const double tokenize_string =
+      ops_per_sec(min_seconds,
+                  [&] {
+                    g_sink = spambayes::unique_tokens(tok.tokenize(ham_msg))
+                                 .size();
+                  }) *
+      msg_mb;
+  const double tokenize_ids =
+      ops_per_sec(min_seconds,
+                  [&] {
+                    g_sink = spambayes::unique_token_ids(
+                                 tok.tokenize_ids(ham_msg))
+                                 .size();
+                  }) *
+      msg_mb;
+
+  // "metrics" is what tools/check_bench.py gates; the speedup ratios are
+  // informational only (a future improvement to the legacy string path
+  // would legitimately shrink them).
+  const std::vector<Metric> metrics = {
+      {"classify_string_msgs_per_sec", classify_string},
+      {"classify_interned_msgs_per_sec", classify_interned},
+      {"train_untrain_string_ops_per_sec", train_string},
+      {"train_untrain_interned_ops_per_sec", train_interned},
+      {"tokenize_to_set_string_mb_per_sec", tokenize_string},
+      {"tokenize_to_ids_mb_per_sec", tokenize_ids},
+  };
+  const std::vector<Metric> info = {
+      {"classify_interned_speedup", classify_interned / classify_string},
+      {"train_untrain_interned_speedup", train_interned / train_string},
+      {"tokenize_to_ids_speedup", tokenize_ids / tokenize_string},
+  };
+
+  auto emit_block = [](const std::vector<Metric>& block) {
+    std::string out;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      char line[160];
+      std::snprintf(line, sizeof line, "    \"%s\": %.4f%s\n",
+                    block[i].name.c_str(), block[i].value,
+                    i + 1 < block.size() ? "," : "");
+      out += line;
+    }
+    return out;
+  };
+  std::string json = "{\n  \"schema\": 1,\n  \"metrics\": {\n";
+  json += emit_block(metrics);
+  json += "  },\n  \"info\": {\n";
+  json += emit_block(info);
+  json += "  }\n}\n";
+
+  std::printf("%s", json.c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "bench_hotpath: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

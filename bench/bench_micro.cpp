@@ -28,6 +28,16 @@ void BM_TokenizeHamMessage(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenizeHamMessage);
 
+void BM_TokenizeHamMessageToIds(benchmark::State& state) {
+  sbx::util::Rng rng(1);
+  const auto msg = shared_generator().generate_ham(rng);
+  const sbx::spambayes::Tokenizer tok;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok.tokenize_ids(msg));
+  }
+}
+BENCHMARK(BM_TokenizeHamMessageToIds);
+
 void BM_TrainHamMessage(benchmark::State& state) {
   sbx::util::Rng rng(2);
   const auto msg = shared_generator().generate_ham(rng);
@@ -52,6 +62,46 @@ void BM_TrainUntrainRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TrainUntrainRoundTrip);
+
+void BM_TrainHamMessageInterned(benchmark::State& state) {
+  sbx::util::Rng rng(2);
+  const auto msg = shared_generator().generate_ham(rng);
+  const sbx::spambayes::Tokenizer tok;
+  const auto ids = sbx::spambayes::unique_token_ids(tok.tokenize_ids(msg));
+  sbx::spambayes::Filter filter;
+  for (auto _ : state) {
+    filter.train_ham_ids(ids);
+  }
+}
+BENCHMARK(BM_TrainHamMessageInterned);
+
+void BM_TrainUntrainRoundTripInterned(benchmark::State& state) {
+  sbx::util::Rng rng(3);
+  const auto msg = shared_generator().generate_spam(rng);
+  const sbx::spambayes::Tokenizer tok;
+  const auto ids = sbx::spambayes::unique_token_ids(tok.tokenize_ids(msg));
+  sbx::spambayes::Filter filter;
+  for (auto _ : state) {
+    filter.train_spam_ids(ids);
+    filter.untrain_spam_ids(ids);
+  }
+}
+BENCHMARK(BM_TrainUntrainRoundTripInterned);
+
+void BM_DictionaryBatchTrainInterned(benchmark::State& state) {
+  const auto& gen = shared_generator();
+  const sbx::core::DictionaryAttack attack =
+      sbx::core::DictionaryAttack::aspell(gen.lexicons());
+  const sbx::spambayes::Tokenizer tok;
+  const auto ids = sbx::spambayes::unique_token_ids(
+      tok.tokenize_ids(attack.attack_message()));
+  for (auto _ : state) {
+    sbx::spambayes::Filter filter;
+    filter.train_spam_ids(ids, 101);  // 1% of a 10k inbox, one update
+    benchmark::DoNotOptimize(filter.database().vocabulary_size());
+  }
+}
+BENCHMARK(BM_DictionaryBatchTrainInterned);
 
 void BM_DictionaryBatchTrain(benchmark::State& state) {
   const auto& gen = shared_generator();
@@ -86,6 +136,25 @@ void BM_ClassifyMessage(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClassifyMessage);
+
+void BM_ClassifyMessageInterned(benchmark::State& state) {
+  sbx::util::Rng rng(4);
+  const auto& gen = shared_generator();
+  sbx::spambayes::Filter filter;
+  const sbx::spambayes::Tokenizer tok;
+  for (int i = 0; i < 200; ++i) {
+    filter.train_ham_ids(sbx::spambayes::unique_token_ids(
+        tok.tokenize_ids(gen.generate_ham(rng))));
+    filter.train_spam_ids(sbx::spambayes::unique_token_ids(
+        tok.tokenize_ids(gen.generate_spam(rng))));
+  }
+  const auto probe = sbx::spambayes::unique_token_ids(
+      tok.tokenize_ids(gen.generate_ham(rng)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.classify_ids(probe).score);
+  }
+}
+BENCHMARK(BM_ClassifyMessageInterned);
 
 void BM_Chi2EvenDof(benchmark::State& state) {
   double x = 123.0;

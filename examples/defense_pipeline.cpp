@@ -42,18 +42,20 @@ class DefendedTrainer {
         clean_pool_(clean_pool),
         rng_(rng) {}
 
-  /// Returns true when the candidate was admitted to training.
-  bool offer(spambayes::Filter& filter, const Candidate& c) {
-    auto tokens = filter.message_tokens(c.message);
-    if (c.labeled_spam) {
+  /// Returns true when the candidate was admitted to training. Takes the
+  /// candidate's cached interned token set — each message is tokenized
+  /// exactly once for the whole pipeline (RONI gate, training and the
+  /// threshold derivation below all reuse it).
+  bool offer(spambayes::Filter& filter, const corpus::TokenizedMessage& c) {
+    if (c.label == corpus::TrueLabel::spam) {
       util::Rng assess_rng = rng_.fork(++counter_);
-      if (roni_.assess(tokens, clean_pool_, assess_rng).rejected) {
+      if (roni_.assess(c.ids, clean_pool_, assess_rng).rejected) {
         ++rejected_;
         return false;
       }
-      filter.train_spam_tokens(tokens);
+      filter.train_spam_ids(c.ids);
     } else {
-      filter.train_ham_tokens(tokens);
+      filter.train_ham_ids(c.ids);
     }
     return true;
   }
@@ -121,29 +123,33 @@ int main() {
   util::Rng shuffle_rng = rng.fork(1);
   shuffle_rng.shuffle(batch);
 
+  // Tokenize the whole batch once; every later stage (undefended training,
+  // the RONI gate, defended training, threshold derivation) reuses these
+  // interned sets instead of re-tokenizing the same messages.
+  corpus::TokenizedDataset batch_tokens;
+  std::vector<std::size_t> indices;
+  for (const auto& c : batch) {
+    batch_tokens.items.emplace_back(
+        spambayes::unique_token_ids(tokenizer.tokenize_ids(c.message)),
+        c.labeled_spam ? corpus::TrueLabel::spam : corpus::TrueLabel::ham);
+    indices.push_back(batch_tokens.items.size() - 1);
+  }
+
   // --- undefended retraining ---
   spambayes::Filter undefended;
-  for (const auto& c : batch) {
-    if (c.labeled_spam) {
-      undefended.train_spam(c.message);
+  for (const auto& c : batch_tokens.items) {
+    if (c.label == corpus::TrueLabel::spam) {
+      undefended.train_spam_ids(c.ids);
     } else {
-      undefended.train_ham(c.message);
+      undefended.train_ham_ids(c.ids);
     }
   }
 
   // --- defended retraining ---
   spambayes::Filter defended;
   DefendedTrainer trainer(tokenized_pool, rng.fork(2));
-  for (const auto& c : batch) trainer.offer(defended, c);
+  for (const auto& c : batch_tokens.items) trainer.offer(defended, c);
   // Re-derive thresholds from this week's training batch (defense #2).
-  std::vector<std::size_t> indices;
-  corpus::TokenizedDataset batch_tokens;
-  for (const auto& c : batch) {
-    batch_tokens.items.push_back(
-        {defended.message_tokens(c.message),
-         c.labeled_spam ? corpus::TrueLabel::spam : corpus::TrueLabel::ham});
-    indices.push_back(batch_tokens.items.size() - 1);
-  }
   util::Rng split_rng = rng.fork(3);
   core::ThresholdPair thresholds = core::compute_dynamic_thresholds(
       batch_tokens, indices, {}, spambayes::FilterOptions{}, {0.05, 0.95},
@@ -151,7 +157,9 @@ int main() {
   defended.set_cutoffs(thresholds.theta0, thresholds.theta1);
 
   std::size_t spam_labeled = 0;
-  for (const auto& c : batch) spam_labeled += c.labeled_spam ? 1 : 0;
+  for (const auto& c : batch_tokens.items) {
+    spam_labeled += c.label == corpus::TrueLabel::spam ? 1 : 0;
+  }
   std::printf("RONI rejected %zu of %zu spam-labeled candidates "
               "(the batch hid 10 dictionary + 60 focused attack emails)\n",
               trainer.rejected(), spam_labeled);

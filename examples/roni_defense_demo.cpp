@@ -37,9 +37,9 @@ int main() {
               defense.config().rejection_threshold);
 
   auto assess = [&](const email::Message& msg, const char* tag) {
-    auto tokens = spambayes::unique_tokens(tokenizer.tokenize(msg));
-    util::Rng assess_rng = rng.fork(tokens.size());
-    core::RoniAssessment a = defense.assess(tokens, pool, assess_rng);
+    auto ids = spambayes::unique_token_ids(tokenizer.tokenize_ids(msg));
+    util::Rng assess_rng = rng.fork(ids.size());
+    core::RoniAssessment a = defense.assess(ids, pool, assess_rng);
     std::printf("  %-26s impact %+6.2f ham-as-ham  ->  %s\n", tag,
                 a.mean_ham_as_ham_decrease,
                 a.rejected ? "REJECTED from training" : "admitted");

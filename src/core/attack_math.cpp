@@ -21,11 +21,21 @@ double score_under_attack(const spambayes::Classifier& classifier,
                           const spambayes::TokenSet& message_tokens,
                           const spambayes::TokenSet& attack_tokens,
                           std::uint32_t copies) {
+  return score_under_attack(classifier, db,
+                            spambayes::intern_tokens(message_tokens),
+                            spambayes::intern_tokens(attack_tokens), copies);
+}
+
+double score_under_attack(const spambayes::Classifier& classifier,
+                          const spambayes::TokenDatabase& db,
+                          const spambayes::TokenIdSet& message_ids,
+                          const spambayes::TokenIdSet& attack_ids,
+                          std::uint32_t copies) {
   spambayes::TokenDatabase copy = db;
-  if (copies > 0 && !attack_tokens.empty()) {
-    copy.train_spam(attack_tokens, copies);
+  if (copies > 0 && !attack_ids.empty()) {
+    copy.train_spam_ids(attack_ids, copies);
   }
-  return classifier.score(copy, message_tokens).score;
+  return classifier.score_ids(copy, message_ids).score;
 }
 
 }  // namespace sbx::core

@@ -37,4 +37,11 @@ double score_under_attack(const spambayes::Classifier& classifier,
                           const spambayes::TokenSet& attack_tokens,
                           std::uint32_t copies);
 
+/// Interned-id variant of the same helper (hot-path form).
+double score_under_attack(const spambayes::Classifier& classifier,
+                          const spambayes::TokenDatabase& db,
+                          const spambayes::TokenIdSet& message_ids,
+                          const spambayes::TokenIdSet& attack_ids,
+                          std::uint32_t copies);
+
 }  // namespace sbx::core

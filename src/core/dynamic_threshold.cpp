@@ -120,29 +120,28 @@ ThresholdPair compute_dynamic_thresholds(
   for (std::size_t i = 0; i < half; ++i) {
     const auto& item = training.items[order[i]];
     if (item.label == corpus::TrueLabel::spam) {
-      filter.train_spam_tokens(item.tokens);
+      filter.train_spam_ids(item.ids);
     } else {
-      filter.train_ham_tokens(item.tokens);
+      filter.train_ham_ids(item.ids);
     }
   }
   // Attack copies arrive like any other training mail: split them evenly
   // between the filter half and the validation half.
   for (const SpamBatch& batch : extra_spam_batches) {
     std::uint32_t to_train = batch.copies / 2;
-    if (to_train > 0) filter.train_spam_tokens(batch.tokens, to_train);
+    if (to_train > 0) filter.train_spam_ids(batch.ids, to_train);
   }
 
   std::vector<ScoredExample> scored;
   scored.reserve(order.size() - half + extra_spam_batches.size());
   for (std::size_t i = half; i < order.size(); ++i) {
     const auto& item = training.items[order[i]];
-    scored.push_back(
-        {filter.classify_tokens(item.tokens).score, item.label});
+    scored.push_back({filter.classify_ids(item.ids).score, item.label});
   }
   for (const SpamBatch& batch : extra_spam_batches) {
     std::uint32_t to_validate = batch.copies - batch.copies / 2;
     if (to_validate == 0) continue;
-    double score = filter.classify_tokens(batch.tokens).score;
+    double score = filter.classify_ids(batch.ids).score;
     for (std::uint32_t i = 0; i < to_validate; ++i) {
       scored.push_back({score, corpus::TrueLabel::spam});
     }

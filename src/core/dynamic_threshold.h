@@ -19,6 +19,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "corpus/dataset.h"
@@ -64,8 +66,15 @@ ThresholdPair select_thresholds(const std::vector<ScoredExample>& scored,
 /// experiment harness inject batched attack copies into both halves the
 /// way they would arrive in a real poisoned inbox (split evenly).
 struct SpamBatch {
-  spambayes::TokenSet tokens;
+  spambayes::TokenIdSet ids;
   std::uint32_t copies = 1;
+
+  SpamBatch() = default;
+  SpamBatch(spambayes::TokenIdSet ids_in, std::uint32_t copies_in)
+      : ids(std::move(ids_in)), copies(copies_in) {}
+  /// String-set convenience: interns and forwards.
+  SpamBatch(const spambayes::TokenSet& tokens, std::uint32_t copies_in)
+      : ids(spambayes::intern_tokens(tokens)), copies(copies_in) {}
 };
 
 ThresholdPair compute_dynamic_thresholds(

@@ -13,7 +13,7 @@ RoniDefense::RoniDefense(RoniConfig config,
   }
 }
 
-RoniAssessment RoniDefense::assess(const spambayes::TokenSet& query_tokens,
+RoniAssessment RoniDefense::assess(const spambayes::TokenIdSet& query_ids,
                                    const corpus::TokenizedDataset& pool,
                                    util::Rng& rng) const {
   const std::size_t needed = config_.train_size + config_.validation_size;
@@ -31,9 +31,9 @@ RoniAssessment RoniDefense::assess(const spambayes::TokenSet& query_tokens,
     for (std::size_t i = 0; i < config_.train_size; ++i) {
       const auto& item = pool.items[idx[i]];
       if (item.label == corpus::TrueLabel::spam) {
-        filter.train_spam_tokens(item.tokens);
+        filter.train_spam_ids(item.ids);
       } else {
-        filter.train_ham_tokens(item.tokens);
+        filter.train_ham_ids(item.ids);
       }
     }
 
@@ -42,8 +42,7 @@ RoniAssessment RoniDefense::assess(const spambayes::TokenSet& query_tokens,
       for (std::size_t i = config_.train_size; i < needed; ++i) {
         const auto& item = pool.items[idx[i]];
         if (item.label != corpus::TrueLabel::ham) continue;
-        if (f.classify_tokens(item.tokens).verdict ==
-            spambayes::Verdict::ham) {
+        if (f.classify_ids(item.ids).verdict == spambayes::Verdict::ham) {
           ++correct;
         }
       }
@@ -51,7 +50,7 @@ RoniAssessment RoniDefense::assess(const spambayes::TokenSet& query_tokens,
     };
 
     const std::size_t before = ham_as_ham(filter);
-    filter.train_spam_tokens(query_tokens);
+    filter.train_spam_ids(query_ids);
     const std::size_t after = ham_as_ham(filter);
     out.per_trial.push_back(static_cast<double>(before) -
                             static_cast<double>(after));
@@ -63,6 +62,12 @@ RoniAssessment RoniDefense::assess(const spambayes::TokenSet& query_tokens,
       sum / static_cast<double>(out.per_trial.size());
   out.rejected = out.mean_ham_as_ham_decrease > config_.rejection_threshold;
   return out;
+}
+
+RoniAssessment RoniDefense::assess(const spambayes::TokenSet& query_tokens,
+                                   const corpus::TokenizedDataset& pool,
+                                   util::Rng& rng) const {
+  return assess(spambayes::intern_tokens(query_tokens), pool, rng);
 }
 
 }  // namespace sbx::core

@@ -1,6 +1,7 @@
 #include "corpus/dataset.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/error.h"
 
@@ -26,14 +27,24 @@ std::size_t TokenizedDataset::count(TrueLabel label) const {
                     }));
 }
 
+TokenizedMessage::TokenizedMessage(spambayes::TokenSet tokens_in,
+                                   TrueLabel label_in)
+    : tokens(std::move(tokens_in)),
+      ids(spambayes::intern_tokens(tokens)),
+      label(label_in) {}
+
+TokenizedMessage::TokenizedMessage(spambayes::TokenIdSet ids_in,
+                                   TrueLabel label_in)
+    : ids(std::move(ids_in)), label(label_in) {}
+
 TokenizedDataset tokenize_dataset(const Dataset& dataset,
                                   const spambayes::Tokenizer& tokenizer) {
   TokenizedDataset out;
   out.items.reserve(dataset.items.size());
   for (const auto& item : dataset.items) {
-    out.items.push_back(
-        {spambayes::unique_tokens(tokenizer.tokenize(item.message)),
-         item.label});
+    const spambayes::TokenList raw = tokenizer.tokenize(item.message);
+    out.raw_tokens += raw.size();
+    out.items.emplace_back(spambayes::unique_tokens(raw), item.label);
   }
   return out;
 }

@@ -37,21 +37,32 @@ struct Dataset {
 };
 
 /// A corpus message reduced to its deduplicated token set — the form the
-/// evaluation harness uses so each message is tokenized exactly once.
+/// evaluation harness uses so each message is tokenized exactly once. The
+/// interned `ids` are the hot-path representation (train/untrain/classify);
+/// the string `tokens` are kept for reporting and legacy callers.
 struct TokenizedMessage {
   spambayes::TokenSet tokens;
+  spambayes::TokenIdSet ids;
   TrueLabel label = TrueLabel::ham;
+
+  TokenizedMessage() = default;
+  TokenizedMessage(spambayes::TokenSet tokens_in, TrueLabel label_in);
+  TokenizedMessage(spambayes::TokenIdSet ids_in, TrueLabel label_in);
 };
 
 /// Tokenized view of a Dataset.
 struct TokenizedDataset {
   std::vector<TokenizedMessage> items;
+  /// Raw (with duplicates) token count over every message — the §4.2
+  /// token-ratio denominator, collected in the same pass as tokenization.
+  std::size_t raw_tokens = 0;
 
   std::size_t size() const { return items.size(); }
   std::size_t count(TrueLabel label) const;
 };
 
-/// Tokenizes every message with the given tokenizer.
+/// Tokenizes every message with the given tokenizer (one pass per message;
+/// fills both the string sets, the interned id sets and raw_tokens).
 TokenizedDataset tokenize_dataset(const Dataset& dataset,
                                   const spambayes::Tokenizer& tokenizer);
 

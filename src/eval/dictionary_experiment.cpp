@@ -24,14 +24,18 @@ DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
   const corpus::TokenizedDataset tokenized =
       corpus::tokenize_dataset(dataset, tokenizer);
   // §4.2 compares attack tokens against the tokens of the *training* inbox;
-  // scale the pool-wide count down to one fold's training share.
+  // scale the pool-wide count (collected during tokenize_dataset — no
+  // second tokenization pass) down to one fold's training share.
   const std::size_t clean_tokens =
-      raw_token_count(dataset, tokenizer) * (config.folds - 1) / config.folds;
+      tokenized.raw_tokens * (config.folds - 1) / config.folds;
 
-  const spambayes::TokenSet attack_tokens = spambayes::unique_tokens(
-      tokenizer.tokenize(attack.attack_message()));
-  const std::size_t attack_tokens_per_message =
-      tokenizer.tokenize(attack.attack_message()).size();
+  // Tokenize the attack message once; the raw list carries the §4.2
+  // numerator, its deduplicated ids feed training.
+  const spambayes::TokenIdList attack_raw =
+      tokenizer.tokenize_ids(attack.attack_message());
+  const std::size_t attack_tokens_per_message = attack_raw.size();
+  const spambayes::TokenIdSet attack_ids =
+      spambayes::unique_token_ids(attack_raw);
 
   util::Rng fold_rng = runner.fork(2);
   const std::vector<corpus::FoldSplit> folds =
@@ -59,9 +63,8 @@ DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
           const std::size_t want =
               core::attack_message_count(split.train.size(), fractions[pi]);
           if (want > trained_attack) {
-            filter.train_spam_tokens(
-                attack_tokens,
-                static_cast<std::uint32_t>(want - trained_attack));
+            filter.train_spam_ids(
+                attack_ids, static_cast<std::uint32_t>(want - trained_attack));
             trained_attack = want;
           }
           local[pi] = classify_indices(filter, tokenized, split.test);

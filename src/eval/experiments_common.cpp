@@ -8,9 +8,9 @@ void train_on_indices(spambayes::Filter& filter,
   for (std::size_t i : indices) {
     const auto& item = data.items[i];
     if (item.label == corpus::TrueLabel::spam) {
-      filter.train_spam_tokens(item.tokens);
+      filter.train_spam_ids(item.ids);
     } else {
-      filter.train_ham_tokens(item.tokens);
+      filter.train_ham_ids(item.ids);
     }
   }
 }
@@ -21,7 +21,7 @@ ConfusionMatrix classify_indices(const spambayes::Filter& filter,
   ConfusionMatrix matrix;
   for (std::size_t i : indices) {
     const auto& item = data.items[i];
-    matrix.add(item.label, filter.classify_tokens(item.tokens).verdict);
+    matrix.add(item.label, filter.classify_ids(item.ids).verdict);
   }
   return matrix;
 }
@@ -30,7 +30,7 @@ std::size_t raw_token_count(const corpus::Dataset& data,
                             const spambayes::Tokenizer& tokenizer) {
   std::size_t total = 0;
   for (const auto& item : data.items) {
-    total += tokenizer.tokenize(item.message).size();
+    total += tokenizer.tokenize_ids(item.message).size();
   }
   return total;
 }

@@ -28,10 +28,10 @@ struct FocusedRun {
     for (std::size_t i = 0; i < inbox.items.size(); ++i) {
       const auto& item = tokenized.items[i];
       if (item.label == corpus::TrueLabel::spam) {
-        filter.train_spam_tokens(item.tokens);
+        filter.train_spam_ids(item.ids);
         spam_headers.push_back(&inbox.items[i].message);
       } else {
-        filter.train_ham_tokens(item.tokens);
+        filter.train_ham_ids(item.ids);
       }
     }
     if (spam_headers.empty()) {
@@ -45,24 +45,24 @@ struct FocusedRun {
 /// callable's side effects.
 template <typename Body>
 void with_attack_trained(spambayes::Filter& filter,
-                         const std::vector<spambayes::TokenSet>& attack_tokens,
+                         const std::vector<spambayes::TokenIdSet>& attack_ids,
                          std::size_t count, Body&& body) {
   for (std::size_t i = 0; i < count; ++i) {
-    filter.train_spam_tokens(attack_tokens[i]);
+    filter.train_spam_ids(attack_ids[i]);
   }
   body();
   for (std::size_t i = 0; i < count; ++i) {
-    filter.untrain_spam_tokens(attack_tokens[i]);
+    filter.untrain_spam_ids(attack_ids[i]);
   }
 }
 
-std::vector<spambayes::TokenSet> tokenize_attack_emails(
+std::vector<spambayes::TokenIdSet> tokenize_attack_emails(
     const std::vector<email::Message>& emails,
     const spambayes::Tokenizer& tokenizer) {
-  std::vector<spambayes::TokenSet> out;
+  std::vector<spambayes::TokenIdSet> out;
   out.reserve(emails.size());
   for (const auto& m : emails) {
-    out.push_back(spambayes::unique_tokens(tokenizer.tokenize(m)));
+    out.push_back(spambayes::unique_token_ids(tokenizer.tokenize_ids(m)));
   }
   return out;
 }
@@ -92,12 +92,12 @@ std::vector<FocusedKnowledgePoint> run_focused_knowledge(
         for (std::size_t t = 0; t < config.target_count; ++t) {
           // Fresh held-out ham target (not part of the training inbox).
           const email::Message target = gen.generate_ham(rng);
-          const spambayes::TokenSet target_tokens =
-              run.filter.message_tokens(target);
+          const spambayes::TokenIdSet target_ids =
+              run.filter.message_token_ids(target);
           const spambayes::TokenSet body_words =
               core::attackable_body_words(target, tokenizer);
           const bool control_ham =
-              run.filter.classify_tokens(target_tokens).verdict ==
+              run.filter.classify_ids(target_ids).verdict ==
               spambayes::Verdict::ham;
 
           for (std::size_t pi = 0; pi < guess_probabilities.size(); ++pi) {
@@ -105,15 +105,15 @@ std::vector<FocusedKnowledgePoint> run_focused_knowledge(
             attack_config.guess_probability = guess_probabilities[pi];
             util::Rng attack_rng = rng.fork(7919 * (t + 1) + pi);
             core::FocusedAttack attack(attack_config, body_words, attack_rng);
-            const auto attack_tokens = tokenize_attack_emails(
+            const auto attack_ids = tokenize_attack_emails(
                 attack.generate(run.spam_headers, attack_count, attack_rng),
                 tokenizer);
 
             spambayes::Verdict verdict = spambayes::Verdict::unsure;
-            with_attack_trained(run.filter, attack_tokens,
-                                attack_tokens.size(), [&] {
+            with_attack_trained(run.filter, attack_ids, attack_ids.size(),
+                                [&] {
                                   verdict = run.filter
-                                                .classify_tokens(target_tokens)
+                                                .classify_ids(target_ids)
                                                 .verdict;
                                 });
             FocusedKnowledgePoint& p = local[pi];
@@ -167,8 +167,8 @@ std::vector<FocusedSizePoint> run_focused_size(
         std::vector<FocusedSizePoint> local(fractions.size());
         for (std::size_t t = 0; t < config.target_count; ++t) {
           const email::Message target = gen.generate_ham(rng);
-          const spambayes::TokenSet target_tokens =
-              run.filter.message_tokens(target);
+          const spambayes::TokenIdSet target_ids =
+              run.filter.message_token_ids(target);
           const spambayes::TokenSet body_words =
               core::attackable_body_words(target, tokenizer);
 
@@ -176,7 +176,7 @@ std::vector<FocusedSizePoint> run_focused_size(
           attack_config.guess_probability = guess_probability;
           util::Rng attack_rng = rng.fork(104729 * (t + 1));
           core::FocusedAttack attack(attack_config, body_words, attack_rng);
-          const auto attack_tokens = tokenize_attack_emails(
+          const auto attack_ids = tokenize_attack_emails(
               attack.generate(run.spam_headers, max_messages, attack_rng),
               tokenizer);
 
@@ -186,10 +186,10 @@ std::vector<FocusedSizePoint> run_focused_size(
             const std::size_t want = core::attack_message_count(
                 config.inbox_size, fractions[pi]);
             for (; trained < want; ++trained) {
-              run.filter.train_spam_tokens(attack_tokens[trained]);
+              run.filter.train_spam_ids(attack_ids[trained]);
             }
             spambayes::Verdict verdict =
-                run.filter.classify_tokens(target_tokens).verdict;
+                run.filter.classify_ids(target_ids).verdict;
             FocusedSizePoint& p = local[pi];
             p.targets += 1;
             p.as_spam += verdict == spambayes::Verdict::spam ? 1 : 0;
@@ -197,7 +197,7 @@ std::vector<FocusedSizePoint> run_focused_size(
                 verdict != spambayes::Verdict::ham ? 1 : 0;
           }
           for (std::size_t i = 0; i < trained; ++i) {
-            run.filter.untrain_spam_tokens(attack_tokens[i]);
+            run.filter.untrain_spam_ids(attack_ids[i]);
           }
         }
         return local;
@@ -235,8 +235,9 @@ std::vector<TokenShiftExample> run_token_shift(
   for (std::size_t t = 0; t < max_targets; ++t) {
     if (have_spam && have_unsure && have_ham) break;
     const email::Message target = gen.generate_ham(rng);
-    const spambayes::TokenSet target_tokens =
-        run.filter.message_tokens(target);
+    // One tokenizer pass; spellings for the report are resolved from ids.
+    const spambayes::TokenIdSet target_ids =
+        run.filter.message_token_ids(target);
     const spambayes::TokenSet body_words =
         core::attackable_body_words(target, tokenizer);
 
@@ -247,37 +248,46 @@ std::vector<TokenShiftExample> run_token_shift(
     std::vector<email::Message> attack_emails =
         attack.generate(run.spam_headers, attack_count, attack_rng);
 
-    // Token scores before.
-    const double score_before =
-        run.filter.classify_tokens(target_tokens).score;
+    // Token scores before. Shift points are reported in spelling order
+    // (the order the string path produced).
+    const double score_before = run.filter.classify_ids(target_ids).score;
+    const spambayes::TokenInterner& interner = spambayes::global_interner();
+    std::vector<spambayes::TokenId> report_ids = target_ids;
+    std::sort(report_ids.begin(), report_ids.end(),
+              [&](spambayes::TokenId a, spambayes::TokenId b) {
+                return interner.spelling(a) < interner.spelling(b);
+              });
     std::vector<TokenShiftPoint> shift;
-    shift.reserve(target_tokens.size());
-    for (const auto& token : target_tokens) {
+    shift.reserve(report_ids.size());
+    for (spambayes::TokenId id : report_ids) {
       TokenShiftPoint p;
-      p.token = token;
-      p.score_before = classifier.token_score(run.filter.database(), token);
+      p.token = std::string(interner.spelling(id));
+      p.score_before = classifier.token_score(run.filter.database(), id);
       shift.push_back(std::move(p));
     }
 
-    std::vector<spambayes::TokenSet> attack_tokens;
-    attack_tokens.reserve(attack_emails.size());
+    std::vector<spambayes::TokenIdSet> attack_ids;
+    attack_ids.reserve(attack_emails.size());
     for (const auto& m : attack_emails) {
-      attack_tokens.push_back(spambayes::unique_tokens(tokenizer.tokenize(m)));
+      attack_ids.push_back(
+          spambayes::unique_token_ids(tokenizer.tokenize_ids(m)));
     }
     const std::unordered_set<std::string> guessed(
         attack.guessed_words().begin(), attack.guessed_words().end());
 
-    for (const auto& tokens : attack_tokens) {
-      run.filter.train_spam_tokens(tokens);
+    for (const auto& ids : attack_ids) {
+      run.filter.train_spam_ids(ids);
     }
-    const spambayes::ScoreResult after =
-        run.filter.classify_tokens(target_tokens);
-    for (auto& p : shift) {
-      p.score_after = classifier.token_score(run.filter.database(), p.token);
+    const spambayes::ScoreIdResult after =
+        run.filter.classify_ids(target_ids);
+    for (std::size_t i = 0; i < shift.size(); ++i) {
+      TokenShiftPoint& p = shift[i];
+      p.score_after =
+          classifier.token_score(run.filter.database(), report_ids[i]);
       p.in_attack = guessed.count(p.token) != 0;
     }
-    for (const auto& tokens : attack_tokens) {
-      run.filter.untrain_spam_tokens(tokens);
+    for (const auto& ids : attack_ids) {
+      run.filter.untrain_spam_ids(ids);
     }
 
     bool* flag = nullptr;

@@ -55,7 +55,7 @@ std::vector<WeekReport> run_retraining_timeline(
       auto& item = inbound_tokens.items[i];
       if (gate_active && item.label == corpus::TrueLabel::spam) {
         util::Rng gate_rng = week_rng.fork(500 + i);
-        if (roni.assess(item.tokens, all_clean, gate_rng).rejected) {
+        if (roni.assess(item.ids, all_clean, gate_rng).rejected) {
           continue;  // ordinary mail rejected by the gate (false positive)
         }
       }
@@ -71,13 +71,13 @@ std::vector<WeekReport> run_retraining_timeline(
       if (gate_active) {
         // All copies are identical; one assessment decides the batch.
         util::Rng gate_rng = week_rng.fork(99'000 + inj.week);
-        if (roni.assess(inj.tokens, all_clean, gate_rng).rejected) {
+        if (roni.assess(inj.ids, all_clean, gate_rng).rejected) {
           admitted = 0;
         }
       }
       report.attack_admitted += admitted;
       if (admitted > 0) {
-        weeks[week].attacks.push_back({inj.tokens, admitted});
+        weeks[week].attacks.push_back({inj.ids, admitted});
       }
     }
 
@@ -93,14 +93,14 @@ std::vector<WeekReport> run_retraining_timeline(
       for (std::size_t idx : weeks[w].clean_indices) {
         const auto& item = all_clean.items[idx];
         if (item.label == corpus::TrueLabel::spam) {
-          filter.train_spam_tokens(item.tokens);
+          filter.train_spam_ids(item.ids);
         } else {
-          filter.train_ham_tokens(item.tokens);
+          filter.train_ham_ids(item.ids);
         }
         scope_indices.push_back(idx);
       }
       for (const auto& batch : weeks[w].attacks) {
-        filter.train_spam_tokens(batch.tokens, batch.copies);
+        filter.train_spam_ids(batch.ids, batch.copies);
         scope_attacks.push_back(batch);
         report.training_size += batch.copies;
       }
@@ -124,8 +124,8 @@ std::vector<WeekReport> run_retraining_timeline(
                                                config.spam_fraction, test_rng);
     for (const auto& item : fresh.items) {
       const double score =
-          filter.classify_tokens(
-                    spambayes::unique_tokens(tokenizer.tokenize(item.message)))
+          filter.classify_ids(spambayes::unique_token_ids(
+                                  tokenizer.tokenize_ids(item.message)))
               .score;
       report.test.add(item.label,
                       spambayes::Classifier::verdict_for(

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/dynamic_threshold.h"
@@ -26,8 +27,19 @@ namespace sbx::eval {
 /// One week's attack injection: `copies` spam-labeled copies of a message.
 struct AttackInjection {
   std::size_t week = 0;
-  spambayes::TokenSet tokens;
+  spambayes::TokenIdSet ids;
   std::uint32_t copies = 0;
+
+  AttackInjection() = default;
+  AttackInjection(std::size_t week_in, spambayes::TokenIdSet ids_in,
+                  std::uint32_t copies_in)
+      : week(week_in), ids(std::move(ids_in)), copies(copies_in) {}
+  /// String-set convenience: interns and forwards.
+  AttackInjection(std::size_t week_in, const spambayes::TokenSet& tokens,
+                  std::uint32_t copies_in)
+      : week(week_in),
+        ids(spambayes::intern_tokens(tokens)),
+        copies(copies_in) {}
 };
 
 /// Timeline configuration.

@@ -41,11 +41,11 @@ RoniExperimentResult run_roni_experiment(
   // --- non-attack spam queries: fresh spam emails, one assessment each ---
   {
     util::Rng query_rng = runner.fork(2);
-    std::vector<spambayes::TokenSet> queries;
+    std::vector<spambayes::TokenIdSet> queries;
     queries.reserve(config.nonattack_queries);
     for (std::size_t i = 0; i < config.nonattack_queries; ++i) {
-      queries.push_back(spambayes::unique_tokens(
-          tokenizer.tokenize(gen.generate_spam(query_rng))));
+      queries.push_back(spambayes::unique_token_ids(
+          tokenizer.tokenize_ids(gen.generate_spam(query_rng))));
     }
     runner.map_reduce(
         queries.size(), query_rng,
@@ -63,15 +63,15 @@ RoniExperimentResult run_roni_experiment(
     const core::DictionaryAttack& attack = *attacks[ai];
     RoniVariantResult variant;
     variant.name = attack.name();
-    const spambayes::TokenSet attack_tokens = spambayes::unique_tokens(
-        tokenizer.tokenize(attack.attack_message()));
+    const spambayes::TokenIdSet attack_ids = spambayes::unique_token_ids(
+        tokenizer.tokenize_ids(attack.attack_message()));
 
     util::Rng attack_rng = runner.fork(100 + ai);
     runner.map_reduce(
         config.attack_repetitions, attack_rng,
         [&](std::size_t, util::Rng& rng) {
           const core::RoniAssessment a =
-              defense.assess(attack_tokens, pool, rng);
+              defense.assess(attack_ids, pool, rng);
           return AssessmentOutcome{a.mean_ham_as_ham_decrease, a.rejected};
         },
         [&](std::size_t, AssessmentOutcome o) { merge_outcome(variant, o); });

@@ -31,8 +31,8 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
   const spambayes::Tokenizer tokenizer(base.filter.tokenizer);
   const corpus::TokenizedDataset tokenized =
       corpus::tokenize_dataset(dataset, tokenizer);
-  const spambayes::TokenSet attack_tokens = spambayes::unique_tokens(
-      tokenizer.tokenize(attack.attack_message()));
+  const spambayes::TokenIdSet attack_ids = spambayes::unique_token_ids(
+      tokenizer.tokenize_ids(attack.attack_message()));
 
   util::Rng fold_rng = runner.fork(2);
   const std::vector<corpus::FoldSplit> folds =
@@ -73,9 +73,8 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
           const std::size_t want =
               core::attack_message_count(split.train.size(), fractions[pi]);
           if (want > trained_attack) {
-            filter.train_spam_tokens(
-                attack_tokens,
-                static_cast<std::uint32_t>(want - trained_attack));
+            filter.train_spam_ids(
+                attack_ids, static_cast<std::uint32_t>(want - trained_attack));
             trained_attack = want;
           }
 
@@ -84,7 +83,7 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
           std::vector<core::SpamBatch> batches;
           if (trained_attack > 0) {
             batches.push_back(
-                {attack_tokens, static_cast<std::uint32_t>(trained_attack)});
+                {attack_ids, static_cast<std::uint32_t>(trained_attack)});
           }
           std::vector<core::ThresholdPair> pairs(n_variants);
           for (std::size_t vi = 0; vi < n_variants; ++vi) {
@@ -98,8 +97,7 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
           // Score the test fold once; apply every cutoff pair.
           for (std::size_t i : split.test) {
             const auto& item = tokenized.items[i];
-            const double score =
-                filter.classify_tokens(item.tokens).score;
+            const double score = filter.classify_ids(item.ids).score;
             local.plain[pi].add(
                 item.label,
                 filter.classifier().verdict_for(score));

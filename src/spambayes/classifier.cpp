@@ -7,6 +7,105 @@
 #include "util/stats.h"
 
 namespace sbx::spambayes {
+namespace {
+
+/// Eq. 1-2 over raw presence counts. Single definition so the string and id
+/// paths perform the identical sequence of floating-point operations.
+double score_from_counts(TokenCounts c, double ns, double nh,
+                         const ClassifierOptions& opts) {
+  // Eq. 1. Expressed through per-class presence ratios, which is exactly
+  // NH*NS(w) / (NH*NS(w) + NS*NH(w)) when both class counts are nonzero and
+  // degrades gracefully when one class is empty.
+  const double spam_ratio = ns > 0 ? c.spam / ns : 0.0;
+  const double ham_ratio = nh > 0 ? c.ham / nh : 0.0;
+  double ps = 0.5;
+  if (spam_ratio + ham_ratio > 0) {
+    ps = spam_ratio / (spam_ratio + ham_ratio);
+  }
+  // Eq. 2: shrink toward the prior x with strength s.
+  const double n_w = static_cast<double>(c.spam) + static_cast<double>(c.ham);
+  const double s = opts.unknown_word_strength;
+  const double x = opts.unknown_word_prob;
+  return (s * x + n_w * ps) / (s + n_w);
+}
+
+/// Delta(E) selection and Fisher combination, shared by score() and
+/// score_ids(). `Result` provides .evidence (with .score/.used members) and
+/// the aggregate fields; `spelling_of(i)` yields the spelling of evidence
+/// entry i for the deterministic tie-break. Candidate order — and with it
+/// every floating-point summation — is a strict total order on
+/// (distance-from-0.5 desc, spelling asc), so the outcome is bit-identical
+/// regardless of evidence/input order.
+template <typename Result, typename SpellingFn>
+void select_and_combine(Result& result, const ClassifierOptions& opts,
+                        const SpellingFn& spelling_of) {
+  // Select delta(E): up to max_discriminators tokens whose scores are
+  // strictly outside [0.5 - strength, 0.5 + strength], ordered by distance
+  // from 0.5 (ties broken by token spelling for determinism). Distances are
+  // precomputed and only the leading max_discriminators entries are sorted;
+  // because (distance desc, spelling asc) is a strict total order,
+  // partial_sort yields exactly the prefix a full sort would.
+  struct Candidate {
+    double distance;
+    std::size_t index;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(result.evidence.size());
+  for (std::size_t i = 0; i < result.evidence.size(); ++i) {
+    const double distance = std::fabs(result.evidence[i].score - 0.5);
+    if (distance > opts.minimum_prob_strength) {
+      candidates.push_back({distance, i});
+    }
+  }
+  const auto stronger = [&](const Candidate& a, const Candidate& b) {
+    if (a.distance != b.distance) return a.distance > b.distance;
+    return spelling_of(a.index) < spelling_of(b.index);
+  };
+  if (candidates.size() > opts.max_discriminators) {
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() +
+                          static_cast<std::ptrdiff_t>(opts.max_discriminators),
+                      candidates.end(), stronger);
+    candidates.resize(opts.max_discriminators);
+  } else {
+    std::sort(candidates.begin(), candidates.end(), stronger);
+  }
+
+  const std::size_t n = candidates.size();
+  result.tokens_used = n;
+  if (n == 0) {
+    // No evidence: I = 0.5, which the default thresholds call unsure.
+    result.score = 0.5;
+    result.spam_evidence = result.ham_evidence = 0.5;
+    result.verdict =
+        Classifier::verdict_for(result.score, opts.ham_cutoff,
+                                opts.spam_cutoff);
+    return;
+  }
+
+  double sum_log_f = 0.0;
+  double sum_log_1mf = 0.0;
+  for (const Candidate& candidate : candidates) {
+    auto& ev = result.evidence[candidate.index];
+    ev.used = true;
+    // With s > 0 the smoothed score is strictly inside (0,1); clamp anyway
+    // so a degenerate configuration (s == 0) cannot produce log(0).
+    double f = std::clamp(ev.score, 1e-300, 1.0 - 1e-15);
+    sum_log_f += std::log(f);
+    sum_log_1mf += std::log1p(-f);
+  }
+
+  // Eq. 4 (survival form): H = Q(-2 sum log f; 2n), S = Q(-2 sum log(1-f)).
+  const double h = util::chi2q_even_dof(-2.0 * sum_log_f, n);
+  const double s = util::chi2q_even_dof(-2.0 * sum_log_1mf, n);
+  result.spam_evidence = h;
+  result.ham_evidence = s;
+  result.score = (1.0 + h - s) / 2.0;  // Eq. 3
+  result.verdict = Classifier::verdict_for(result.score, opts.ham_cutoff,
+                                           opts.spam_cutoff);
+}
+
+}  // namespace
 
 std::string_view to_string(Verdict v) {
   switch (v) {
@@ -30,84 +129,45 @@ Classifier::Classifier(ClassifierOptions opts) : opts_(opts) {
 
 double Classifier::token_score(const TokenDatabase& db,
                                std::string_view token) const {
-  const TokenCounts c = db.counts(token);
-  const double ns = db.spam_count();
-  const double nh = db.ham_count();
-  // Eq. 1. Expressed through per-class presence ratios, which is exactly
-  // NH*NS(w) / (NH*NS(w) + NS*NH(w)) when both class counts are nonzero and
-  // degrades gracefully when one class is empty.
-  const double spam_ratio = ns > 0 ? c.spam / ns : 0.0;
-  const double ham_ratio = nh > 0 ? c.ham / nh : 0.0;
-  double ps = 0.5;
-  if (spam_ratio + ham_ratio > 0) {
-    ps = spam_ratio / (spam_ratio + ham_ratio);
-  }
-  // Eq. 2: shrink toward the prior x with strength s.
-  const double n_w = static_cast<double>(c.spam) + static_cast<double>(c.ham);
-  const double s = opts_.unknown_word_strength;
-  const double x = opts_.unknown_word_prob;
-  return (s * x + n_w * ps) / (s + n_w);
+  return score_from_counts(db.counts(token), db.spam_count(), db.ham_count(),
+                           opts_);
+}
+
+double Classifier::token_score(const TokenDatabase& db, TokenId id) const {
+  return score_from_counts(db.counts(id), db.spam_count(), db.ham_count(),
+                           opts_);
 }
 
 ScoreResult Classifier::score(const TokenDatabase& db,
                               const TokenSet& tokens) const {
   ScoreResult result;
   result.evidence.reserve(tokens.size());
+  const double ns = db.spam_count();
+  const double nh = db.ham_count();
   for (const auto& t : tokens) {
-    result.evidence.push_back({t, token_score(db, t), false});
+    result.evidence.push_back(
+        {t, score_from_counts(db.counts(t), ns, nh, opts_), false});
   }
+  select_and_combine(result, opts_, [&](std::size_t i) {
+    return std::string_view(result.evidence[i].token);
+  });
+  return result;
+}
 
-  // Select delta(E): up to max_discriminators tokens whose scores are
-  // strictly outside [0.5 - strength, 0.5 + strength], ordered by distance
-  // from 0.5 (ties broken by token text for determinism).
-  std::vector<std::size_t> candidates;
-  candidates.reserve(result.evidence.size());
-  for (std::size_t i = 0; i < result.evidence.size(); ++i) {
-    if (std::fabs(result.evidence[i].score - 0.5) >
-        opts_.minimum_prob_strength) {
-      candidates.push_back(i);
-    }
+ScoreIdResult Classifier::score_ids(const TokenDatabase& db,
+                                    const TokenIdList& ids) const {
+  ScoreIdResult result;
+  result.evidence.reserve(ids.size());
+  const double ns = db.spam_count();
+  const double nh = db.ham_count();
+  for (TokenId id : ids) {
+    result.evidence.push_back(
+        {id, score_from_counts(db.counts(id), ns, nh, opts_), false});
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [&](std::size_t a, std::size_t b) {
-              double da = std::fabs(result.evidence[a].score - 0.5);
-              double db_ = std::fabs(result.evidence[b].score - 0.5);
-              if (da != db_) return da > db_;
-              return result.evidence[a].token < result.evidence[b].token;
-            });
-  if (candidates.size() > opts_.max_discriminators) {
-    candidates.resize(opts_.max_discriminators);
-  }
-
-  const std::size_t n = candidates.size();
-  result.tokens_used = n;
-  if (n == 0) {
-    // No evidence: I = 0.5, which the default thresholds call unsure.
-    result.score = 0.5;
-    result.spam_evidence = result.ham_evidence = 0.5;
-    result.verdict = verdict_for(result.score);
-    return result;
-  }
-
-  double sum_log_f = 0.0;
-  double sum_log_1mf = 0.0;
-  for (std::size_t idx : candidates) {
-    TokenEvidence& ev = result.evidence[idx];
-    ev.used = true;
-    // With s > 0 the smoothed score is strictly inside (0,1); clamp anyway
-    // so a degenerate configuration (s == 0) cannot produce log(0).
-    double f = std::clamp(ev.score, 1e-300, 1.0 - 1e-15);
-    sum_log_f += std::log(f);
-    sum_log_1mf += std::log1p(-f);
-  }
-
-  // Eq. 4 (survival form): H = Q(-2 sum log f; 2n), S = Q(-2 sum log(1-f)).
-  const double h = util::chi2q_even_dof(-2.0 * sum_log_f, n);
-  const double s = util::chi2q_even_dof(-2.0 * sum_log_1mf, n);
-  result.spam_evidence = h;
-  result.ham_evidence = s;
-  result.score = (1.0 + h - s) / 2.0;  // Eq. 3
-  result.verdict = verdict_for(result.score);
+  const TokenInterner& interner = global_interner();
+  select_and_combine(result, opts_, [&](std::size_t i) {
+    return interner.spelling(result.evidence[i].id);
+  });
   return result;
 }
 

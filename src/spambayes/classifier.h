@@ -4,12 +4,23 @@
 // per-token spam scores smoothed toward a prior, combined across the most
 // significant tokens with Fisher's method, thresholded into
 // ham / unsure / spam.
+//
+// Two entry points share one arithmetic core and produce bit-identical
+// scores:
+//  * score_ids() — the hot path. Runs entirely over interned id arrays:
+//    per-token counts are indexed loads, no string hashing, no per-token
+//    allocation. Token spellings are consulted only to break an exact
+//    score-distance tie deterministically (rare, lock-free lookup).
+//  * score() — the string-set wrapper, kept for the public API and tests.
+//    Evidence entries carry spellings and appear in the input (sorted
+//    string) order, exactly as before the interning refactor.
 #pragma once
 
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "spambayes/interner.h"
 #include "spambayes/options.h"
 #include "spambayes/token_db.h"
 #include "spambayes/tokenizer.h"
@@ -30,6 +41,14 @@ struct TokenEvidence {
   bool used = false;   // selected into delta(E)?
 };
 
+/// Interned counterpart of TokenEvidence (resolve spellings on demand via
+/// TokenInterner::spelling).
+struct TokenIdEvidence {
+  TokenId id = 0;
+  double score = 0.5;
+  bool used = false;
+};
+
 /// Full scoring breakdown for one message.
 struct ScoreResult {
   double score = 0.5;          // I(E) in [0,1], Eq. 3
@@ -40,6 +59,17 @@ struct ScoreResult {
   std::vector<TokenEvidence> evidence;  // one entry per distinct token
 };
 
+/// Scoring breakdown over interned ids; numerically identical to the
+/// ScoreResult the string path produces for the same token set.
+struct ScoreIdResult {
+  double score = 0.5;
+  double spam_evidence = 0.0;
+  double ham_evidence = 0.0;
+  std::size_t tokens_used = 0;
+  Verdict verdict = Verdict::unsure;
+  std::vector<TokenIdEvidence> evidence;  // in input-id order
+};
+
 /// Stateless scorer over a TokenDatabase snapshot.
 class Classifier {
  public:
@@ -48,8 +78,18 @@ class Classifier {
   /// f(w) per Eq. 1-2 against the given database.
   double token_score(const TokenDatabase& db, std::string_view token) const;
 
+  /// f(w) for an interned token (the hot-path form).
+  double token_score(const TokenDatabase& db, TokenId id) const;
+
   /// Scores a deduplicated token set; fills the full breakdown.
   ScoreResult score(const TokenDatabase& db, const TokenSet& tokens) const;
+
+  /// Scores a deduplicated id set. `ids` may be in any order (the score is
+  /// order-independent; evidence entries follow the input order). The
+  /// deterministic tie-break compares interned spellings, never raw id
+  /// values, so results do not depend on interning order.
+  ScoreIdResult score_ids(const TokenDatabase& db,
+                          const TokenIdList& ids) const;
 
   /// Maps a score I(E) to a verdict using the configured cutoffs:
   /// ham for [0, theta0], unsure for (theta0, theta1], spam for (theta1, 1].

@@ -11,25 +11,29 @@ TokenSet Filter::message_tokens(const email::Message& msg) const {
   return unique_tokens(tokenizer_.tokenize(msg));
 }
 
+TokenIdSet Filter::message_token_ids(const email::Message& msg) const {
+  return unique_token_ids(tokenizer_.tokenize_ids(msg));
+}
+
 void Filter::train_ham(const email::Message& msg) {
-  db_.train_ham(message_tokens(msg));
+  db_.train_ham_ids(message_token_ids(msg));
 }
 
 void Filter::train_spam(const email::Message& msg) {
-  db_.train_spam(message_tokens(msg));
+  db_.train_spam_ids(message_token_ids(msg));
 }
 
 void Filter::train_spam_copies(const email::Message& msg,
                                std::uint32_t copies) {
-  db_.train_spam(message_tokens(msg), copies);
+  db_.train_spam_ids(message_token_ids(msg), copies);
 }
 
 void Filter::untrain_ham(const email::Message& msg) {
-  db_.untrain_ham(message_tokens(msg));
+  db_.untrain_ham_ids(message_token_ids(msg));
 }
 
 void Filter::untrain_spam(const email::Message& msg) {
-  db_.untrain_spam(message_tokens(msg));
+  db_.untrain_spam_ids(message_token_ids(msg));
 }
 
 void Filter::train_ham_tokens(const TokenSet& tokens, std::uint32_t copies) {
@@ -50,12 +54,32 @@ void Filter::untrain_spam_tokens(const TokenSet& tokens,
   db_.untrain_spam(tokens, copies);
 }
 
+void Filter::train_ham_ids(const TokenIdSet& ids, std::uint32_t copies) {
+  db_.train_ham_ids(ids, copies);
+}
+
+void Filter::train_spam_ids(const TokenIdSet& ids, std::uint32_t copies) {
+  db_.train_spam_ids(ids, copies);
+}
+
+void Filter::untrain_ham_ids(const TokenIdSet& ids, std::uint32_t copies) {
+  db_.untrain_ham_ids(ids, copies);
+}
+
+void Filter::untrain_spam_ids(const TokenIdSet& ids, std::uint32_t copies) {
+  db_.untrain_spam_ids(ids, copies);
+}
+
 ScoreResult Filter::classify(const email::Message& msg) const {
   return classifier_.score(db_, message_tokens(msg));
 }
 
 ScoreResult Filter::classify_tokens(const TokenSet& tokens) const {
   return classifier_.score(db_, tokens);
+}
+
+ScoreIdResult Filter::classify_ids(const TokenIdSet& ids) const {
+  return classifier_.score_ids(db_, ids);
 }
 
 void Filter::set_cutoffs(double ham_cutoff, double spam_cutoff) {

@@ -10,12 +10,18 @@
 //   filter.train_spam(msg2);
 //   auto result = filter.classify(incoming);
 //   if (result.verdict == Verdict::spam) { ... }
+//
+// Hot paths: the *_ids methods operate on interned TokenIdSet message
+// representations (see interner.h) — tokenize a message once with
+// message_token_ids(), then train/untrain/classify with pure id arrays.
+// The string-set methods are thin wrappers kept for API compatibility.
 #pragma once
 
 #include <cstdint>
 
 #include "email/message.h"
 #include "spambayes/classifier.h"
+#include "spambayes/interner.h"
 #include "spambayes/options.h"
 #include "spambayes/token_db.h"
 #include "spambayes/tokenizer.h"
@@ -23,7 +29,8 @@
 namespace sbx::spambayes {
 
 /// Trained spam filter. Copyable: experiments snapshot a clean filter and
-/// graft attack training onto the copy.
+/// graft attack training onto the copy (with the flat TokenDatabase this is
+/// a plain vector copy).
 class Filter {
  public:
   explicit Filter(FilterOptions opts = {});
@@ -42,12 +49,19 @@ class Filter {
   void untrain_ham(const email::Message& msg);
   void untrain_spam(const email::Message& msg);
 
-  /// Pre-tokenized variants (hot paths in the experiment harness, which
-  /// tokenizes each corpus message once and reuses the token sets).
+  /// Pre-tokenized string-set variants (compatibility wrappers; they intern
+  /// and forward to the id path).
   void train_ham_tokens(const TokenSet& tokens, std::uint32_t copies = 1);
   void train_spam_tokens(const TokenSet& tokens, std::uint32_t copies = 1);
   void untrain_ham_tokens(const TokenSet& tokens, std::uint32_t copies = 1);
   void untrain_spam_tokens(const TokenSet& tokens, std::uint32_t copies = 1);
+
+  /// Pre-interned variants — the hot paths in the experiment harness, which
+  /// tokenizes each corpus message once and reuses the id sets.
+  void train_ham_ids(const TokenIdSet& ids, std::uint32_t copies = 1);
+  void train_spam_ids(const TokenIdSet& ids, std::uint32_t copies = 1);
+  void untrain_ham_ids(const TokenIdSet& ids, std::uint32_t copies = 1);
+  void untrain_spam_ids(const TokenIdSet& ids, std::uint32_t copies = 1);
 
   /// Scores and labels a message.
   ScoreResult classify(const email::Message& msg) const;
@@ -55,8 +69,16 @@ class Filter {
   /// Scores a pre-tokenized message.
   ScoreResult classify_tokens(const TokenSet& tokens) const;
 
+  /// Scores a pre-interned message — bit-identical score/verdict to the
+  /// string path, with no per-token hashing or allocation.
+  ScoreIdResult classify_ids(const TokenIdSet& ids) const;
+
   /// Tokenize-and-deduplicate helper matching what train/classify do.
   TokenSet message_tokens(const email::Message& msg) const;
+
+  /// Interned counterpart of message_tokens() (one tokenizer pass, no
+  /// per-token strings).
+  TokenIdSet message_token_ids(const email::Message& msg) const;
 
   const TokenDatabase& database() const { return db_; }
   TokenDatabase& mutable_database() { return db_; }

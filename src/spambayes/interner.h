@@ -1,0 +1,136 @@
+// sbx/spambayes/interner.h
+//
+// Token interning: a process-wide string -> TokenId table with arena-backed
+// storage. Every distinct token spelling is stored exactly once and mapped
+// to a dense uint32 id; the hot paths (TokenDatabase train/untrain,
+// Classifier::score_ids) then operate on flat id arrays with no string
+// hashing and no per-token allocation. The id -> spelling direction is a
+// lock-free chunked lookup, so reporting and the classifier's deterministic
+// tie-break (compare spellings only on an exact score-distance tie) stay
+// cheap.
+//
+// Concurrency contract:
+//  * intern() is safe from any thread. The warm path (token already
+//    interned) is entirely lock-free: one probe of an open-addressing table
+//    whose slots publish ids with release semantics. Only first-time
+//    insertions and table growth take the writer mutex; superseded tables
+//    are retired, never freed, so stale readers stay safe (the table is
+//    append-only — no deletions, ever).
+//  * find() is lock-free on hit; a miss re-checks under the writer mutex so
+//    an id published by another thread is never spuriously reported absent.
+//  * spelling(id) is lock-free and wait-free for any id previously returned
+//    by intern(): ids are published with release semantics into chunks that
+//    never move once allocated.
+//  * ids are assigned in first-intern order. Nothing in the system may
+//    depend on the numeric order of ids (it varies with thread scheduling);
+//    determinism always comes from comparing spellings.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace sbx::spambayes {
+
+/// Dense token identifier assigned by a TokenInterner.
+using TokenId = std::uint32_t;
+
+/// A list of token ids in occurrence order (may contain duplicates).
+using TokenIdList = std::vector<TokenId>;
+
+/// A deduplicated, ascending-sorted id set — the interned counterpart of
+/// TokenSet and the canonical hot-path message representation.
+using TokenIdSet = std::vector<TokenId>;
+
+/// Append-only string interning table. See the header comment for the
+/// concurrency contract.
+class TokenInterner {
+ public:
+  TokenInterner();
+  ~TokenInterner();
+  TokenInterner(const TokenInterner&) = delete;
+  TokenInterner& operator=(const TokenInterner&) = delete;
+
+  /// Returns the id for `token`, inserting it on first sight. The spelling
+  /// is copied into the interner's arena; the caller's buffer may die.
+  TokenId intern(std::string_view token);
+
+  /// Returns the id for `token` if it was ever interned; does not insert.
+  std::optional<TokenId> find(std::string_view token) const;
+
+  /// The spelling of an interned id. Lock-free; the returned view lives as
+  /// long as the interner. Throws InvalidArgument for ids never returned by
+  /// intern().
+  std::string_view spelling(TokenId id) const;
+
+  /// Number of distinct tokens interned so far.
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Total arena bytes reserved for spellings (capacity, not live bytes).
+  std::size_t arena_bytes() const;
+
+ private:
+  // id -> spelling chunks: 4096 entries each, up to 16.7M ids. Chunks are
+  // allocated on demand and never move, which is what makes spelling()
+  // lock-free.
+  static constexpr std::size_t kChunkBits = 12;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 12;
+  static constexpr std::size_t kArenaBlockBytes = std::size_t{1} << 16;
+  static constexpr std::size_t kInitialTableCapacity = 1024;
+
+  struct Chunk {
+    std::array<std::string_view, kChunkSize> entries;
+  };
+
+  /// Open-addressing hash table over interned ids. Slots hold id + 1 (0 =
+  /// empty) and are published with release stores; lookups linear-probe and
+  /// compare spellings. Append-only: capacity doubles by building a new
+  /// table and atomically swapping the pointer; old tables are retired.
+  struct Table {
+    explicit Table(std::size_t capacity_in);
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<std::uint32_t>[]> slots;
+  };
+
+  /// Spelling lookup without the public bounds check — valid for any id
+  /// read from a published table slot.
+  std::string_view spelling_unchecked(TokenId id) const {
+    const Chunk* chunk =
+        chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    return chunk->entries[id & (kChunkSize - 1)];
+  }
+
+  /// Lock-free probe of `table`; nullopt when `token` has no slot there.
+  std::optional<TokenId> probe(const Table& table, std::size_t hash,
+                               std::string_view token) const;
+
+  /// Inserts an id into `table` at its hash position (writer mutex held).
+  static void place(Table& table, std::size_t hash, TokenId id);
+
+  /// Copies `token` into the arena (writer mutex held).
+  std::string_view store(std::string_view token);
+
+  std::atomic<Table*> table_;
+  mutable std::mutex write_mutex_;
+  std::vector<std::unique_ptr<Table>> tables_;  // all tables ever built
+  std::vector<std::unique_ptr<char[]>> arena_;
+  std::size_t arena_block_used_ = 0;  // bytes used in arena_.back()
+  std::size_t arena_block_size_ = 0;  // capacity of arena_.back()
+  std::size_t arena_total_ = 0;
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  std::atomic<std::uint32_t> size_{0};
+};
+
+/// The process-wide interner every Filter/TokenDatabase shares. Using one
+/// table means a TokenizedDataset interned once is valid for every filter
+/// copy an experiment makes.
+TokenInterner& global_interner();
+
+}  // namespace sbx::spambayes

@@ -1,5 +1,6 @@
 #include "spambayes/token_db.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -9,73 +10,125 @@
 
 namespace sbx::spambayes {
 
-void TokenDatabase::add(const TokenSet& tokens, std::uint32_t copies,
+void TokenDatabase::add(const TokenIdSet& ids, std::uint32_t copies,
                         bool spam) {
   if (copies == 0) return;
-  for (const auto& t : tokens) {
-    TokenCounts& c = counts_[t];
+  // TokenIdSet is sorted, so one resize covers the whole set; the in-loop
+  // guard keeps an unsorted caller (the typedefs cannot forbid one) at
+  // worst slow, never out of bounds.
+  if (!ids.empty() && ids.back() >= counts_.size()) {
+    counts_.resize(ids.back() + 1);
+  }
+  for (TokenId id : ids) {
+    if (id >= counts_.size()) counts_.resize(id + 1);
+    TokenCounts& c = counts_[id];
+    if (c.spam == 0 && c.ham == 0) ++vocab_;
     (spam ? c.spam : c.ham) += copies;
   }
   (spam ? nspam_ : nham_) += copies;
 }
 
-void TokenDatabase::remove(const TokenSet& tokens, std::uint32_t copies,
+void TokenDatabase::remove(const TokenIdSet& ids, std::uint32_t copies,
                            bool spam) {
   if (copies == 0) return;
   std::uint32_t& total = spam ? nspam_ : nham_;
   if (total < copies) {
     throw InvalidArgument("TokenDatabase: untraining more emails than known");
   }
-  for (const auto& t : tokens) {
-    auto it = counts_.find(t);
-    std::uint32_t have = it == counts_.end() ? 0 : (spam ? it->second.spam
-                                                         : it->second.ham);
+  for (TokenId id : ids) {
+    const std::uint32_t have =
+        id < counts_.size() ? (spam ? counts_[id].spam : counts_[id].ham) : 0;
     if (have < copies) {
-      throw InvalidArgument("TokenDatabase: untraining unknown token '" + t +
-                            "'");
+      throw InvalidArgument(
+          "TokenDatabase: untraining unknown token '" +
+          std::string(global_interner().spelling(id)) + "'");
     }
-    std::uint32_t& field = spam ? it->second.spam : it->second.ham;
-    field -= copies;
-    if (it->second.spam == 0 && it->second.ham == 0) counts_.erase(it);
+    TokenCounts& c = counts_[id];
+    (spam ? c.spam : c.ham) -= copies;
+    if (c.spam == 0 && c.ham == 0) --vocab_;
   }
   total -= copies;
 }
 
+void TokenDatabase::train_spam_ids(const TokenIdSet& ids,
+                                   std::uint32_t copies) {
+  add(ids, copies, /*spam=*/true);
+}
+
+void TokenDatabase::train_ham_ids(const TokenIdSet& ids,
+                                  std::uint32_t copies) {
+  add(ids, copies, /*spam=*/false);
+}
+
+void TokenDatabase::untrain_spam_ids(const TokenIdSet& ids,
+                                     std::uint32_t copies) {
+  remove(ids, copies, /*spam=*/true);
+}
+
+void TokenDatabase::untrain_ham_ids(const TokenIdSet& ids,
+                                    std::uint32_t copies) {
+  remove(ids, copies, /*spam=*/false);
+}
+
 void TokenDatabase::train_spam(const TokenSet& tokens, std::uint32_t copies) {
-  add(tokens, copies, /*spam=*/true);
+  train_spam_ids(intern_tokens(tokens), copies);
 }
 
 void TokenDatabase::train_ham(const TokenSet& tokens, std::uint32_t copies) {
-  add(tokens, copies, /*spam=*/false);
+  train_ham_ids(intern_tokens(tokens), copies);
 }
 
 void TokenDatabase::untrain_spam(const TokenSet& tokens,
                                  std::uint32_t copies) {
-  remove(tokens, copies, /*spam=*/true);
+  untrain_spam_ids(intern_tokens(tokens), copies);
 }
 
-void TokenDatabase::untrain_ham(const TokenSet& tokens, std::uint32_t copies) {
-  remove(tokens, copies, /*spam=*/false);
+void TokenDatabase::untrain_ham(const TokenSet& tokens,
+                                std::uint32_t copies) {
+  untrain_ham_ids(intern_tokens(tokens), copies);
 }
 
 TokenCounts TokenDatabase::counts(std::string_view token) const {
-  auto it = counts_.find(std::string(token));
-  return it == counts_.end() ? TokenCounts{} : it->second;
+  const auto id = global_interner().find(token);
+  return id ? counts(*id) : TokenCounts{};
 }
 
 void TokenDatabase::merge(const TokenDatabase& other) {
-  for (const auto& [token, c] : other.counts_) {
-    TokenCounts& mine = counts_[token];
-    mine.spam += c.spam;
-    mine.ham += c.ham;
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size());
+  }
+  for (TokenId id = 0; id < other.counts_.size(); ++id) {
+    const TokenCounts& theirs = other.counts_[id];
+    if (theirs.spam == 0 && theirs.ham == 0) continue;
+    TokenCounts& mine = counts_[id];
+    if (mine.spam == 0 && mine.ham == 0) ++vocab_;
+    mine.spam += theirs.spam;
+    mine.ham += theirs.ham;
   }
   nspam_ += other.nspam_;
   nham_ += other.nham_;
 }
 
+std::vector<std::pair<std::string, TokenCounts>> TokenDatabase::tokens()
+    const {
+  const TokenInterner& interner = global_interner();
+  std::vector<std::pair<std::string, TokenCounts>> out;
+  out.reserve(vocab_);
+  for (TokenId id = 0; id < counts_.size(); ++id) {
+    const TokenCounts& c = counts_[id];
+    if (c.spam == 0 && c.ham == 0) continue;
+    out.emplace_back(std::string(interner.spelling(id)), c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 void TokenDatabase::save(std::ostream& out) const {
   out << "SBXDB 1\n" << nspam_ << ' ' << nham_ << '\n';
-  for (const auto& [token, c] : counts_) {
+  // Spelling order: stable across runs regardless of id assignment, which
+  // also makes save -> load -> save a byte-identical round trip.
+  for (const auto& [token, c] : tokens()) {
     out << c.spam << ' ' << c.ham << ' ' << token << '\n';
   }
 }
@@ -92,6 +145,7 @@ TokenDatabase TokenDatabase::load(std::istream& in) {
   }
   std::string line;
   std::getline(in, line);  // consume rest of counts line
+  TokenInterner& interner = global_interner();
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream ls(line);
@@ -108,7 +162,11 @@ TokenDatabase TokenDatabase::load(std::istream& in) {
     if (c.spam == 0 && c.ham == 0) {
       throw ParseError("TokenDatabase: zero-count token: " + token);
     }
-    db.counts_[token] = c;
+    const TokenId id = interner.intern(token);
+    if (id >= db.counts_.size()) db.counts_.resize(id + 1);
+    TokenCounts& mine = db.counts_[id];
+    if (mine.spam == 0 && mine.ham == 0) ++db.vocab_;
+    mine = c;
   }
   return db;
 }

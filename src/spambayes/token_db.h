@@ -7,14 +7,23 @@
 // (the dictionary attack sends thousands of identical emails; adding them
 // with one O(|tokens|) update is mathematically identical because all
 // counts are additive).
+//
+// Counts live in a flat std::vector<TokenCounts> indexed by interned
+// TokenId (see interner.h): train/untrain/lookup are raw array accesses
+// with no string hashing, and snapshotting a database (experiments copy a
+// clean filter, then graft attacks onto the copy) is a single memcpy-style
+// vector copy instead of a rehash. The string-keyed API and the save()/
+// load() wire format are preserved through the process-wide interner.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "spambayes/interner.h"
 #include "spambayes/tokenizer.h"
 
 namespace sbx::spambayes {
@@ -23,6 +32,8 @@ namespace sbx::spambayes {
 struct TokenCounts {
   std::uint32_t spam = 0;  // NS(w): spam emails containing w
   std::uint32_t ham = 0;   // NH(w): ham emails containing w
+
+  bool operator==(const TokenCounts&) const = default;
 };
 
 /// Mutable training database. Copyable (experiments snapshot a clean
@@ -32,35 +43,51 @@ class TokenDatabase {
   TokenDatabase() = default;
 
   /// Records `copies` spam emails, each containing exactly the tokens in
-  /// `tokens` (a deduplicated set, see unique_tokens()).
+  /// `ids` (a deduplicated id set, see unique_token_ids()). The *_ids
+  /// methods are the hot path; the string-set methods intern and forward.
+  /// (Distinct names, not overloads: a two-element braced string list would
+  /// otherwise ambiguously match vector<uint32_t>'s iterator-pair
+  /// constructor.)
+  void train_spam_ids(const TokenIdSet& ids, std::uint32_t copies = 1);
   void train_spam(const TokenSet& tokens, std::uint32_t copies = 1);
 
   /// Records `copies` ham emails with the given token set.
+  void train_ham_ids(const TokenIdSet& ids, std::uint32_t copies = 1);
   void train_ham(const TokenSet& tokens, std::uint32_t copies = 1);
 
   /// Exactly reverses a train_spam call with the same arguments.
   /// Throws InvalidArgument if the counts would go negative (i.e. the
   /// message was never trained).
+  void untrain_spam_ids(const TokenIdSet& ids, std::uint32_t copies = 1);
   void untrain_spam(const TokenSet& tokens, std::uint32_t copies = 1);
 
   /// Exactly reverses a train_ham call with the same arguments.
+  void untrain_ham_ids(const TokenIdSet& ids, std::uint32_t copies = 1);
   void untrain_ham(const TokenSet& tokens, std::uint32_t copies = 1);
 
   /// Number of spam / ham training emails (NS, NH).
   std::uint32_t spam_count() const { return nspam_; }
   std::uint32_t ham_count() const { return nham_; }
 
-  /// Counts for one token; zeros if unseen.
+  /// Counts for one interned token; zeros if the id was never trained here.
+  /// The classifier's per-token inner loop — a bounds check and an indexed
+  /// load.
+  TokenCounts counts(TokenId id) const {
+    return id < counts_.size() ? counts_[id] : TokenCounts{};
+  }
+
+  /// Counts for one token spelling; zeros if unseen.
   TokenCounts counts(std::string_view token) const;
 
   /// Number of distinct tokens with nonzero counts.
-  std::size_t vocabulary_size() const { return counts_.size(); }
+  std::size_t vocabulary_size() const { return vocab_; }
 
   /// Merges another database into this one (counts add; used to combine
   /// per-shard training).
   void merge(const TokenDatabase& other);
 
-  /// Serializes to a line-oriented text format:
+  /// Serializes to a line-oriented text format (string-keyed; independent
+  /// of interner id assignment — entries are written in spelling order):
   ///   SBXDB 1
   ///   <nspam> <nham>
   ///   <spam> <ham> <token...>   (one line per token; token may contain
@@ -74,16 +101,20 @@ class TokenDatabase {
   void save_file(const std::string& path) const;
   static TokenDatabase load_file(const std::string& path);
 
-  /// Read-only iteration over (token, counts).
-  const std::unordered_map<std::string, TokenCounts>& tokens() const {
-    return counts_;
-  }
+  /// Snapshot of (token, counts) for every token with nonzero counts,
+  /// sorted by spelling. Materialized per call; iterate the flat
+  /// id_counts() table for hot loops.
+  std::vector<std::pair<std::string, TokenCounts>> tokens() const;
+
+  /// The raw id-indexed table (ids at or past the end are all-zero).
+  const std::vector<TokenCounts>& id_counts() const { return counts_; }
 
  private:
-  void add(const TokenSet& tokens, std::uint32_t copies, bool spam);
-  void remove(const TokenSet& tokens, std::uint32_t copies, bool spam);
+  void add(const TokenIdSet& ids, std::uint32_t copies, bool spam);
+  void remove(const TokenIdSet& ids, std::uint32_t copies, bool spam);
 
-  std::unordered_map<std::string, TokenCounts> counts_;
+  std::vector<TokenCounts> counts_;  // indexed by TokenId
+  std::size_t vocab_ = 0;            // entries with nonzero counts
   std::uint32_t nspam_ = 0;
   std::uint32_t nham_ = 0;
 };

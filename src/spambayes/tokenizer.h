@@ -19,6 +19,12 @@
 //
 // Tokens are returned with duplicates; the classifier counts *presence*, so
 // TokenDatabase consumes the deduplicated set (unique_tokens()).
+//
+// Two output forms share one emission pass: the legacy string form
+// (TokenList, one std::string per token) and the interned form (TokenIdList,
+// each token interned into a TokenInterner with zero per-token allocation
+// once the vocabulary is warm). The streams are byte-identical:
+// spelling(tokenize_ids(m)[i]) == tokenize(m)[i] for all i.
 #pragma once
 
 #include <string>
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "email/message.h"
+#include "spambayes/interner.h"
 #include "spambayes/options.h"
 
 namespace sbx::spambayes {
@@ -47,14 +54,17 @@ class Tokenizer {
   /// Tokenizes a plain text blob (no header handling).
   TokenList tokenize_text(std::string_view text) const;
 
+  /// Interned counterparts: the same token stream, emitted as ids. The hot
+  /// path for training/classification — no per-token string allocation.
+  TokenIdList tokenize_ids(const email::Message& msg,
+                           TokenInterner& interner = global_interner()) const;
+  TokenIdList tokenize_text_ids(
+      std::string_view text,
+      TokenInterner& interner = global_interner()) const;
+
   const TokenizerOptions& options() const { return opts_; }
 
  private:
-  void emit_word(std::string_view word, TokenList& out) const;
-  void emit_url(std::string_view url, TokenList& out) const;
-  void tokenize_header_value(std::string_view field, std::string_view value,
-                             TokenList& out) const;
-
   TokenizerOptions opts_;
 };
 
@@ -62,5 +72,14 @@ class Tokenizer {
 /// operate on token presence (Eq. 1 counts emails containing w, not
 /// occurrences), so this is the canonical form.
 TokenSet unique_tokens(const TokenList& tokens);
+
+/// Deduplicates an id list into an ascending TokenIdSet (same presence
+/// semantics; dedup by id equals dedup by spelling since interning is
+/// injective).
+TokenIdSet unique_token_ids(TokenIdList ids);
+
+/// Interns an already-deduplicated string set into an id set.
+TokenIdSet intern_tokens(const TokenSet& tokens,
+                         TokenInterner& interner = global_interner());
 
 }  // namespace sbx::spambayes

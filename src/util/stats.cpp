@@ -106,6 +106,26 @@ double log_sum_exp(double a, double b) {
   return m + std::log(std::exp(a - m) + std::exp(b - m));
 }
 
+namespace {
+
+// Cached std::log(i) values. chi2q_even_dof sits in the classifier's
+// per-message hot path (two calls per score, one loop iteration per
+// discriminator); caching the integer logs removes a transcendental per
+// iteration while producing the exact bits std::log would.
+constexpr std::size_t kLogTableSize = 4096;
+const double* log_int_table() {
+  static const double* table = [] {
+    auto* t = new double[kLogTableSize]();
+    for (std::size_t i = 1; i < kLogTableSize; ++i) {
+      t[i] = std::log(static_cast<double>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
 double chi2q_even_dof(double x, std::size_t n) {
   if (x < 0.0) throw InvalidArgument("chi2q_even_dof: x < 0");
   if (n == 0) return 1.0;
@@ -114,11 +134,19 @@ double chi2q_even_dof(double x, std::size_t n) {
   const double m = x / 2.0;
   if (m == 0.0) return 1.0;
   const double log_m = std::log(m);
+  const double* logs = log_int_table();
   double log_term = 0.0;  // log(m^0 / 0!) = 0
   double log_sum = 0.0;
   for (std::size_t i = 1; i < n; ++i) {
-    log_term += log_m - std::log(static_cast<double>(i));
-    log_sum = log_sum_exp(log_sum, log_term);
+    const double log_i =
+        i < kLogTableSize ? logs[i] : std::log(static_cast<double>(i));
+    log_term += log_m - log_i;
+    // Inlined log_sum_exp(log_sum, log_term), exploiting that the larger
+    // argument's exp is exactly exp(0) == 1.0 — bit-identical to the
+    // general form (IEEE addition commutes; both operands finite here).
+    const double hi = std::max(log_sum, log_term);
+    const double lo = std::min(log_sum, log_term);
+    log_sum = hi + std::log(1.0 + std::exp(lo - hi));
   }
   double log_q = log_sum - m;
   if (log_q >= 0.0) return 1.0;

@@ -1,0 +1,120 @@
+// Tests for spambayes/interner: dedup, id stability, spelling round trips,
+// arena growth across blocks, chunk-boundary crossing and concurrent
+// interning.
+#include "spambayes/interner.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace sbx::spambayes {
+namespace {
+
+TEST(TokenInterner, DedupAssignsOneIdPerSpelling) {
+  TokenInterner interner;
+  const TokenId a = interner.intern("alpha");
+  const TokenId b = interner.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.intern("alpha"), a);
+  EXPECT_EQ(interner.intern("beta"), b);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(TokenInterner, SpellingRoundTrip) {
+  TokenInterner interner;
+  // Includes tokens with embedded spaces (skip pseudo-tokens) and bytes
+  // outside ASCII — the tokenizer can emit both.
+  const std::vector<std::string> tokens = {"buy", "skip:x 20", "url:pills",
+                                           "caf\xc3\xa9", ""};
+  for (const auto& t : tokens) {
+    const TokenId id = interner.intern(t);
+    EXPECT_EQ(interner.spelling(id), t);
+  }
+  EXPECT_EQ(interner.size(), tokens.size());
+}
+
+TEST(TokenInterner, IdsAreStableAcrossLaterInserts) {
+  TokenInterner interner;
+  const TokenId first = interner.intern("first");
+  const std::string_view first_spelling = interner.spelling(first);
+  for (int i = 0; i < 20'000; ++i) {
+    interner.intern("tok" + std::to_string(i));
+  }
+  EXPECT_EQ(interner.intern("first"), first);
+  EXPECT_EQ(interner.spelling(first), "first");
+  // The view itself must not have been invalidated by arena/chunk growth.
+  EXPECT_EQ(first_spelling, "first");
+}
+
+TEST(TokenInterner, FindDoesNotInsert) {
+  TokenInterner interner;
+  EXPECT_FALSE(interner.find("ghost").has_value());
+  EXPECT_EQ(interner.size(), 0u);
+  const TokenId id = interner.intern("ghost");
+  ASSERT_TRUE(interner.find("ghost").has_value());
+  EXPECT_EQ(*interner.find("ghost"), id);
+}
+
+TEST(TokenInterner, UnknownIdThrows) {
+  TokenInterner interner;
+  interner.intern("only");
+  EXPECT_THROW(interner.spelling(1), InvalidArgument);
+  EXPECT_THROW(interner.spelling(12345), InvalidArgument);
+}
+
+TEST(TokenInterner, ArenaGrowsAcrossBlocksAndOversizedTokens) {
+  TokenInterner interner;
+  const std::size_t before = interner.arena_bytes();
+  // ~40k tokens x ~10 bytes >> one 64KB block; plus one token larger than a
+  // whole block, which gets a dedicated allocation.
+  std::vector<TokenId> ids;
+  for (int i = 0; i < 40'000; ++i) {
+    ids.push_back(interner.intern("token-" + std::to_string(i)));
+  }
+  const std::string huge(100'000, 'x');
+  const TokenId huge_id = interner.intern(huge);
+  EXPECT_GT(interner.arena_bytes(), before + 100'000);
+  // Every spelling survives the growth.
+  EXPECT_EQ(interner.spelling(huge_id), huge);
+  for (int i = 0; i < 40'000; i += 997) {
+    EXPECT_EQ(interner.spelling(ids[i]), "token-" + std::to_string(i));
+  }
+  // Distinct ids throughout (dedup still correct across blocks/chunks).
+  std::set<TokenId> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), ids.size());
+}
+
+TEST(TokenInterner, ConcurrentInterningAgreesOnIds) {
+  TokenInterner interner;
+  constexpr int kThreads = 4;
+  constexpr int kTokens = 5'000;
+  // Every thread interns the same token universe in a different order and
+  // records the ids it observed.
+  std::vector<std::vector<TokenId>> seen(kThreads,
+                                         std::vector<TokenId>(kTokens));
+  util::parallel_for(
+      kThreads,
+      [&](std::size_t t) {
+        for (int i = 0; i < kTokens; ++i) {
+          const int k = (t % 2 == 0) ? i : kTokens - 1 - i;
+          seen[t][k] = interner.intern("shared-" + std::to_string(k));
+        }
+      },
+      kThreads);
+  EXPECT_EQ(interner.size(), static_cast<std::size_t>(kTokens));
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]) << "thread " << t << " disagrees";
+  }
+  for (int k = 0; k < kTokens; ++k) {
+    EXPECT_EQ(interner.spelling(seen[0][k]), "shared-" + std::to_string(k));
+  }
+}
+
+}  // namespace
+}  // namespace sbx::spambayes

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compares a fresh bench_hotpath JSON run against the tracked baseline.
+
+Usage:
+    tools/check_bench.py BENCH_baseline.json bench-out/bench_hotpath.json \
+        [--max-regression 0.25]
+
+Every metric under "metrics" in the baseline must be present in the current
+run and must not have regressed by more than --max-regression (fractional;
+all bench_hotpath metrics are higher-is-better throughputs or speedup
+ratios). Improvements are reported but never fail the check. Exits non-zero
+on any regression beyond the threshold or any missing metric.
+"""
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="tracked BENCH_baseline.json")
+    parser.add_argument("current", help="fresh bench_hotpath --json output")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop per metric "
+                             "(default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)["metrics"]
+    with open(args.current) as f:
+        current = json.load(f)["metrics"]
+
+    failures = []
+    width = max(len(name) for name in baseline)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'current':>14}  change")
+    for name, base_value in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            print(f"{name:<{width}}  {base_value:>14.2f}  {'MISSING':>14}")
+            continue
+        value = current[name]
+        change = (value - base_value) / base_value if base_value else 0.0
+        flag = ""
+        if change < -args.max_regression:
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{name}: {base_value:.2f} -> {value:.2f} "
+                f"({change:+.1%}, allowed -{args.max_regression:.0%})")
+        print(f"{name:<{width}}  {base_value:>14.2f}  {value:>14.2f}  "
+              f"{change:+7.1%}{flag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed beyond "
+              f"{args.max_regression:.0%}:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no metric regressed beyond {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
