@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   std::printf("inbox %zu (50%% spam), %zu attack emails, %zu targets\n\n",
               inbox_size, attack_count, targets);
 
-  util::Rng rng(flags.seed != 0 ? flags.seed : 20080404);
+  util::Rng rng(flags.seed_or(20080404));
   corpus::Dataset inbox = generator.sample_mailbox(inbox_size, 0.5, rng);
   spambayes::Tokenizer tokenizer;
   spambayes::Filter base;

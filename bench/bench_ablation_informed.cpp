@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   sbx::eval::DictionaryCurveConfig config;
   config.attack_fractions = {0.01};
   config.threads = flags.threads;
-  if (flags.seed != 0) config.seed = flags.seed;
+  if (flags.seed) config.seed = *flags.seed;
   if (flags.quick) {
     config.training_set_size = 2'000;
     config.folds = 5;

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     config.roni.rejection_threshold =
         5.5 * static_cast<double>(s.validation) / 50.0;
     config.threads = flags.threads;
-    if (flags.seed != 0) config.seed = flags.seed;
+    if (flags.seed) config.seed = *flags.seed;
     config.nonattack_queries = flags.quick ? 20 : 60;
     config.attack_repetitions = flags.quick ? 4 : 10;
     config.pool_size = flags.quick ? 400 : 1'000;

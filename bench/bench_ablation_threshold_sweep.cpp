@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   sbx::eval::ThresholdDefenseConfig config;
   config.base.attack_fractions = {0.05};
   config.base.threads = flags.threads;
-  if (flags.seed != 0) config.base.seed = flags.seed;
+  if (flags.seed) config.base.seed = *flags.seed;
   if (flags.quick) {
     config.base.training_set_size = 2'000;
     config.base.folds = 5;

@@ -1,12 +1,23 @@
 // Shared helpers for the bench binaries: flag parsing (--quick, --threads,
 // --seed, --csv-dir) and output conventions.
+//
+// Parsing goes through eval::parse_uint, so malformed values fail loudly
+// ("--threads=abc" used to std::atoll to 0 = hardware concurrency).
+// --seed is tri-state: absent keeps the experiment default, present —
+// including an explicit --seed=0 — overrides it (the old `seed == 0`
+// sentinel conflated the two).
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <optional>
 #include <string>
+#include <string_view>
+
+#include "eval/experiment.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace sbx::bench {
 
@@ -15,28 +26,58 @@ namespace sbx::bench {
 struct BenchFlags {
   bool quick = false;
   std::size_t threads = 0;  // 0 = hardware concurrency
-  std::uint64_t seed = 0;   // 0 = keep the experiment default
+  std::optional<std::uint64_t> seed;  // unset = keep the experiment default
   std::string csv_dir = "results";
+
+  std::uint64_t seed_or(std::uint64_t fallback) const {
+    return seed.value_or(fallback);
+  }
+
+  /// Same resolution policy as `sbx_experiments run` (eval::resolve_config
+  /// is the single implementation both go through).
+  eval::Config resolve(const eval::Experiment& experiment) const {
+    return eval::resolve_config(experiment, quick, /*overrides=*/{}, seed);
+  }
+
+  eval::RunContext run_context() const {
+    eval::RunContext ctx;
+    ctx.threads = threads;
+    return ctx;
+  }
 };
 
 inline BenchFlags parse_flags(int argc, char** argv) {
   BenchFlags flags;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--quick") == 0) {
-      flags.quick = true;
-    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      flags.threads = static_cast<std::size_t>(std::atoll(arg + 10));
-    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-      flags.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
-    } else if (std::strncmp(arg, "--csv-dir=", 10) == 0) {
-      flags.csv_dir = arg + 10;
-    } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf(
-          "usage: %s [--quick] [--threads=N] [--seed=S] [--csv-dir=DIR]\n",
-          argv[0]);
-      std::exit(0);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--quick") {
+        flags.quick = true;
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        flags.threads = static_cast<std::size_t>(
+            eval::parse_uint(arg.substr(10), "--threads"));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        flags.seed = eval::parse_uint(arg.substr(7), "--seed");
+      } else if (arg.rfind("--csv-dir=", 0) == 0) {
+        flags.csv_dir = std::string(arg.substr(10));
+      } else if (arg == "--help") {
+        std::printf(
+            "usage: %s [--quick] [--threads=N] [--seed=S] [--csv-dir=DIR]\n",
+            argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "%s: unknown flag '%s' (see --help)\n", argv[0],
+                     argv[i]);
+        std::exit(2);
+      }
     }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    std::exit(2);
+  }
+  // Size the shared pool up front; every Runner in the process borrows it.
+  if (flags.threads != 0) {
+    util::ThreadPool::configure_shared(flags.threads);
   }
   return flags;
 }

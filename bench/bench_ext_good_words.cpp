@@ -1,8 +1,8 @@
 // Extension: Exploratory (good-word) evasion vs. Causative poisoning.
 //
-// The paper positions its Causative attacks against the Exploratory
-// attacks of prior work (§3.1, §6: Lowd & Meek; Wittel & Wu). This bench
-// runs both against the same victim and makes the contrast quantitative:
+// Thin presentation wrapper over the registry's "good-word" experiment,
+// which runs both attack classes against the same victim (§3.1, §6: Lowd &
+// Meek; Wittel & Wu):
 //
 //   * good-word evasion gets ONE spam past the fixed filter, needs
 //     per-message work, and leaves the filter intact for everyone else;
@@ -11,14 +11,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/attack_math.h"
-#include "core/dictionary_attack.h"
 #include "core/good_word_attack.h"
-#include "corpus/generator.h"
-#include "spambayes/filter.h"
-#include "util/random.h"
-#include "util/stats.h"
-#include "util/table.h"
+#include "eval/registry.h"
 
 int main(int argc, char** argv) {
   const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
@@ -26,78 +20,24 @@ int main(int argc, char** argv) {
       "Extension: good-word evasion (Exploratory) vs. poisoning (Causative)",
       "Sections 3.1 + 6 (Lowd-Meek / Wittel-Wu contrast)");
 
-  using namespace sbx;
-  corpus::TrecLikeGenerator generator;
-  const std::size_t inbox_size = flags.quick ? 2'000 : 10'000;
-  util::Rng rng(flags.seed != 0 ? flags.seed : 20080407);
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("good-word");
+  const sbx::eval::Config config = flags.resolve(experiment);
 
-  corpus::Dataset inbox = generator.sample_mailbox(inbox_size, 0.5, rng);
-  spambayes::Filter filter;
-  for (const auto& item : inbox.items) {
-    if (item.label == corpus::TrueLabel::spam) {
-      filter.train_spam(item.message);
-    } else {
-      filter.train_ham(item.message);
-    }
-  }
-  std::printf("victim filter trained on %zu messages\n\n", inbox_size);
-
-  // The evader pads with the most common words of the victim's language —
-  // exactly Wittel & Wu's "common words" strategy (the attacker plausibly
-  // knows high-frequency English, not the victim's mailbox).
-  std::vector<std::string> common_words(
-      generator.ham_core_words().begin(),
-      generator.ham_core_words().begin() + 2'000);
-  core::GoodWordAttack evader(common_words, /*batch_size=*/10);
+  std::printf("victim filter trained on %zu messages\n\n",
+              static_cast<std::size_t>(config.get_uint("inbox_size")));
   std::printf("good-word attack taxonomy: %s\n",
-              core::GoodWordAttack::properties().description().c_str());
+              sbx::core::GoodWordAttack::properties().description().c_str());
 
-  sbx::util::Table table({"goal", "spam tried", "evaded %",
-                          "median words added", "median queries"});
-  for (auto goal : {spambayes::Verdict::unsure, spambayes::Verdict::ham}) {
-    const int n = flags.quick ? 60 : 200;
-    std::size_t evaded = 0;
-    std::vector<double> words, queries;
-    util::Rng probe_rng(7);
-    for (int i = 0; i < n; ++i) {
-      auto result = evader.evade(filter, generator.generate_spam(probe_rng),
-                                 /*max_words=*/2'000, goal);
-      if (result.evaded) {
-        ++evaded;
-        words.push_back(static_cast<double>(result.words_added));
-        queries.push_back(static_cast<double>(result.queries));
-      }
-    }
-    table.add_row(
-        {std::string(spambayes::to_string(goal)), std::to_string(n),
-         sbx::util::Table::cell(100.0 * evaded / n, 1),
-         evaded ? sbx::util::Table::cell(util::quantile(words, 0.5), 0)
-                : std::string("-"),
-         evaded ? sbx::util::Table::cell(util::quantile(queries, 0.5), 0)
-                : std::string("-")});
+  const sbx::eval::ResultDoc doc =
+      experiment.run(config, flags.run_context());
+
+  std::printf("%s\n", doc.table("evasion").to_text().c_str());
+  for (const auto& line : doc.report) {
+    std::printf("%s\n", line.c_str());
   }
-  std::printf("%s\n", table.to_text().c_str());
 
-  // The causative comparison: the same victim, 1% dictionary poisoning.
-  core::DictionaryAttack poison =
-      core::DictionaryAttack::usenet(generator.lexicons());
-  std::size_t copies = core::attack_message_count(inbox_size, 0.01);
-  filter.train_spam_copies(poison.attack_message(),
-                           static_cast<std::uint32_t>(copies));
-  util::Rng ham_rng(8);
-  int ham_lost = 0;
-  const int n = flags.quick ? 100 : 300;
-  for (int i = 0; i < n; ++i) {
-    ham_lost += filter.classify(generator.generate_ham(ham_rng)).verdict !=
-                        spambayes::Verdict::ham
-                    ? 1
-                    : 0;
-  }
-  std::printf("causative comparison: %zu poison emails (1%%) -> %.1f%% of\n"
-              "ALL ham misdelivered, zero filter queries needed.\n",
-              copies, 100.0 * ham_lost / n);
-
-  table.write_csv(flags.csv_dir + "/ext_good_words.csv");
+  doc.table("evasion").write_csv(flags.csv_dir + "/ext_good_words.csv");
   std::printf("\nCSV written to %s/ext_good_words.csv\n",
               flags.csv_dir.c_str());
   std::printf(

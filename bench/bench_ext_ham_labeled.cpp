@@ -1,22 +1,15 @@
 // Extension: the ham-labeled (Causative Integrity) attack.
 //
-// §2.2 restricts the paper's attacks to spam-labeled training mail and
-// notes that "using ham-labeled attack emails could enable more powerful
-// attacks that place spam in a user's inbox." This bench measures exactly
-// that: the attacker whitens its future campaign vocabulary by getting
-// emails carrying it trained as ham, then sends the campaign. We sweep the
-// number of ham-labeled copies and report how much campaign spam reaches
-// the inbox — and show that RONI, which watches for damage to *ham*
-// classification, is structurally blind to this attack.
+// Thin presentation wrapper over the registry's "ham-labeled" experiment:
+// the attacker whitens its future campaign vocabulary by getting emails
+// carrying it trained as ham (§2.2's "more powerful attacks" remark), then
+// sends the campaign — and RONI, which watches for damage to *ham*
+// classification, is structurally blind to it. The payload/RONI preamble
+// arrives as the document's report lines, the copies sweep as its table.
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/ham_labeled_attack.h"
-#include "core/roni.h"
-#include "corpus/generator.h"
-#include "eval/metrics.h"
-#include "spambayes/filter.h"
-#include "util/table.h"
+#include "eval/registry.h"
 
 int main(int argc, char** argv) {
   const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
@@ -24,83 +17,18 @@ int main(int argc, char** argv) {
       "Extension: ham-labeled poisoning (Causative Integrity)",
       "Section 2.2 remark (more powerful attacks)");
 
-  using namespace sbx;
-  corpus::TrecLikeGenerator generator;
-  const std::size_t inbox_size = flags.quick ? 2'000 : 10'000;
-  util::Rng rng(flags.seed != 0 ? flags.seed : 20080406);
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("ham-labeled");
+  const sbx::eval::Config config = flags.resolve(experiment);
 
-  // Victim trains on a clean inbox.
-  corpus::Dataset inbox = generator.sample_mailbox(inbox_size, 0.5, rng);
-  spambayes::Tokenizer tokenizer;
-  corpus::TokenizedDataset tokenized =
-      corpus::tokenize_dataset(inbox, tokenizer);
-  spambayes::Filter base;
-  for (const auto& item : tokenized.items) {
-    if (item.label == corpus::TrueLabel::spam) {
-      base.train_spam_ids(item.ids);
-    } else {
-      base.train_ham_ids(item.ids);
-    }
+  const sbx::eval::ResultDoc doc =
+      experiment.run(config, flags.run_context());
+
+  for (const auto& line : doc.report) {
+    std::printf("%s\n", line.c_str());
   }
-
-  // The attacker's payload: its own campaign vocabulary (the generator's
-  // spam word list plus the obfuscated junk tokens). Headers clone a real
-  // ham message so the email passes as legitimate. What the attacker can
-  // NOT whiten are the headers its future campaign will carry (the
-  // victim's infrastructure records those), so some spam evidence always
-  // survives — that is what caps the attack at "escapes the spam folder"
-  // rather than "always lands as ham".
-  std::vector<std::string> payload = generator.spam_vocab_words();
-  const auto& junk = generator.spam_junk_words();
-  payload.insert(payload.end(), junk.begin(), junk.end());
-  email::Message ham_donor = generator.generate_ham(rng);
-  core::HamLabeledAttack attack(payload, ham_donor.headers());
-  const spambayes::TokenSet attack_tokens =
-      spambayes::unique_tokens(tokenizer.tokenize(attack.attack_message()));
-  std::printf("payload: %zu campaign words; attack taxonomy: %s\n\n",
-              attack.payload_size(), attack.properties().description().c_str());
-
-  // RONI's verdict on the attack email (assessed as if spam-labeled would
-  // be, i.e. by its marginal impact on ham classification).
-  core::RoniDefense roni({}, {});
-  util::Rng roni_rng = rng.fork(1);
-  auto assessment = roni.assess(attack_tokens, tokenized, roni_rng);
-  std::printf("RONI-style impact of one attack email on ham-as-ham: %.2f "
-              "(threshold %.1f) -> %s\n\n",
-              assessment.mean_ham_as_ham_decrease,
-              roni.config().rejection_threshold,
-              assessment.rejected ? "rejected" : "NOT rejected");
-
-  sbx::util::Table table({"ham-labeled copies", "% of inbox",
-                          "campaign spam->ham %", "campaign spam->unsure %",
-                          "fresh ham->ham %"});
-  for (std::size_t copies : {0u, 20u, 50u, 101u, 204u, 526u}) {
-    spambayes::Filter filter = base;
-    filter.train_ham_tokens(attack_tokens,
-                            static_cast<std::uint32_t>(copies));
-    util::Rng probe_rng(991);  // identical probes per row
-    std::size_t as_ham = 0, as_unsure = 0, ham_ok = 0;
-    const int n = flags.quick ? 150 : 400;
-    for (int i = 0; i < n; ++i) {
-      auto v = filter.classify(generator.generate_spam(probe_rng)).verdict;
-      as_ham += v == spambayes::Verdict::ham ? 1 : 0;
-      as_unsure += v == spambayes::Verdict::unsure ? 1 : 0;
-      ham_ok += filter.classify(generator.generate_ham(probe_rng)).verdict ==
-                        spambayes::Verdict::ham
-                    ? 1
-                    : 0;
-    }
-    table.add_row({sbx::util::Table::cell(copies),
-                   sbx::util::Table::cell(
-                       100.0 * static_cast<double>(copies) /
-                           static_cast<double>(inbox_size + copies),
-                       1),
-                   sbx::util::Table::cell(100.0 * as_ham / n, 1),
-                   sbx::util::Table::cell(100.0 * as_unsure / n, 1),
-                   sbx::util::Table::cell(100.0 * ham_ok / n, 1)});
-  }
-  std::printf("%s\n", table.to_text().c_str());
-  table.write_csv(flags.csv_dir + "/ext_ham_labeled.csv");
+  std::printf("%s\n", doc.table("campaign").to_text().c_str());
+  doc.table("campaign").write_csv(flags.csv_dir + "/ext_ham_labeled.csv");
   std::printf("CSV written to %s/ext_ham_labeled.csv\n", flags.csv_dir.c_str());
   std::printf(
       "\nreading: a few percent of ham-labeled injection moves the campaign\n"

@@ -1,21 +1,14 @@
 // Extension: poison persistence across periodic retraining.
 //
-// §2.1 frames the whole paper around an organization that "retrains
-// SpamBayes periodically (e.g., weekly)", but the experiments are
-// one-shot. This bench runs an 8-week timeline with a 1%-scale Usenet
-// dictionary attack landing in week 2 and compares four deployments:
-//
-//   cumulative          — retrain on all mail ever received (poison
-//                         persists forever);
-//   3-week window       — sliding-window retraining (poison ages out);
-//   cumulative + RONI   — the §5.1 gate screens training mail;
-//   window + defenses   — sliding window, RONI gate and §5.2 dynamic
-//                         thresholds together.
+// Thin presentation wrapper over the registry's "retraining" experiment:
+// one registry run per deployment scenario (cumulative, sliding window,
+// RONI gate, full defenses), combined into one table. `sbx_experiments
+// sweep retraining --axis cumulative=true,false --axis roni_gate=...`
+// expresses the same grid declaratively.
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/dictionary_attack.h"
-#include "eval/retraining.h"
+#include "eval/registry.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -24,61 +17,45 @@ int main(int argc, char** argv) {
       "Extension: attack persistence across weekly retraining",
       "Section 2.1 deployment scenario");
 
-  using namespace sbx;
-  corpus::TrecLikeGenerator generator;
-  const core::DictionaryAttack attack =
-      core::DictionaryAttack::usenet(generator.lexicons());
-  const spambayes::Tokenizer tokenizer;
-  const spambayes::TokenSet attack_tokens =
-      spambayes::unique_tokens(tokenizer.tokenize(attack.attack_message()));
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("retraining");
+  const sbx::eval::Config base = flags.resolve(experiment);
 
-  eval::RetrainingConfig base;
-  base.weeks = 8;
-  base.messages_per_week = flags.quick ? 300 : 1'000;
-  base.test_messages = flags.quick ? 200 : 400;
-  if (flags.seed != 0) base.seed = flags.seed;
-  // RONI's per-candidate assessment is the expensive step; two resamples
-  // are plenty for the huge dictionary-vs-mail margin.
-  base.roni.resamples = 2;
-
-  const std::uint32_t attack_copies = static_cast<std::uint32_t>(
-      base.messages_per_week / 50);  // ~2% of one week = ~0.25% of 8 weeks
-  const std::vector<eval::AttackInjection> injections = {
-      {2, attack_tokens, attack_copies}};
+  const std::size_t messages_per_week =
+      static_cast<std::size_t>(base.get_uint("messages_per_week"));
+  const std::uint32_t attack_copies =
+      static_cast<std::uint32_t>(messages_per_week / 50);
   std::printf("%zu weeks x %zu msgs; %u attack copies land in week 2\n\n",
-              base.weeks, base.messages_per_week, attack_copies);
+              static_cast<std::size_t>(base.get_uint("weeks")),
+              messages_per_week, attack_copies);
 
   struct Scenario {
     const char* name;
-    bool cumulative;
-    bool roni;
-    bool dynamic;
+    const char* cumulative;
+    const char* roni;
+    const char* dynamic;
   };
   const Scenario scenarios[] = {
-      {"cumulative", true, false, false},
-      {"3-week window", false, false, false},
-      {"cumulative + RONI", true, true, false},
-      {"window + RONI + thresholds", false, true, true},
+      {"cumulative", "true", "false", "false"},
+      {"3-week window", "false", "false", "false"},
+      {"cumulative + RONI", "true", "true", "false"},
+      {"window + RONI + thresholds", "false", "true", "true"},
   };
 
   sbx::util::Table table({"scenario", "week", "ham misc %", "spam misc %",
                           "attack admitted", "theta1"});
   for (const Scenario& s : scenarios) {
-    eval::RetrainingConfig config = base;
-    config.cumulative = s.cumulative;
-    config.window_weeks = 3;
-    config.roni_gate = s.roni;
-    config.dynamic_thresholds = s.dynamic;
-    const auto reports =
-        eval::run_retraining_timeline(generator, injections, config);
-    for (const auto& r : reports) {
-      table.add_row(
-          {s.name, sbx::util::Table::cell(r.week),
-           sbx::util::Table::cell(100.0 * r.test.ham_misclassified_rate(), 1),
-           sbx::util::Table::cell(100.0 * r.test.spam_misclassified_rate(),
-                                  1),
-           sbx::util::Table::cell(r.attack_admitted),
-           sbx::util::Table::cell(r.thresholds.theta1, 3)});
+    sbx::eval::Config config = base;
+    config.set("cumulative", s.cumulative);
+    config.set("window_weeks", "3");
+    config.set("roni_gate", s.roni);
+    config.set("dynamic_thresholds", s.dynamic);
+    const sbx::eval::ResultDoc doc =
+        experiment.run(config, flags.run_context());
+    for (const auto& row : doc.table("timeline").rows()) {
+      std::vector<std::string> cells = {s.name};
+      cells.insert(cells.end(), row.begin(), row.end());
+      table.add_row(std::move(cells));
     }
   }
   std::printf("%s\n", table.to_text().c_str());

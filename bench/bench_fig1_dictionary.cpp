@@ -1,18 +1,17 @@
 // Figure 1: "Three dictionary attacks on initial training set of 10,000
 // messages (50% spam)."
 //
-// Reproduces the paper's curves: percent of test ham classified as spam
-// (the dashed lines) and as spam-or-unsure (the solid lines) against the
-// attack's share of the training set, for the optimal, Usenet and Aspell
-// dictionary attacks, averaged over 10-fold cross-validation.
+// Thin presentation wrapper over the registry's "dictionary" experiment:
+// one registry run per (training size, attack variant), combined into the
+// paper's table and chart. `sbx_experiments run dictionary` executes the
+// same driver one config at a time.
 //
 // Also prints the §4.2 token-ratio statistic (at 2% control the Aspell
 // attack carries ~7x the tokens of the clean corpus, Usenet ~6.4x).
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/dictionary_attack.h"
-#include "eval/experiments.h"
+#include "eval/registry.h"
 #include "util/ascii_chart.h"
 #include "util/table.h"
 
@@ -22,16 +21,13 @@ int main(int argc, char** argv) {
       "Figure 1: dictionary attacks vs. percent control of training set",
       "Figure 1 + Section 4.2 of Nelson et al. 2008");
 
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("dictionary");
+
   // Table 1 lists both training-set sizes; --quick runs only the small one.
   std::vector<std::size_t> training_sizes = {2'000, 10'000};
   if (flags.quick) training_sizes = {2'000};
-
-  const sbx::corpus::TrecLikeGenerator generator;
-  const std::vector<sbx::core::DictionaryAttack> attacks = {
-      sbx::core::DictionaryAttack::optimal(generator),
-      sbx::core::DictionaryAttack::usenet(generator.lexicons()),
-      sbx::core::DictionaryAttack::aspell(generator.lexicons()),
-  };
+  const std::vector<std::string> attacks = {"optimal", "usenet", "aspell"};
 
   sbx::util::Table table({"training set", "attack", "dict words", "control %",
                           "attack msgs", "ham->spam %", "ham->spam|unsure %",
@@ -39,42 +35,27 @@ int main(int argc, char** argv) {
   std::vector<sbx::util::ChartSeries> chart;  // solid lines, largest run
   const char kGlyphs[] = {'O', 'U', 'A'};
   for (std::size_t training_size : training_sizes) {
-    sbx::eval::DictionaryCurveConfig config;
-    config.training_set_size = training_size;
-    config.threads = flags.threads;
-    if (flags.seed != 0) config.seed = flags.seed;
+    sbx::eval::Config config = flags.resolve(experiment);
+    config.set("training_set_size", std::to_string(training_size));
     std::printf("running: %zu-message training set (%.0f%% spam), "
                 "%zu-fold CV...\n",
-                config.training_set_size, 100.0 * config.spam_fraction,
-                config.folds);
+                training_size, 100.0 * config.get_double("spam_fraction"),
+                static_cast<std::size_t>(config.get_uint("folds")));
     for (std::size_t ai = 0; ai < attacks.size(); ++ai) {
-      const auto& attack = attacks[ai];
-      const sbx::eval::DictionaryCurve curve =
-          sbx::eval::run_dictionary_curve(generator, attack, config);
-      if (training_size == training_sizes.back()) {
-        sbx::util::ChartSeries s;
-        s.label = curve.attack_name + " (ham as spam or unsure, %)";
-        s.glyph = kGlyphs[ai % 3];
-        for (const auto& p : curve.points) {
-          s.x.push_back(100.0 * p.attack_fraction);
-          s.y.push_back(100.0 * p.matrix.ham_misclassified_rate());
-        }
-        chart.push_back(std::move(s));
+      config.set("attack", attacks[ai]);
+      const sbx::eval::ResultDoc doc =
+          experiment.run(config, flags.run_context());
+      for (const auto& row : doc.table("curve").rows()) {
+        table.add_row(row);
       }
-      for (const auto& p : curve.points) {
-        table.add_row(
-            {std::to_string(training_size), curve.attack_name,
-             std::to_string(curve.dictionary_size),
-             sbx::util::Table::cell(100.0 * p.attack_fraction, 1),
-             std::to_string(p.attack_messages),
-             sbx::util::Table::cell(100.0 * p.matrix.ham_as_spam_rate(), 1),
-             sbx::util::Table::cell(100.0 * p.matrix.ham_misclassified_rate(),
-                                    1),
-             sbx::util::Table::cell(
-                 100.0 * p.ham_misclassified_by_fold.stddev(), 1),
-             sbx::util::Table::cell(
-                 100.0 * p.matrix.spam_misclassified_rate(), 1),
-             sbx::util::Table::cell(p.attack_token_ratio, 2)});
+      if (training_size == training_sizes.back()) {
+        const sbx::eval::Series& misclassified = doc.series.front();
+        sbx::util::ChartSeries s;
+        s.label = misclassified.name;
+        s.glyph = kGlyphs[ai % 3];
+        s.x = misclassified.x;
+        s.y = misclassified.y;
+        chart.push_back(std::move(s));
       }
     }
   }

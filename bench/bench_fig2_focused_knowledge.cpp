@@ -1,15 +1,13 @@
 // Figure 2: "Effect of the targeted attack as a function of the probability
 // of guessing target tokens."
 //
-// 300 attack emails against a 5,000-message inbox (50% spam); the attacker
-// guesses each target token with probability p in {0.1, 0.3, 0.5, 0.9}.
-// Bars show the fraction of targets classified ham / unsure / spam after
-// the attack, over 20 targets x 5 repetitions.
+// Thin presentation wrapper over the registry's "focused-knowledge"
+// experiment (same config surface as `sbx_experiments run
+// focused-knowledge`).
 #include <cstdio>
 
 #include "bench_common.h"
-#include "eval/experiments.h"
-#include "util/table.h"
+#include "eval/registry.h"
 
 int main(int argc, char** argv) {
   const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
@@ -17,42 +15,24 @@ int main(int argc, char** argv) {
       "Figure 2: focused attack vs. attacker knowledge",
       "Figure 2 of Nelson et al. 2008");
 
-  sbx::eval::FocusedConfig config;
-  config.threads = flags.threads;
-  if (flags.seed != 0) config.seed = flags.seed;
-  std::size_t attack_count = 300;
-  if (flags.quick) {
-    config.inbox_size = 1'000;
-    config.target_count = 10;
-    config.repetitions = 2;
-    attack_count = 60;
-  }
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("focused-knowledge");
+  const sbx::eval::Config config = flags.resolve(experiment);
 
   std::printf("inbox: %zu messages (%.0f%% spam); %zu attack emails; "
               "%zu targets x %zu repetitions\n\n",
-              config.inbox_size, 100.0 * config.spam_fraction, attack_count,
-              config.target_count, config.repetitions);
+              static_cast<std::size_t>(config.get_uint("inbox_size")),
+              100.0 * config.get_double("spam_fraction"),
+              static_cast<std::size_t>(config.get_uint("attack_count")),
+              static_cast<std::size_t>(config.get_uint("target_count")),
+              static_cast<std::size_t>(config.get_uint("repetitions")));
 
-  const sbx::corpus::TrecLikeGenerator generator;
-  const std::vector<double> ps = {0.1, 0.3, 0.5, 0.9};
-  const auto points =
-      sbx::eval::run_focused_knowledge(generator, ps, attack_count, config);
+  const sbx::eval::ResultDoc doc =
+      experiment.run(config, flags.run_context());
 
-  sbx::util::Table table({"guess prob p", "targets", "ham %", "unsure %",
-                          "spam %", "attack success %", "control ham %"});
-  for (const auto& p : points) {
-    const double n = static_cast<double>(p.targets);
-    table.add_row(
-        {sbx::util::Table::cell(p.guess_probability, 1),
-         std::to_string(p.targets),
-         sbx::util::Table::cell(100.0 * p.as_ham / n, 1),
-         sbx::util::Table::cell(100.0 * p.as_unsure / n, 1),
-         sbx::util::Table::cell(100.0 * p.as_spam / n, 1),
-         sbx::util::Table::cell(100.0 * (p.as_unsure + p.as_spam) / n, 1),
-         sbx::util::Table::cell(100.0 * p.control_as_ham / n, 1)});
-  }
-  std::printf("%s\n", table.to_text().c_str());
-  table.write_csv(flags.csv_dir + "/fig2_focused_knowledge.csv");
+  std::printf("%s\n", doc.table("knowledge").to_text().c_str());
+  doc.table("knowledge")
+      .write_csv(flags.csv_dir + "/fig2_focused_knowledge.csv");
   std::printf("CSV written to %s/fig2_focused_knowledge.csv\n",
               flags.csv_dir.c_str());
   std::printf(

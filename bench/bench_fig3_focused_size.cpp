@@ -2,63 +2,39 @@
 // attack emails with a fixed probability (p=0.5) that the attacker guesses
 // each token."
 //
-// Sweeps the attack size from 0 to 10% of the training set; reports the
-// percent of target ham misclassified as spam (dashed line) and as unsure
-// or spam (solid line).
+// Thin presentation wrapper over the registry's "focused-size" experiment;
+// the chart renders the document's full-precision series.
 #include <cstdio>
 
 #include "bench_common.h"
-#include "eval/experiments.h"
+#include "eval/registry.h"
 #include "util/ascii_chart.h"
-#include "util/table.h"
 
 int main(int argc, char** argv) {
   const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
   sbx::bench::print_header("Figure 3: focused attack vs. attack size",
                            "Figure 3 of Nelson et al. 2008");
 
-  sbx::eval::FocusedConfig config;
-  config.threads = flags.threads;
-  if (flags.seed != 0) config.seed = flags.seed;
-  std::vector<double> fractions = {0.005, 0.01, 0.02, 0.04,
-                                   0.06,  0.08, 0.10};
-  if (flags.quick) {
-    config.inbox_size = 1'000;
-    config.target_count = 10;
-    config.repetitions = 2;
-    fractions = {0.01, 0.02, 0.05, 0.10};
-  }
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("focused-size");
+  const sbx::eval::Config config = flags.resolve(experiment);
 
   std::printf("inbox: %zu messages (%.0f%% spam); guess probability 0.5; "
               "%zu targets x %zu repetitions\n\n",
-              config.inbox_size, 100.0 * config.spam_fraction,
-              config.target_count, config.repetitions);
+              static_cast<std::size_t>(config.get_uint("inbox_size")),
+              100.0 * config.get_double("spam_fraction"),
+              static_cast<std::size_t>(config.get_uint("target_count")),
+              static_cast<std::size_t>(config.get_uint("repetitions")));
 
-  const sbx::corpus::TrecLikeGenerator generator;
-  const auto points =
-      sbx::eval::run_focused_size(generator, 0.5, fractions, config);
+  const sbx::eval::ResultDoc doc =
+      experiment.run(config, flags.run_context());
 
-  sbx::util::Table table({"control %", "attack msgs", "targets",
-                          "target->spam %", "target->spam|unsure %"});
-  for (const auto& p : points) {
-    const double n = static_cast<double>(p.targets);
-    table.add_row(
-        {sbx::util::Table::cell(100.0 * p.attack_fraction, 1),
-         std::to_string(p.attack_messages), std::to_string(p.targets),
-         sbx::util::Table::cell(100.0 * p.as_spam / n, 1),
-         sbx::util::Table::cell(100.0 * p.as_unsure_or_spam / n, 1)});
-  }
-  std::printf("%s\n", table.to_text().c_str());
+  std::printf("%s\n", doc.table("size").to_text().c_str());
 
-  sbx::util::ChartSeries solid{"target as unsure or spam (%)", 'S', {}, {}};
-  sbx::util::ChartSeries dashed{"target as spam (%)", 's', {}, {}};
-  for (const auto& p : points) {
-    const double n = static_cast<double>(p.targets);
-    solid.x.push_back(100.0 * p.attack_fraction);
-    solid.y.push_back(100.0 * p.as_unsure_or_spam / n);
-    dashed.x.push_back(100.0 * p.attack_fraction);
-    dashed.y.push_back(100.0 * p.as_spam / n);
-  }
+  sbx::util::ChartSeries solid{doc.series[0].name, 'S', doc.series[0].x,
+                               doc.series[0].y};
+  sbx::util::ChartSeries dashed{doc.series[1].name, 's', doc.series[1].x,
+                                doc.series[1].y};
   sbx::util::ChartOptions chart_options;
   chart_options.y_min = 0.0;
   chart_options.y_max = 100.0;
@@ -66,7 +42,7 @@ int main(int argc, char** argv) {
   chart_options.y_label = "percent of target ham misclassified";
   std::printf("%s\n",
               sbx::util::render_chart({solid, dashed}, chart_options).c_str());
-  table.write_csv(flags.csv_dir + "/fig3_focused_size.csv");
+  doc.table("size").write_csv(flags.csv_dir + "/fig3_focused_size.csv");
   std::printf("CSV written to %s/fig3_focused_size.csv\n",
               flags.csv_dir.c_str());
   std::printf(

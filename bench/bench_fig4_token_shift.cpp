@@ -1,42 +1,13 @@
 // Figure 4: "Effect of the focused attack on three representative emails."
 //
-// For three targets whose post-attack verdicts are spam, unsure and ham,
-// dumps every token's spam score before vs after the attack, split into
-// tokens the attacker guessed (the paper's red x's, which jump toward 1)
-// and tokens it missed (blue o's, which drift slightly down). Full
-// per-token data lands in CSV for plotting; the console shows histogram
-// summaries.
+// Thin presentation wrapper over the registry's "token-shift" experiment:
+// the per-example summaries and marginal histograms arrive as the
+// document's report lines, the full per-token data as its table (CSV for
+// plotting).
 #include <cstdio>
 
 #include "bench_common.h"
-#include "eval/experiments.h"
-#include "util/table.h"
-
-namespace {
-
-void print_histogram(const sbx::eval::TokenShiftExample& ex) {
-  // 10-bucket histograms of token scores before and after, as in the
-  // figure's marginal histograms.
-  int before[10] = {0};
-  int after[10] = {0};
-  for (const auto& t : ex.tokens) {
-    auto bucket = [](double s) {
-      int b = static_cast<int>(s * 10.0);
-      return b < 0 ? 0 : (b > 9 ? 9 : b);
-    };
-    before[bucket(t.score_before)] += 1;
-    after[bucket(t.score_after)] += 1;
-  }
-  std::printf("  score bucket:   ");
-  for (int b = 0; b < 10; ++b) std::printf("%5.1f", b / 10.0);
-  std::printf("\n  tokens before:  ");
-  for (int b = 0; b < 10; ++b) std::printf("%5d", before[b]);
-  std::printf("\n  tokens after :  ");
-  for (int b = 0; b < 10; ++b) std::printf("%5d", after[b]);
-  std::printf("\n");
-}
-
-}  // namespace
+#include "eval/registry.h"
 
 int main(int argc, char** argv) {
   const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
@@ -44,54 +15,17 @@ int main(int argc, char** argv) {
       "Figure 4: token score shift under the focused attack",
       "Figure 4 of Nelson et al. 2008");
 
-  sbx::eval::FocusedConfig config;
-  config.threads = flags.threads;
-  if (flags.seed != 0) config.seed = flags.seed;
-  std::size_t attack_count = 300;
-  if (flags.quick) {
-    config.inbox_size = 1'000;
-    attack_count = 60;
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("token-shift");
+  const sbx::eval::Config config = flags.resolve(experiment);
+
+  const sbx::eval::ResultDoc doc =
+      experiment.run(config, flags.run_context());
+
+  for (const auto& line : doc.report) {
+    std::printf("%s\n", line.c_str());
   }
-
-  const sbx::corpus::TrecLikeGenerator generator;
-  // p = 0.5, like Figure 3's operating point; scan targets until all three
-  // outcome classes are represented.
-  const auto examples =
-      sbx::eval::run_token_shift(generator, 0.5, attack_count, config);
-
-  sbx::util::Table csv({"example", "token", "score_before", "score_after",
-                        "in_attack"});
-  for (const auto& ex : examples) {
-    std::size_t guessed = 0;
-    std::size_t guessed_up = 0;
-    std::size_t missed_down = 0;
-    std::size_t missed = 0;
-    for (const auto& t : ex.tokens) {
-      if (t.in_attack) {
-        ++guessed;
-        guessed_up += t.score_after > t.score_before ? 1 : 0;
-      } else {
-        ++missed;
-        missed_down += t.score_after < t.score_before ? 1 : 0;
-      }
-      csv.add_row({std::string(sbx::spambayes::to_string(ex.verdict_after)),
-                   t.token, sbx::util::Table::cell(t.score_before, 4),
-                   sbx::util::Table::cell(t.score_after, 4),
-                   t.in_attack ? "1" : "0"});
-    }
-    std::printf(
-        "target -> %s after attack   (message score %.3f -> %.3f)\n",
-        std::string(sbx::spambayes::to_string(ex.verdict_after)).c_str(),
-        ex.message_score_before, ex.message_score_after);
-    std::printf(
-        "  %zu/%zu guessed tokens increased; %zu/%zu missed tokens "
-        "decreased\n",
-        guessed_up, guessed, missed_down, missed);
-    print_histogram(ex);
-    std::printf("\n");
-  }
-
-  csv.write_csv(flags.csv_dir + "/fig4_token_shift.csv");
+  doc.table("tokens").write_csv(flags.csv_dir + "/fig4_token_shift.csv");
   std::printf("per-token CSV written to %s/fig4_token_shift.csv\n",
               flags.csv_dir.c_str());
   std::printf(

@@ -1,95 +1,49 @@
 // Figure 5: "Effect of the threshold defense on the classification of ham
 // messages with the dictionary based attacks."
 //
-// 10,000-message inbox (50% spam), Usenet dictionary attack swept over
-// 0-10% control. Compares no defense against the dynamic threshold defense
-// with utility targets (0.05, 0.95) ("Threshold-.05") and (0.10, 0.90)
-// ("Threshold-.10"). The paper's findings: the defense keeps ham out of the
-// spam folder (dashed ~0) with only moderate ham-as-unsure, but almost all
-// *spam* becomes unsure — which we report as well.
+// Thin presentation wrapper over the registry's "threshold" experiment:
+// Usenet dictionary attack swept over 0-10% control, no defense vs. the
+// dynamic threshold defense with utility targets (0.05, 0.95)
+// ("Threshold-.05") and (0.10, 0.90) ("Threshold-.10").
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/dictionary_attack.h"
-#include "eval/experiments.h"
+#include "eval/registry.h"
 #include "util/ascii_chart.h"
-#include "util/table.h"
 
 int main(int argc, char** argv) {
   const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
   sbx::bench::print_header("Figure 5: dynamic threshold defense",
                            "Figure 5 + Section 5.2 of Nelson et al. 2008");
 
-  sbx::eval::ThresholdDefenseConfig config;
-  config.base.attack_fractions = {0.001, 0.01, 0.05, 0.10};  // Table 1
-  config.base.threads = flags.threads;
-  if (flags.seed != 0) config.base.seed = flags.seed;
-  if (flags.quick) {
-    config.base.training_set_size = 2'000;
-    config.base.folds = 5;
-  }
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("threshold");
+  const sbx::eval::Config config = flags.resolve(experiment);
 
   std::printf("training set: %zu messages (%.0f%% spam), %zu-fold CV; "
               "Usenet dictionary attack\n\n",
-              config.base.training_set_size,
-              100.0 * config.base.spam_fraction, config.base.folds);
+              static_cast<std::size_t>(config.get_uint("training_set_size")),
+              100.0 * config.get_double("spam_fraction"),
+              static_cast<std::size_t>(config.get_uint("folds")));
 
-  const sbx::corpus::TrecLikeGenerator generator;
-  const sbx::core::DictionaryAttack attack =
-      sbx::core::DictionaryAttack::usenet(generator.lexicons());
+  const sbx::eval::ResultDoc doc =
+      experiment.run(config, flags.run_context());
 
-  const auto points =
-      sbx::eval::run_threshold_defense_curve(generator, attack, config);
+  std::printf("%s\n", doc.table("defense").to_text().c_str());
 
-  sbx::util::Table table(
-      {"control %", "attack msgs", "variant", "theta0", "theta1",
-       "ham->spam %", "ham->spam|unsure %", "spam->unsure %",
-       "spam->ham %"});
-  const char* names[] = {"Threshold-.05", "Threshold-.10"};
-  for (const auto& p : points) {
-    auto add = [&](const char* variant, const sbx::eval::ConfusionMatrix& m,
-                   double t0, double t1) {
-      table.add_row({sbx::util::Table::cell(100.0 * p.attack_fraction, 1),
-                     std::to_string(p.attack_messages), variant,
-                     sbx::util::Table::cell(t0, 3),
-                     sbx::util::Table::cell(t1, 3),
-                     sbx::util::Table::cell(100.0 * m.ham_as_spam_rate(), 1),
-                     sbx::util::Table::cell(
-                         100.0 * m.ham_misclassified_rate(), 1),
-                     sbx::util::Table::cell(
-                         100.0 * m.spam_as_unsure_rate(), 1),
-                     sbx::util::Table::cell(100.0 * m.spam_as_ham_rate(), 1)});
-    };
-    add("No Defense", p.no_defense, 0.15, 0.90);
-    for (std::size_t vi = 0; vi < p.defended.size(); ++vi) {
-      add(names[vi % 2], p.defended[vi], p.mean_thresholds[vi].theta0,
-          p.mean_thresholds[vi].theta1);
-    }
-  }
-  std::printf("%s\n", table.to_text().c_str());
-
-  sbx::util::ChartSeries none{"no defense (ham misclassified, %)", 'N', {}, {}};
-  sbx::util::ChartSeries t05{"Threshold-.05 (ham misclassified, %)", '5', {}, {}};
-  sbx::util::ChartSeries t10{"Threshold-.10 (ham misclassified, %)", '1', {}, {}};
-  for (const auto& p : points) {
-    const double x = 100.0 * p.attack_fraction;
-    none.x.push_back(x);
-    none.y.push_back(100.0 * p.no_defense.ham_misclassified_rate());
-    if (p.defended.size() >= 2) {
-      t05.x.push_back(x);
-      t05.y.push_back(100.0 * p.defended[0].ham_misclassified_rate());
-      t10.x.push_back(x);
-      t10.y.push_back(100.0 * p.defended[1].ham_misclassified_rate());
-    }
+  std::vector<sbx::util::ChartSeries> chart;
+  const char kGlyphs[] = {'N', '5', '1'};
+  for (std::size_t i = 0; i < doc.series.size(); ++i) {
+    chart.push_back({doc.series[i].name, kGlyphs[i % 3], doc.series[i].x,
+                     doc.series[i].y});
   }
   sbx::util::ChartOptions chart_options;
   chart_options.y_min = 0.0;
   chart_options.y_max = 100.0;
   chart_options.x_label = "percent control of training set";
   chart_options.y_label = "percent of test ham misclassified";
-  std::printf("%s\n",
-              sbx::util::render_chart({none, t05, t10}, chart_options).c_str());
-  table.write_csv(flags.csv_dir + "/fig5_threshold.csv");
+  std::printf("%s\n", sbx::util::render_chart(chart, chart_options).c_str());
+  doc.table("defense").write_csv(flags.csv_dir + "/fig5_threshold.csv");
   std::printf("CSV written to %s/fig5_threshold.csv\n", flags.csv_dir.c_str());
   std::printf(
       "\npaper shape check: with the defense, ham->spam stays ~0 and\n"

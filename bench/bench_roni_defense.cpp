@@ -1,82 +1,43 @@
 // Section 5.1: the Reject On Negative Impact (RONI) defense.
 //
-// Assesses 120 non-attack spam emails and 15 repetitions each of seven
-// dictionary-attack variants with the paper's RONI configuration (T=20,
-// V=50, 5 resamples). The paper reports: every dictionary-attack email
-// causes an average decrease of at least 6.8 ham-as-ham messages, non-attack
-// spam at most 4.4, so a simple threshold detects 100% of attack emails
-// with no false positives.
+// Thin presentation wrapper over the registry's "roni" experiment: 120
+// non-attack spam emails and 15 repetitions each of seven dictionary-attack
+// variants under the paper's RONI configuration (T=20, V=50, 5 resamples).
+// The separation summary (the paper's 6.8-vs-4.4 margin) arrives as the
+// document's report lines.
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/dictionary_attack.h"
-#include "eval/experiments.h"
-#include "util/table.h"
+#include "eval/registry.h"
 
 int main(int argc, char** argv) {
   const sbx::bench::BenchFlags flags = sbx::bench::parse_flags(argc, argv);
   sbx::bench::print_header("RONI defense vs. dictionary attacks",
                            "Section 5.1 of Nelson et al. 2008");
 
-  sbx::eval::RoniExperimentConfig config;
-  config.threads = flags.threads;
-  if (flags.seed != 0) config.seed = flags.seed;
-  if (flags.quick) {
-    config.nonattack_queries = 30;
-    config.attack_repetitions = 5;
-    config.pool_size = 400;
-  }
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("roni");
+  const sbx::eval::Config config = flags.resolve(experiment);
 
   std::printf("RONI: |T|=%zu, |V|=%zu, %zu resamples, rejection threshold "
               "%.1f; %zu non-attack spam queries; %zu reps per attack "
               "variant\n\n",
-              config.roni.train_size, config.roni.validation_size,
-              config.roni.resamples, config.roni.rejection_threshold,
-              config.nonattack_queries, config.attack_repetitions);
+              static_cast<std::size_t>(config.get_uint("train_size")),
+              static_cast<std::size_t>(config.get_uint("validation_size")),
+              static_cast<std::size_t>(config.get_uint("resamples")),
+              config.get_double("rejection_threshold"),
+              static_cast<std::size_t>(config.get_uint("nonattack_queries")),
+              static_cast<std::size_t>(config.get_uint("attack_repetitions")));
 
-  const sbx::corpus::TrecLikeGenerator generator;
-  const auto& lexicons = generator.lexicons();
-  // Seven dictionary-attack variants, as in §5.1's "seven variants of the
-  // dictionary attacks in Section 3.2".
-  const std::vector<sbx::core::DictionaryAttack> attacks = {
-      sbx::core::DictionaryAttack::optimal(generator),
-      sbx::core::DictionaryAttack::aspell(lexicons),
-      sbx::core::DictionaryAttack::aspell_truncated(lexicons, 50'000),
-      sbx::core::DictionaryAttack::aspell_truncated(lexicons, 25'000),
-      sbx::core::DictionaryAttack::usenet(lexicons, 90'000),
-      sbx::core::DictionaryAttack::usenet(lexicons, 50'000),
-      sbx::core::DictionaryAttack::usenet(lexicons, 25'000),
-  };
-  std::vector<const sbx::core::DictionaryAttack*> attack_ptrs;
-  for (const auto& a : attacks) attack_ptrs.push_back(&a);
+  const sbx::eval::ResultDoc doc =
+      experiment.run(config, flags.run_context());
 
-  const sbx::eval::RoniExperimentResult result =
-      sbx::eval::run_roni_experiment(generator, attack_ptrs, config);
-
-  sbx::util::Table table({"query class", "assessed", "mean impact",
-                          "min impact", "max impact", "rejected %"});
-  auto add = [&table](const sbx::eval::RoniVariantResult& v) {
-    table.add_row({v.name, std::to_string(v.assessed),
-                   sbx::util::Table::cell(v.impact.mean(), 2),
-                   sbx::util::Table::cell(v.impact.min(), 2),
-                   sbx::util::Table::cell(v.impact.max(), 2),
-                   sbx::util::Table::cell(100.0 * v.rejection_rate(), 1)});
-  };
-  add(result.nonattack_spam);
-  for (const auto& v : result.attack_variants) add(v);
-  std::printf("%s\n", table.to_text().c_str());
-  table.write_csv(flags.csv_dir + "/roni_defense.csv");
+  std::printf("%s\n", doc.table("assessments").to_text().c_str());
+  doc.table("assessments").write_csv(flags.csv_dir + "/roni_defense.csv");
   std::printf("CSV written to %s/roni_defense.csv\n", flags.csv_dir.c_str());
 
-  // Separation summary (the paper's 6.8-vs-4.4 margin).
-  double attack_min = 1e9;
-  for (const auto& v : result.attack_variants) {
-    attack_min = std::min(attack_min, v.impact.min());
+  for (const auto& line : doc.report) {
+    std::printf("%s\n", line.c_str());
   }
-  std::printf(
-      "\nseparation: non-attack spam impact max = %.2f; dictionary attack\n"
-      "impact min = %.2f (paper: 4.4 vs 6.8). Detection should be 100%%\n"
-      "of attack emails with 0%% false positives.\n",
-      result.nonattack_spam.impact.max(), attack_min);
   return 0;
 }

@@ -1,0 +1,183 @@
+// sbx/eval/experiment.h
+//
+// The declarative experiment API. Every driver in the evaluation harness
+// (dictionary, focused, RONI, threshold, retraining, the extension
+// attacks) is exposed as an eval::Experiment: a name, a typed config
+// schema with Table-1 defaults, and a run() that returns a uniform
+// ResultDoc. Experiments are looked up through eval::Registry (registry.h)
+// and executed one config at a time (`sbx_experiments run`) or as a
+// cross-product of config axes (`sbx_experiments sweep`, sweep.h).
+//
+// Config values are carried as validated strings: every value is parsed
+// against its declared ParamType when set, so an invalid override fails at
+// the API boundary with a message naming the key — never silently as 0
+// (the std::atoll failure mode the bench flags used to have).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "eval/result_doc.h"
+
+namespace sbx::eval {
+
+// ---------------------------------------------------------------------------
+// Strict scalar parsing (shared with the CLI and the bench flag parser).
+// ---------------------------------------------------------------------------
+
+/// Parses a non-negative integer; the whole string must be consumed.
+/// Throws sbx::ParseError naming `what` on any malformed input.
+std::uint64_t parse_uint(std::string_view text, std::string_view what);
+
+/// Parses a finite double; the whole string must be consumed.
+double parse_double(std::string_view text, std::string_view what);
+
+/// Accepts true/false/1/0/yes/no/on/off (ASCII case-insensitive).
+bool parse_bool(std::string_view text, std::string_view what);
+
+// ---------------------------------------------------------------------------
+// Config schema.
+// ---------------------------------------------------------------------------
+
+/// Value type of one config parameter. List values are comma- or
+/// semicolon-separated ("0.01,0.05" or "0.01;0.05"); sweep axes split
+/// their value lists on commas, so a swept list-typed parameter uses ';'
+/// inside each axis value.
+enum class ParamType { kUInt, kDouble, kBool, kString, kUIntList, kDoubleList };
+
+std::string_view to_string(ParamType type);
+
+/// One declared parameter: key, type, canonical default, one-line help.
+struct ParamSpec {
+  std::string key;
+  ParamType type = ParamType::kString;
+  std::string default_value;
+  std::string description;
+};
+
+/// Ordered parameter declarations for one experiment. Declaration order is
+/// the canonical order (describe output, ResultDoc config serialization).
+class ConfigSchema {
+ public:
+  /// Declares a parameter; validates `default_value` against `type`.
+  /// Throws sbx::InvalidArgument on duplicate keys or invalid defaults.
+  ConfigSchema& add(std::string key, ParamType type,
+                    std::string default_value, std::string description);
+
+  /// nullptr when the key is not declared.
+  const ParamSpec* find(std::string_view key) const;
+
+  const std::vector<ParamSpec>& params() const { return params_; }
+
+ private:
+  std::vector<ParamSpec> params_;
+};
+
+// ---------------------------------------------------------------------------
+// A resolved configuration.
+// ---------------------------------------------------------------------------
+
+/// Schema defaults plus overrides. Copyable (sweep expansion clones the
+/// base config per grid point); the schema must outlive the config —
+/// experiment schemas live in the process-wide registry, which does.
+class Config {
+ public:
+  explicit Config(const ConfigSchema* schema);
+
+  /// Overrides one parameter; throws sbx::InvalidArgument for unknown keys
+  /// and sbx::ParseError for values invalid under the declared type.
+  void set(std::string_view key, std::string_view value);
+
+  /// Applies "key=value" (the CLI override form).
+  void set_key_value(std::string_view assignment);
+
+  // Typed getters; throw sbx::InvalidArgument when the key is not declared
+  // with the requested type (a programming error in an adapter).
+  std::uint64_t get_uint(std::string_view key) const;
+  double get_double(std::string_view key) const;
+  bool get_bool(std::string_view key) const;
+  std::string get_string(std::string_view key) const;
+  std::vector<std::uint64_t> get_uint_list(std::string_view key) const;
+  std::vector<double> get_double_list(std::string_view key) const;
+
+  /// True when the schema declares `key`.
+  bool has(std::string_view key) const { return schema_->find(key) != nullptr; }
+
+  /// Resolved (key, value) pairs in schema order.
+  std::vector<std::pair<std::string, std::string>> items() const;
+
+  const ConfigSchema& schema() const { return *schema_; }
+
+ private:
+  const std::string& raw(std::string_view key, ParamType expected) const;
+
+  const ConfigSchema* schema_;
+  std::vector<std::string> values_;  // parallel to schema params
+};
+
+// ---------------------------------------------------------------------------
+// The experiment interface.
+// ---------------------------------------------------------------------------
+
+/// Execution context passed to Experiment::run. `threads` is the
+/// per-experiment Runner thread request (0 = hardware concurrency, 1 =
+/// inline; the shared pool bounds real parallelism either way). `progress`
+/// receives human-readable status lines; experiments must not write to
+/// stdout directly.
+struct RunContext {
+  std::size_t threads = 0;
+  std::function<void(const std::string&)> progress;
+
+  void note(const std::string& line) const {
+    if (progress) progress(line);
+  }
+};
+
+/// One registered experiment driver.
+class Experiment {
+ public:
+  virtual ~Experiment() = default;
+
+  /// Registry key, e.g. "dictionary" (lowercase, '-'-separated).
+  virtual std::string name() const = 0;
+
+  /// One-line summary for `sbx_experiments list`.
+  virtual std::string description() const = 0;
+
+  /// What part of the paper the default config reproduces.
+  virtual std::string paper_ref() const = 0;
+
+  virtual const ConfigSchema& schema() const = 0;
+
+  /// Reduced-scale overrides applied by --quick (keys must exist in the
+  /// schema). Defaults to none.
+  virtual std::vector<std::pair<std::string, std::string>> quick_overrides()
+      const {
+    return {};
+  }
+
+  /// Executes one fully resolved config. Deterministic in the config (the
+  /// "seed" parameter drives all randomness); ctx.threads changes
+  /// wall-clock time only, never the returned document.
+  virtual ResultDoc run(const Config& config, const RunContext& ctx) const = 0;
+
+  /// A config holding this experiment's schema defaults.
+  Config default_config() const { return Config(&schema()); }
+};
+
+/// The one config-resolution policy shared by `sbx_experiments run/sweep`
+/// and the bench wrappers (which must stay byte-identical to the CLI):
+/// schema defaults, then the experiment's --quick overrides (if `quick`),
+/// then the "key=value" `overrides` in order, then `seed` onto the "seed"
+/// key (when present in the schema; an explicit 0 is honored).
+Config resolve_config(const Experiment& experiment, bool quick,
+                      const std::vector<std::string>& overrides = {},
+                      std::optional<std::uint64_t> seed = std::nullopt);
+
+}  // namespace sbx::eval

@@ -1,0 +1,86 @@
+// sbx/eval/result_doc.h
+//
+// The uniform result document every eval::Experiment returns: the resolved
+// config, named result tables (the paper's figures/tables as rows of
+// formatted cells), scalar metrics, full-precision numeric series (for
+// charts and downstream analysis — table cells are presentation-rounded),
+// and a preformatted free-text report. One serializer pair — to_json() and
+// per-table CSV — replaces the per-binary output conventions the bench
+// drivers used to hand-roll.
+//
+// Determinism: every field is ordered (vectors, never hash maps) and
+// numeric serialization is locale-independent, so two runs that compute
+// identical results serialize to byte-identical JSON/CSV at any thread
+// count. The sweep bit-identity tests rely on this.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/table.h"
+
+namespace sbx::eval {
+
+/// A full-precision (x, y) curve, e.g. one chart line of a figure.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;  // same length as x
+};
+
+/// Uniform experiment output.
+struct ResultDoc {
+  std::string experiment;
+  /// Resolved config in schema order.
+  std::vector<std::pair<std::string, std::string>> config;
+  /// Scalar headline metrics in insertion order.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  struct NamedTable {
+    std::string name;  // CSV stem and JSON key, e.g. "curve"
+    util::Table table;
+  };
+  std::vector<NamedTable> tables;
+  std::vector<Series> series;
+  /// Preformatted narrative lines (printed verbatim by the CLI/benches).
+  std::vector<std::string> report;
+
+  void add_metric(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+
+  /// Appends a table and returns it for row filling.
+  util::Table& add_table(std::string name, std::vector<std::string> headers);
+
+  /// First table with this name; throws sbx::InvalidArgument if absent.
+  const util::Table& table(std::string_view name) const;
+
+  /// The whole document as a single JSON object:
+  ///   {"experiment": ..., "config": {...}, "metrics": {...},
+  ///    "tables": {name: {"headers": [...], "rows": [[...]]}},
+  ///    "series": [{"name":..., "x":[...], "y":[...]}], "report": [...]}
+  /// Keys preserve document order; doubles use round-trip precision; the
+  /// output is byte-deterministic for equal documents.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`, creating parent directories.
+  void write_json(const std::string& path) const;
+
+  /// Writes each table as CSV to `<dir>/<prefix>_<table name>.csv`
+  /// (`<dir>/<prefix>.csv` for a single table named like the experiment or
+  /// empty). Returns the written paths in order.
+  std::vector<std::string> write_csv(const std::string& dir,
+                                     const std::string& prefix) const;
+};
+
+/// Serializes a double as a JSON token: round-trip precision via "%.17g",
+/// with non-finite values mapped to null (JSON has no NaN/Inf).
+std::string json_number(double value);
+
+/// JSON string literal with the mandatory escapes.
+std::string json_quote(std::string_view text);
+
+}  // namespace sbx::eval

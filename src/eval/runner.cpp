@@ -1,7 +1,6 @@
 #include "eval/runner.h"
 
 #include <algorithm>
-#include <exception>
 #include <future>
 #include <thread>
 
@@ -31,21 +30,13 @@ void Runner::dispatch(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(threads_);
+  util::ThreadPool& pool = util::ThreadPool::shared();
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(pool_->submit([i, &body] { body(i); }));
+    futures.push_back(pool.submit([i, &body] { body(i); }));
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  pool.wait(futures);  // helps run tasks inline; rethrows the first error
 }
 
 }  // namespace sbx::eval

@@ -18,7 +18,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -29,13 +28,20 @@
 namespace sbx::eval {
 
 /// Fans experiment trials (cross-validation folds, repetitions, RONI
-/// queries) out across a lazily created util::ThreadPool that is reused for
-/// every map() of the same run. Trial exceptions are rethrown on the
-/// calling thread after all trials finish.
+/// queries, whole sweep configs) out across the process-wide
+/// util::ThreadPool::shared() — Runners borrow the pool, they never own
+/// one, so nested parallelism (an eval::Sweep trial that itself maps folds)
+/// shares one set of workers instead of oversubscribing. Waiting uses the
+/// pool's run-inline-while-waiting policy, so nested map() calls cannot
+/// deadlock at any pool size. Trial exceptions are rethrown on the calling
+/// thread after all trials finish.
 class Runner {
  public:
   /// `threads` = 0 selects hardware concurrency (min 1). A Runner with an
-  /// effective thread count of 1 runs trials inline, with no pool.
+  /// effective thread count of 1 runs trials inline, never touching the
+  /// shared pool; any larger count dispatches to the shared pool (whose
+  /// size — not `threads` — bounds process-wide parallelism). By the
+  /// determinism contract the choice affects wall-clock time only.
   explicit Runner(std::uint64_t seed, std::size_t threads = 0);
 
   Runner(const Runner&) = delete;
@@ -111,12 +117,11 @@ class Runner {
   }
 
   /// Runs body(i) for i in [0, n) — inline when min(threads, n) == 1,
-  /// otherwise on the pool — and rethrows the first trial exception.
+  /// otherwise on the shared pool — and rethrows the first trial exception.
   void dispatch(std::size_t n, const std::function<void(std::size_t)>& body);
 
   util::Rng master_;
   std::size_t threads_;
-  std::unique_ptr<util::ThreadPool> pool_;  // created on first parallel map
 };
 
 }  // namespace sbx::eval

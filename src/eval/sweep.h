@@ -1,0 +1,77 @@
+// sbx/eval/sweep.h
+//
+// Cross-product sweeps over experiment configs: a base Config plus one or
+// more axes (key, value list) expands into the full grid, and every grid
+// point runs as one top-level trial through the deterministic eval::Runner
+// contract — trial order is the row-major expansion order (first axis
+// outermost), per-trial RNG streams are pre-forked in program order, and
+// results are merged back in config order. Trials execute on the shared
+// util::ThreadPool, the same pool the per-config fold/repetition loops
+// use, so sweep x folds nesting shares one set of workers (the pool's
+// run-inline-while-waiting policy makes the nesting deadlock-free).
+//
+// Determinism: each grid config carries its own "seed" parameter, every
+// experiment is thread-invariant by contract, and documents are serialized
+// from ordered structures — so a sweep's CSV/JSON output is byte-identical
+// at any thread count (test-enforced in tests/eval/sweep_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "util/table.h"
+
+namespace sbx::eval {
+
+/// One sweep axis: every value is applied to `key` (validated against the
+/// experiment schema). Axis values for list-typed parameters use ';' as
+/// the inner separator ("0.01;0.05" is one value = a two-element list).
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Parses "key=v1,v2,..." into an axis. Throws sbx::InvalidArgument on a
+/// missing '=' or an empty value list.
+SweepAxis parse_sweep_axis(std::string_view spec);
+
+struct SweepOptions {
+  /// Concurrent sweep trials (0 = hardware concurrency, 1 = sequential).
+  std::size_t threads = 0;
+  /// Runner thread request forwarded to each experiment (RunContext
+  /// threads). Defaults to 1: with the sweep already fanning out whole
+  /// configs, inline per-config execution keeps the task count sane; the
+  /// shared pool bounds total parallelism either way.
+  std::size_t experiment_threads = 1;
+  /// Per-trial progress: called with (config index, total) as trials
+  /// complete-merge on the calling thread, in config order.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+struct SweepResult {
+  const Experiment* experiment = nullptr;
+  std::vector<SweepAxis> axes;        // as requested (validated)
+  std::vector<Config> configs;        // full grid, row-major
+  std::vector<ResultDoc> docs;        // parallel to configs
+
+  /// One row per config: the axis values plus every scalar metric of that
+  /// config's document (metric set taken from the first document).
+  util::Table summary() const;
+};
+
+/// Expands the grid without running it (exposed for tests and dry runs).
+/// Axis keys/values are validated against the base config's schema.
+std::vector<Config> expand_sweep(const Config& base,
+                                 const std::vector<SweepAxis>& axes);
+
+/// Expands and executes the grid. Throws on unknown axis keys or invalid
+/// axis values before any trial runs.
+SweepResult run_sweep(const Experiment& experiment, const Config& base,
+                      const std::vector<SweepAxis>& axes,
+                      const SweepOptions& options = {});
+
+}  // namespace sbx::eval

@@ -1,15 +1,40 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
 #include <exception>
+#include <memory>
+#include <string>
+
+#include "util/error.h"
 
 namespace sbx::util {
 
+namespace {
+
+std::size_t effective_threads(std::size_t threads) {
+  return threads != 0
+             ? threads
+             : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+/// Creation state of the process-wide pool. The pool itself lives in a
+/// static unique_ptr so workers are joined at exit.
+struct SharedPoolState {
+  std::mutex mutex;
+  std::unique_ptr<ThreadPool> pool;
+  std::size_t requested = 0;  // 0 = hardware concurrency
+};
+
+SharedPoolState& shared_state() {
+  static SharedPoolState state;
+  return state;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+  threads = effective_threads(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -32,8 +57,80 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push(std::move(packaged));
   }
-  cv_.notify_one();
+  // notify_all, not notify_one: a single wakeup can be consumed by a
+  // helping wait()er whose own future just became ready — it may return
+  // without running the new task, leaving every worker asleep and a plain
+  // future::get() caller stranded.
+  cv_.notify_all();
   return fut;
+}
+
+bool ThreadPool::try_run_one() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();  // exceptions are captured in the packaged_task's future
+  notify_task_done();
+  return true;
+}
+
+void ThreadPool::notify_task_done() {
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  cv_.notify_all();
+}
+
+void ThreadPool::wait(std::vector<std::future<void>>& futures) {
+  using std::chrono::seconds;
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    for (;;) {
+      if (f.wait_for(seconds(0)) == std::future_status::ready) break;
+      // Help instead of blocking: the pending future's task is either
+      // queued (we may run it ourselves) or running on another thread
+      // (whose completion will notify cv_).
+      if (try_run_one()) continue;
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this, &f] {
+        return !queue_.empty() ||
+               f.wait_for(seconds(0)) == std::future_status::ready;
+      });
+    }
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  SharedPoolState& state = shared_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.pool) {
+    state.pool = std::make_unique<ThreadPool>(state.requested);
+  }
+  return *state.pool;
+}
+
+void ThreadPool::configure_shared(std::size_t threads) {
+  SharedPoolState& state = shared_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.pool) {
+    if (state.pool->thread_count() != effective_threads(threads)) {
+      throw Error("ThreadPool::configure_shared: shared pool already "
+                  "created with " +
+                  std::to_string(state.pool->thread_count()) +
+                  " threads; cannot resize to " +
+                  std::to_string(effective_threads(threads)));
+    }
+    return;
+  }
+  state.requested = threads;
 }
 
 void ThreadPool::worker_loop() {
@@ -47,16 +144,14 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     task();  // exceptions are captured in the packaged_task's future
+    notify_task_done();
   }
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t threads) {
   if (n == 0) return;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, n);
+  threads = std::min(effective_threads(threads), n);
   if (threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
@@ -67,15 +162,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(pool.submit([i, &body] { body(i); }));
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  pool.wait(futures);
 }
 
 }  // namespace sbx::util

@@ -2,9 +2,17 @@
 //
 // A small fixed-size thread pool used to parallelize embarrassingly
 // parallel experiment loops (cross-validation folds, per-target focused
-// attack repetitions). Determinism is preserved because each work item owns
-// a pre-forked RNG stream and writes to its own result slot; the pool only
-// changes wall-clock time, never results.
+// attack repetitions, whole sweep configs). Determinism is preserved
+// because each work item owns a pre-forked RNG stream and writes to its own
+// result slot; the pool only changes wall-clock time, never results.
+//
+// Nesting contract: the experiment harness runs sweeps of whole configs on
+// the same pool the per-config fold/repetition loops use, so a task running
+// on a worker may itself submit tasks and wait for them. wait() implements
+// the run-inline-while-waiting policy: a thread waiting on futures drains
+// queued tasks on its own stack instead of blocking, so nested waits can
+// never deadlock (there is always at least one thread — the waiter itself —
+// making progress) and a pool of size 1 degrades to inline execution.
 #pragma once
 
 #include <condition_variable>
@@ -35,10 +43,40 @@ class ThreadPool {
   /// the task's exception.
   std::future<void> submit(std::function<void()> task);
 
+  /// Waits until every future is ready, executing queued tasks on the
+  /// calling thread while any is pending (run-inline-while-waiting). Safe
+  /// to call from a worker of this same pool — this is what makes nested
+  /// submit-and-wait (sweep trials that fan out folds) deadlock-free at any
+  /// pool size. Rethrows the first future exception after all are ready.
+  void wait(std::vector<std::future<void>>& futures);
+
   std::size_t thread_count() const { return workers_.size(); }
+
+  /// The process-wide shared pool, created on first use with the size from
+  /// configure_shared() (default: hardware concurrency). Every eval::Runner
+  /// borrows this pool, so nested parallelism (sweep x folds) shares one
+  /// set of workers instead of oversubscribing the machine.
+  static ThreadPool& shared();
+
+  /// Sets the shared pool's size before its first use (0 = hardware
+  /// concurrency). Once the pool exists its size is fixed: a later call
+  /// with the same effective size is a no-op, a conflicting size throws
+  /// sbx::Error (resizing a pool other components already borrowed would
+  /// silently change their resource envelope).
+  static void configure_shared(std::size_t threads);
 
  private:
   void worker_loop();
+
+  /// Pops and runs one queued task on the calling thread; false when the
+  /// queue is empty.
+  bool try_run_one();
+
+  /// Publishes task completion to wait()ers without losing wakeups: the
+  /// fence acquires the queue mutex so a waiter is either before its
+  /// predicate check (and sees the ready future) or already blocked (and
+  /// receives the notification).
+  void notify_task_done();
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> queue_;

@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Compares a fresh bench_hotpath JSON run against the tracked baseline.
+"""Bench/experiment output checks.
 
-Usage:
+Baseline mode (default) — compares a fresh bench_hotpath JSON run against
+the tracked baseline:
+
     tools/check_bench.py BENCH_baseline.json bench-out/bench_hotpath.json \
         [--max-regression 0.25]
 
@@ -10,21 +12,23 @@ run and must not have regressed by more than --max-regression (fractional;
 all bench_hotpath metrics are higher-is-better throughputs or speedup
 ratios). Improvements are reported but never fail the check. Exits non-zero
 on any regression beyond the threshold or any missing metric.
+
+ResultDoc mode — validates the schema of eval::ResultDoc JSON files (as
+written by `sbx_experiments run/sweep --out-dir`):
+
+    tools/check_bench.py validate-resultdoc sweep-out/*.json
+
+Checks the document structure the registry serializer promises: experiment
+name, string-to-string config, numeric metrics, rectangular string tables,
+equal-length numeric series, and a string report. Exits non-zero on the
+first malformed file.
 """
 import argparse
 import json
 import sys
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="tracked BENCH_baseline.json")
-    parser.add_argument("current", help="fresh bench_hotpath --json output")
-    parser.add_argument("--max-regression", type=float, default=0.25,
-                        help="allowed fractional drop per metric "
-                             "(default 0.25)")
-    args = parser.parse_args()
-
+def check_baseline(args) -> int:
     with open(args.baseline) as f:
         baseline = json.load(f)["metrics"]
     with open(args.current) as f:
@@ -57,6 +61,112 @@ def main() -> int:
         return 1
     print(f"\nOK: no metric regressed beyond {args.max_regression:.0%}")
     return 0
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValueError(f"{path}: {message}")
+
+
+def validate_resultdoc(path: str) -> None:
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        _fail(path, "top level is not an object")
+
+    for key in ("experiment", "config", "metrics", "tables", "series",
+                "report"):
+        if key not in doc:
+            _fail(path, f"missing key '{key}'")
+
+    if not isinstance(doc["experiment"], str) or not doc["experiment"]:
+        _fail(path, "'experiment' is not a non-empty string")
+
+    if not isinstance(doc["config"], dict):
+        _fail(path, "'config' is not an object")
+    for key, value in doc["config"].items():
+        if not isinstance(value, str):
+            _fail(path, f"config['{key}'] is not a string")
+
+    if not isinstance(doc["metrics"], dict):
+        _fail(path, "'metrics' is not an object")
+    for key, value in doc["metrics"].items():
+        # null is the serializer's spelling of a non-finite double.
+        if not (value is None or isinstance(value, (int, float))):
+            _fail(path, f"metrics['{key}'] is not a number or null")
+
+    if not isinstance(doc["tables"], dict):
+        _fail(path, "'tables' is not an object")
+    for name, table in doc["tables"].items():
+        if not isinstance(table, dict):
+            _fail(path, f"tables['{name}'] is not an object")
+        headers = table.get("headers")
+        rows = table.get("rows")
+        if (not isinstance(headers, list) or not headers
+                or not all(isinstance(h, str) for h in headers)):
+            _fail(path, f"tables['{name}'].headers is not a non-empty "
+                        "string list")
+        if not isinstance(rows, list):
+            _fail(path, f"tables['{name}'].rows is not a list")
+        for i, row in enumerate(rows):
+            if (not isinstance(row, list) or len(row) != len(headers)
+                    or not all(isinstance(c, str) for c in row)):
+                _fail(path, f"tables['{name}'].rows[{i}] is not a "
+                            f"{len(headers)}-cell string list")
+
+    if not isinstance(doc["series"], list):
+        _fail(path, "'series' is not a list")
+    for i, series in enumerate(doc["series"]):
+        if not isinstance(series, dict) or not isinstance(
+                series.get("name"), str):
+            _fail(path, f"series[{i}] has no string name")
+        x, y = series.get("x"), series.get("y")
+        for axis, values in (("x", x), ("y", y)):
+            if not isinstance(values, list) or not all(
+                    value is None or isinstance(value, (int, float))
+                    for value in values):
+                _fail(path, f"series[{i}].{axis} is not a number list")
+        if len(x) != len(y):
+            _fail(path, f"series[{i}] has mismatched x/y lengths")
+
+    if not isinstance(doc["report"], list) or not all(
+            isinstance(line, str) for line in doc["report"]):
+        _fail(path, "'report' is not a string list")
+
+
+def check_resultdocs(paths) -> int:
+    if not paths:
+        print("validate-resultdoc: no files given", file=sys.stderr)
+        return 1
+    for path in paths:
+        try:
+            validate_resultdoc(path)
+        except ValueError as e:
+            # _fail() messages already carry the path; json.JSONDecodeError
+            # (a ValueError subclass) does not.
+            message = str(e)
+            if not message.startswith(path):
+                message = f"{path}: {message}"
+            print(f"FAIL: {message}", file=sys.stderr)
+            return 1
+        except (KeyError, OSError) as e:
+            print(f"FAIL: {path}: {e}", file=sys.stderr)
+            return 1
+        print(f"OK: {path}")
+    print(f"\nOK: {len(paths)} ResultDoc(s) valid")
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "validate-resultdoc":
+        return check_resultdocs(sys.argv[2:])
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="tracked BENCH_baseline.json")
+    parser.add_argument("current", help="fresh bench_hotpath --json output")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop per metric "
+                             "(default 0.25)")
+    return check_baseline(parser.parse_args())
 
 
 if __name__ == "__main__":
