@@ -5,11 +5,19 @@
 // conservative (0.01, 0.99) to permissive (0.20, 0.80) under a fixed 5%
 // Usenet dictionary attack, reporting the ham-protection / spam-certainty
 // trade-off each pair buys.
+//
+// Thin presentation wrapper over the registry's "threshold" experiment
+// (the grid used to be hand-rolled here): one config with
+// utility_targets=0.01,0.05,0.1,0.2 and attack_fractions=0.05, re-rendered
+// into the historical table layout byte-for-byte. The same grid is saved
+// as a sweep spec in tools/sweeps/ablation_threshold_sweep.sh (one
+// ResultDoc per target via `sbx_experiments sweep`).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/dictionary_attack.h"
-#include "eval/experiments.h"
+#include "eval/registry.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -18,51 +26,45 @@ int main(int argc, char** argv) {
       "Ablation: dynamic-threshold utility targets (5% usenet attack)",
       "Section 5.2 closing remark");
 
-  sbx::eval::ThresholdDefenseConfig config;
-  config.base.attack_fractions = {0.05};
-  config.base.threads = flags.threads;
-  if (flags.seed) config.base.seed = *flags.seed;
-  if (flags.quick) {
-    config.base.training_set_size = 2'000;
-    config.base.folds = 5;
-  } else {
-    config.base.training_set_size = 10'000;
-    config.base.folds = 10;
-  }
-  config.variants = {{0.01, 0.99}, {0.05, 0.95}, {0.10, 0.90}, {0.20, 0.80}};
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("threshold");
+  const std::vector<std::string> overrides = {
+      "attack_fractions=0.05",
+      "utility_targets=0.01,0.05,0.1,0.2",
+  };
+  const sbx::eval::Config config =
+      sbx::eval::resolve_config(experiment, flags.quick, overrides,
+                                flags.seed);
+  const sbx::eval::ResultDoc doc =
+      experiment.run(config, flags.run_context());
 
-  const sbx::corpus::TrecLikeGenerator generator;
-  const sbx::core::DictionaryAttack attack =
-      sbx::core::DictionaryAttack::usenet(generator.lexicons());
-  const auto points =
-      sbx::eval::run_threshold_defense_curve(generator, attack, config);
-  const auto& attacked = points.back();
+  // The registry document carries one row per (fraction, variant) cell
+  // with the same formatted values the hand-rolled grid printed; keep the
+  // historical layout by re-rendering the attacked point's rows (the last
+  // 1 + |targets| block — fractions ascend, the control point is first).
+  const std::vector<double> targets =
+      config.get_double_list("utility_targets");
+  const auto& defense = doc.table("defense").rows();
+  const std::size_t block = 1 + targets.size();
+  const std::size_t attacked = defense.size() - block;
 
   sbx::util::Table table({"utility targets", "theta0", "theta1",
                           "ham->spam %", "ham->spam|unsure %",
                           "spam->unsure %", "spam->ham %"});
-  table.add_row({"static 0.15/0.90", "0.150", "0.900",
-                 sbx::util::Table::cell(
-                     100.0 * attacked.no_defense.ham_as_spam_rate(), 1),
-                 sbx::util::Table::cell(
-                     100.0 * attacked.no_defense.ham_misclassified_rate(), 1),
-                 sbx::util::Table::cell(
-                     100.0 * attacked.no_defense.spam_as_unsure_rate(), 1),
-                 sbx::util::Table::cell(
-                     100.0 * attacked.no_defense.spam_as_ham_rate(), 1)});
-  for (std::size_t vi = 0; vi < config.variants.size(); ++vi) {
-    const auto& m = attacked.defended[vi];
-    char name[32];
-    std::snprintf(name, sizeof(name), "g=(%.2f, %.2f)",
-                  config.variants[vi].ham_target,
-                  config.variants[vi].spam_target);
-    table.add_row(
-        {name, sbx::util::Table::cell(attacked.mean_thresholds[vi].theta0, 3),
-         sbx::util::Table::cell(attacked.mean_thresholds[vi].theta1, 3),
-         sbx::util::Table::cell(100.0 * m.ham_as_spam_rate(), 1),
-         sbx::util::Table::cell(100.0 * m.ham_misclassified_rate(), 1),
-         sbx::util::Table::cell(100.0 * m.spam_as_unsure_rate(), 1),
-         sbx::util::Table::cell(100.0 * m.spam_as_ham_rate(), 1)});
+  for (std::size_t vi = 0; vi < block; ++vi) {
+    const std::vector<std::string>& row = defense[attacked + vi];
+    std::string name;
+    if (vi == 0) {
+      name = "static 0.15/0.90";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "g=(%.2f, %.2f)", targets[vi - 1],
+                    1.0 - targets[vi - 1]);
+      name = buf;
+    }
+    // defense columns: control %, attack msgs, variant, theta0, theta1,
+    // ham->spam %, ham->spam|unsure %, spam->unsure %, spam->ham %.
+    table.add_row({name, row[3], row[4], row[5], row[6], row[7], row[8]});
   }
   std::printf("%s\n", table.to_text().c_str());
   table.write_csv(flags.csv_dir + "/ablation_threshold_sweep.csv");

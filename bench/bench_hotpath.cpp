@@ -1,7 +1,8 @@
 // bench_hotpath: machine-readable perf baselines for the hot paths the
-// interning refactor targets — classification (msgs/sec), train/untrain
-// round trips (ops/sec) and tokenization (MB/s) — each measured through the
-// legacy string-set path and the interned id path.
+// interning + score-engine refactors target — classification (msgs/sec)
+// through the legacy string-set path, the interned id path and the
+// generation-cached ScoreEngine (single-message and zero-alloc batch),
+// train/untrain round trips (ops/sec) and tokenization (MB/s).
 //
 // Unlike bench_micro (google-benchmark, optional dependency), this binary
 // always builds and emits JSON for the tracked BENCH_baseline.json
@@ -19,6 +20,7 @@
 #include "corpus/generator.h"
 #include "email/rfc2822.h"
 #include "spambayes/filter.h"
+#include "spambayes/score_engine.h"
 #include "util/random.h"
 
 namespace {
@@ -96,8 +98,37 @@ int main(int argc, char** argv) {
     g_sink = filter.classify_tokens(probe_tokens).score;
   });
   const double classify_interned = ops_per_sec(min_seconds, [&] {
-    g_sink = filter.classify_ids(probe_ids).score;
+    g_sink = filter.classifier().score_ids(filter.database(), probe_ids).score;
   });
+
+  // Engine path: same probe against the same static database; the memoized
+  // per-token probabilities/log-terms stay warm across calls, which is
+  // exactly the experiment-loop shape (thousands of classifies between
+  // training events).
+  spambayes::ScoreEngine engine(filter.options().classifier);
+  const double classify_engine = ops_per_sec(min_seconds, [&] {
+    g_sink = engine.score_ids(filter.database(), probe_ids).score;
+  });
+
+  // Batch path: 64 distinct fresh messages per op through the zero-alloc
+  // sink API (per-message evidence buffers reused across the batch).
+  std::vector<spambayes::TokenIdSet> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(spambayes::unique_token_ids(tok.tokenize_ids(
+        i % 2 == 0 ? gen.generate_ham(rng) : gen.generate_spam(rng))));
+  }
+  const double classify_engine_batch =
+      ops_per_sec(min_seconds,
+                  [&] {
+                    double acc = 0.0;
+                    engine.score_ids_batch(
+                        filter.database(), batch,
+                        [&](std::size_t, const spambayes::BatchScore& s) {
+                          acc += s.score;
+                        });
+                    g_sink = acc;
+                  }) *
+      static_cast<double>(batch.size());
 
   // --- train/untrain round trip (RONI's inner loop shape) ----------------
   util::Rng train_rng(3);
@@ -145,6 +176,8 @@ int main(int argc, char** argv) {
   const std::vector<Metric> metrics = {
       {"classify_string_msgs_per_sec", classify_string},
       {"classify_interned_msgs_per_sec", classify_interned},
+      {"classify_engine_msgs_per_sec", classify_engine},
+      {"classify_engine_batch_msgs_per_sec", classify_engine_batch},
       {"train_untrain_string_ops_per_sec", train_string},
       {"train_untrain_interned_ops_per_sec", train_interned},
       {"tokenize_to_set_string_mb_per_sec", tokenize_string},
@@ -152,6 +185,9 @@ int main(int argc, char** argv) {
   };
   const std::vector<Metric> info = {
       {"classify_interned_speedup", classify_interned / classify_string},
+      {"classify_engine_speedup", classify_engine / classify_string},
+      {"classify_engine_vs_interned_speedup",
+       classify_engine / classify_interned},
       {"train_untrain_interned_speedup", train_interned / train_string},
       {"tokenize_to_ids_speedup", tokenize_ids / tokenize_string},
   };

@@ -8,6 +8,7 @@
 #include "core/dictionary_attack.h"
 #include "corpus/generator.h"
 #include "spambayes/filter.h"
+#include "spambayes/score_engine.h"
 #include "util/random.h"
 #include "util/stats.h"
 
@@ -151,10 +152,61 @@ void BM_ClassifyMessageInterned(benchmark::State& state) {
   const auto probe = sbx::spambayes::unique_token_ids(
       tok.tokenize_ids(gen.generate_ham(rng)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(filter.classify_ids(probe).score);
+    benchmark::DoNotOptimize(
+        filter.classifier().score_ids(filter.database(), probe).score);
   }
 }
 BENCHMARK(BM_ClassifyMessageInterned);
+
+void BM_ClassifyMessageEngine(benchmark::State& state) {
+  sbx::util::Rng rng(4);
+  const auto& gen = shared_generator();
+  sbx::spambayes::Filter filter;
+  const sbx::spambayes::Tokenizer tok;
+  for (int i = 0; i < 200; ++i) {
+    filter.train_ham_ids(sbx::spambayes::unique_token_ids(
+        tok.tokenize_ids(gen.generate_ham(rng))));
+    filter.train_spam_ids(sbx::spambayes::unique_token_ids(
+        tok.tokenize_ids(gen.generate_spam(rng))));
+  }
+  const auto probe = sbx::spambayes::unique_token_ids(
+      tok.tokenize_ids(gen.generate_ham(rng)));
+  sbx::spambayes::ScoreEngine engine(filter.options().classifier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.score_ids(filter.database(), probe).score);
+  }
+}
+BENCHMARK(BM_ClassifyMessageEngine);
+
+void BM_ClassifyBatch64Engine(benchmark::State& state) {
+  sbx::util::Rng rng(4);
+  const auto& gen = shared_generator();
+  sbx::spambayes::Filter filter;
+  const sbx::spambayes::Tokenizer tok;
+  for (int i = 0; i < 200; ++i) {
+    filter.train_ham_ids(sbx::spambayes::unique_token_ids(
+        tok.tokenize_ids(gen.generate_ham(rng))));
+    filter.train_spam_ids(sbx::spambayes::unique_token_ids(
+        tok.tokenize_ids(gen.generate_spam(rng))));
+  }
+  std::vector<sbx::spambayes::TokenIdSet> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(sbx::spambayes::unique_token_ids(tok.tokenize_ids(
+        i % 2 == 0 ? gen.generate_ham(rng) : gen.generate_spam(rng))));
+  }
+  sbx::spambayes::ScoreEngine engine(filter.options().classifier);
+  for (auto _ : state) {
+    double acc = 0.0;
+    engine.score_ids_batch(
+        filter.database(), batch,
+        [&](std::size_t, const sbx::spambayes::BatchScore& s) {
+          acc += s.score;
+        });
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ClassifyBatch64Engine);
 
 void BM_Chi2EvenDof(benchmark::State& state) {
   double x = 123.0;

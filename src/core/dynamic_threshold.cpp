@@ -134,10 +134,14 @@ ThresholdPair compute_dynamic_thresholds(
 
   std::vector<ScoredExample> scored;
   scored.reserve(order.size() - half + extra_spam_batches.size());
-  for (std::size_t i = half; i < order.size(); ++i) {
-    const auto& item = training.items[order[i]];
-    scored.push_back({filter.classify_ids(item.ids).score, item.label});
-  }
+  filter.classify_batch(
+      order.size() - half,
+      [&](std::size_t i) -> const spambayes::TokenIdList& {
+        return training.items[order[half + i]].ids;
+      },
+      [&](std::size_t i, const spambayes::BatchScore& result) {
+        scored.push_back({result.score, training.items[order[half + i]].label});
+      });
   for (const SpamBatch& batch : extra_spam_batches) {
     std::uint32_t to_validate = batch.copies - batch.copies / 2;
     if (to_validate == 0) continue;

@@ -23,6 +23,7 @@ RoniAssessment RoniDefense::assess(const spambayes::TokenIdSet& query_ids,
 
   RoniAssessment out;
   out.per_trial.reserve(config_.resamples);
+  std::vector<std::size_t> ham_validation;  // reused across trials
   for (std::size_t trial = 0; trial < config_.resamples; ++trial) {
     // Draw T and V disjointly.
     std::vector<std::size_t> idx =
@@ -37,15 +38,24 @@ RoniAssessment RoniDefense::assess(const spambayes::TokenIdSet& query_ids,
       }
     }
 
+    // Only the ham share of V contributes to the metric; batch-classify
+    // exactly those messages (before and after the query is grafted on).
+    ham_validation.clear();
+    for (std::size_t i = config_.train_size; i < needed; ++i) {
+      if (pool.items[idx[i]].label == corpus::TrueLabel::ham) {
+        ham_validation.push_back(idx[i]);
+      }
+    }
     auto ham_as_ham = [&](const spambayes::Filter& f) {
       std::size_t correct = 0;
-      for (std::size_t i = config_.train_size; i < needed; ++i) {
-        const auto& item = pool.items[idx[i]];
-        if (item.label != corpus::TrueLabel::ham) continue;
-        if (f.classify_ids(item.ids).verdict == spambayes::Verdict::ham) {
-          ++correct;
-        }
-      }
+      f.classify_batch(
+          ham_validation.size(),
+          [&](std::size_t i) -> const spambayes::TokenIdList& {
+            return pool.items[ham_validation[i]].ids;
+          },
+          [&](std::size_t, const spambayes::BatchScore& scored) {
+            if (scored.verdict == spambayes::Verdict::ham) ++correct;
+          });
       return correct;
     };
 

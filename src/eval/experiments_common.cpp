@@ -19,10 +19,14 @@ ConfusionMatrix classify_indices(const spambayes::Filter& filter,
                                  const corpus::TokenizedDataset& data,
                                  const std::vector<std::size_t>& indices) {
   ConfusionMatrix matrix;
-  for (std::size_t i : indices) {
-    const auto& item = data.items[i];
-    matrix.add(item.label, filter.classify_ids(item.ids).verdict);
-  }
+  filter.classify_batch(
+      indices.size(),
+      [&](std::size_t i) -> const spambayes::TokenIdList& {
+        return data.items[indices[i]].ids;
+      },
+      [&](std::size_t i, const spambayes::BatchScore& scored) {
+        matrix.add(data.items[indices[i]].label, scored.verdict);
+      });
   return matrix;
 }
 

@@ -33,6 +33,7 @@ std::vector<WeekReport> run_retraining_timeline(
   std::vector<WeekData> weeks(config.weeks);
   std::vector<WeekReport> reports;
   reports.reserve(config.weeks);
+  std::vector<spambayes::TokenIdSet> fresh_ids;  // reused across weeks
 
   for (std::size_t week = 0; week < config.weeks; ++week) {
     WeekReport report;
@@ -122,15 +123,23 @@ std::vector<WeekReport> run_retraining_timeline(
     util::Rng test_rng = master.fork(50'000 + week);
     corpus::Dataset fresh = gen.sample_mailbox(config.test_messages,
                                                config.spam_fraction, test_rng);
+    fresh_ids.clear();
+    fresh_ids.reserve(fresh.items.size());
     for (const auto& item : fresh.items) {
-      const double score =
-          filter.classify_ids(spambayes::unique_token_ids(
-                                  tokenizer.tokenize_ids(item.message)))
-              .score;
-      report.test.add(item.label,
-                      spambayes::Classifier::verdict_for(
-                          score, thresholds.theta0, thresholds.theta1));
+      fresh_ids.push_back(
+          spambayes::unique_token_ids(tokenizer.tokenize_ids(item.message)));
     }
+    filter.classify_batch(
+        fresh_ids.size(),
+        [&](std::size_t i) -> const spambayes::TokenIdList& {
+          return fresh_ids[i];
+        },
+        [&](std::size_t i, const spambayes::BatchScore& scored) {
+          report.test.add(fresh.items[i].label,
+                          spambayes::Classifier::verdict_for(
+                              scored.score, thresholds.theta0,
+                              thresholds.theta1));
+        });
     reports.push_back(std::move(report));
   }
   return reports;

@@ -94,20 +94,25 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
             local.thresholds[pi][vi] = pairs[vi];
           }
 
-          // Score the test fold once; apply every cutoff pair.
-          for (std::size_t i : split.test) {
-            const auto& item = tokenized.items[i];
-            const double score = filter.classify_ids(item.ids).score;
-            local.plain[pi].add(
-                item.label,
-                filter.classifier().verdict_for(score));
-            for (std::size_t vi = 0; vi < n_variants; ++vi) {
-              local.defended[pi][vi].add(
-                  item.label,
-                  spambayes::Classifier::verdict_for(
-                      score, pairs[vi].theta0, pairs[vi].theta1));
-            }
-          }
+          // Score the test fold once (batch path, zero per-message
+          // allocation); apply every cutoff pair to each score.
+          filter.classify_batch(
+              split.test.size(),
+              [&](std::size_t i) -> const spambayes::TokenIdList& {
+                return tokenized.items[split.test[i]].ids;
+              },
+              [&](std::size_t i, const spambayes::BatchScore& scored) {
+                const auto& item = tokenized.items[split.test[i]];
+                local.plain[pi].add(
+                    item.label,
+                    filter.classifier().verdict_for(scored.score));
+                for (std::size_t vi = 0; vi < n_variants; ++vi) {
+                  local.defended[pi][vi].add(
+                      item.label,
+                      spambayes::Classifier::verdict_for(
+                          scored.score, pairs[vi].theta0, pairs[vi].theta1));
+                }
+              });
         }
         return local;
       },

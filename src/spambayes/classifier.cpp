@@ -3,31 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "spambayes/scoring_math.h"
 #include "util/error.h"
 #include "util/stats.h"
 
 namespace sbx::spambayes {
 namespace {
 
-/// Eq. 1-2 over raw presence counts. Single definition so the string and id
-/// paths perform the identical sequence of floating-point operations.
-double score_from_counts(TokenCounts c, double ns, double nh,
-                         const ClassifierOptions& opts) {
-  // Eq. 1. Expressed through per-class presence ratios, which is exactly
-  // NH*NS(w) / (NH*NS(w) + NS*NH(w)) when both class counts are nonzero and
-  // degrades gracefully when one class is empty.
-  const double spam_ratio = ns > 0 ? c.spam / ns : 0.0;
-  const double ham_ratio = nh > 0 ? c.ham / nh : 0.0;
-  double ps = 0.5;
-  if (spam_ratio + ham_ratio > 0) {
-    ps = spam_ratio / (spam_ratio + ham_ratio);
-  }
-  // Eq. 2: shrink toward the prior x with strength s.
-  const double n_w = static_cast<double>(c.spam) + static_cast<double>(c.ham);
-  const double s = opts.unknown_word_strength;
-  const double x = opts.unknown_word_prob;
-  return (s * x + n_w * ps) / (s + n_w);
-}
+// Eq. 1-2 lives in scoring_math.h (shared with ScoreEngine so both paths
+// perform the identical sequence of floating-point operations).
+using detail::score_from_counts;
 
 /// Delta(E) selection and Fisher combination, shared by score() and
 /// score_ids(). `Result` provides .evidence (with .score/.used members) and
@@ -62,11 +47,14 @@ void select_and_combine(Result& result, const ClassifierOptions& opts,
     return spelling_of(a.index) < spelling_of(b.index);
   };
   if (candidates.size() > opts.max_discriminators) {
-    std::partial_sort(candidates.begin(),
-                      candidates.begin() +
-                          static_cast<std::ptrdiff_t>(opts.max_discriminators),
-                      candidates.end(), stronger);
+    // nth_element + prefix sort picks exactly the prefix a full sort
+    // would (strict total order) at a fraction of partial_sort's
+    // heap-maintenance cost on these sizes.
+    const auto cut = candidates.begin() +
+                     static_cast<std::ptrdiff_t>(opts.max_discriminators);
+    std::nth_element(candidates.begin(), cut, candidates.end(), stronger);
     candidates.resize(opts.max_discriminators);
+    std::sort(candidates.begin(), candidates.end(), stronger);
   } else {
     std::sort(candidates.begin(), candidates.end(), stronger);
   }
@@ -96,8 +84,11 @@ void select_and_combine(Result& result, const ClassifierOptions& opts,
   }
 
   // Eq. 4 (survival form): H = Q(-2 sum log f; 2n), S = Q(-2 sum log(1-f)).
-  const double h = util::chi2q_even_dof(-2.0 * sum_log_f, n);
-  const double s = util::chi2q_even_dof(-2.0 * sum_log_1mf, n);
+  // The pair form interleaves the two independent Erlang folds
+  // (bit-identical to two single calls, roughly half the wall clock).
+  double h;
+  double s;
+  util::chi2q_even_dof_pair(-2.0 * sum_log_f, -2.0 * sum_log_1mf, n, &h, &s);
   result.spam_evidence = h;
   result.ham_evidence = s;
   result.score = (1.0 + h - s) / 2.0;  // Eq. 3

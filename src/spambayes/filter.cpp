@@ -79,7 +79,8 @@ ScoreResult Filter::classify_tokens(const TokenSet& tokens) const {
 }
 
 ScoreIdResult Filter::classify_ids(const TokenIdSet& ids) const {
-  return classifier_.score_ids(db_, ids);
+  return ScoreEngine::for_current_thread(opts_.classifier)
+      .score_ids(db_, ids);
 }
 
 void Filter::set_cutoffs(double ham_cutoff, double spam_cutoff) {

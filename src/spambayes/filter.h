@@ -23,6 +23,7 @@
 #include "spambayes/classifier.h"
 #include "spambayes/interner.h"
 #include "spambayes/options.h"
+#include "spambayes/score_engine.h"
 #include "spambayes/token_db.h"
 #include "spambayes/tokenizer.h"
 
@@ -70,8 +71,27 @@ class Filter {
   ScoreResult classify_tokens(const TokenSet& tokens) const;
 
   /// Scores a pre-interned message — bit-identical score/verdict to the
-  /// string path, with no per-token hashing or allocation.
+  /// string path, with no per-token hashing. Routed through the calling
+  /// thread's ScoreEngine (see score_engine.h): per-token probabilities
+  /// and Fisher log-terms are memoized per database generation, so
+  /// repeated classification against an unchanged database skips the
+  /// libm transcendentals entirely. Safe to call on a shared const Filter
+  /// from any number of threads (one engine per thread).
   ScoreIdResult classify_ids(const TokenIdSet& ids) const;
+
+  /// Zero-allocation batch classify: scores ids_of(i) for i in
+  /// [0, count) against this filter's database and calls
+  /// sink(i, const BatchScore&) for each. Evidence/candidate buffers are
+  /// reused across the whole batch and the per-message BatchScore.evidence
+  /// view is only valid inside the sink call. Bit-identical to calling
+  /// classify_ids per message. The database must not be mutated from the
+  /// sink (the engine throws on a mid-batch generation change).
+  template <typename GetIds, typename Sink>
+  void classify_batch(std::size_t count, GetIds&& ids_of, Sink&& sink) const {
+    ScoreEngine::for_current_thread(opts_.classifier)
+        .score_batch(db_, count, std::forward<GetIds>(ids_of),
+                     std::forward<Sink>(sink));
+  }
 
   /// Tokenize-and-deduplicate helper matching what train/classify do.
   TokenSet message_tokens(const email::Message& msg) const;

@@ -1,0 +1,176 @@
+// sbx/spambayes/score_engine.h
+//
+// Generation-cached batch scoring engine. Classifier::score_ids recomputes
+// Eq. 1-2 and the per-discriminator log(f)/log1p(-f) pair for every token
+// of every message, yet the underlying TokenDatabase only changes at
+// discrete training events — across an experiment's classify loops the
+// same libm transcendentals are evaluated thousands of times on identical
+// inputs. ScoreEngine memoizes them once per (token, database generation):
+// a flat vector indexed by TokenId holds each token's smoothed probability
+// f, its precomputed log(f) and log1p(-f), its distance from 0.5 and a
+// passes-minimum_prob_strength flag. The memoized values are the *same*
+// libm calls Classifier would make, evaluated once instead of once per
+// occurrence per message, and the Fisher combination consumes them in the
+// exact candidate order Classifier uses — so every score, evidence entry
+// and verdict is bit-identical to Classifier::score_ids by construction
+// (tests/spambayes/score_engine_test.cpp holds this to EXPECT_EQ on
+// doubles).
+//
+// Invalidation contract: TokenDatabase::generation() values are process-
+// globally unique per mutation, so `generation() == cached` proves the
+// cached per-token values are still exact; any train/untrain/merge/load
+// moves the database to a never-before-seen generation and the engine
+// lazily refills on the next score call. Stale reuse after a mutation is
+// therefore impossible by construction, and score_batch() additionally
+// *throws* if the database is mutated mid-batch (one batch = one
+// snapshot).
+//
+// Thread ownership: a ScoreEngine is mutable scratch — one engine per
+// thread, never shared. for_current_thread() hands out a thread_local
+// engine (rebinding it to the requested options), which is what lets a
+// *const* Filter be classified from many threads at once: each thread
+// memoizes into its own engine and all of them produce identical bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spambayes/classifier.h"
+#include "spambayes/interner.h"
+#include "spambayes/options.h"
+#include "spambayes/token_db.h"
+
+namespace sbx::spambayes {
+
+/// One scored message as seen by a batch sink: the aggregate fields of
+/// ScoreIdResult plus an evidence view. `evidence` aliases the engine's
+/// reused scratch buffer — valid only for the duration of the sink call
+/// (copy it if you need it afterwards). This is what makes the batch path
+/// allocation-free per message.
+struct BatchScore {
+  double score = 0.5;
+  double spam_evidence = 0.0;
+  double ham_evidence = 0.0;
+  std::size_t tokens_used = 0;
+  Verdict verdict = Verdict::unsure;
+  std::span<const TokenIdEvidence> evidence;  // in input-id order
+};
+
+/// Memoizing scorer. Bit-identical to Classifier::score_ids for any
+/// database/options; owns per-token memo + per-message scratch buffers.
+class ScoreEngine {
+ public:
+  explicit ScoreEngine(ClassifierOptions opts = {});
+
+  /// Scores one deduplicated id set; drop-in for Classifier::score_ids
+  /// (same result type, same bits, same evidence order).
+  ScoreIdResult score_ids(const TokenDatabase& db, const TokenIdList& ids);
+
+  /// Zero-allocation batch path: scores ids_of(i) for i in [0, count) and
+  /// calls sink(i, const BatchScore&) for each. ids_of must return a
+  /// reference to a TokenIdList (deduplicated ids, any order). The
+  /// database is one snapshot for the whole batch: mutating it from the
+  /// sink throws sbx::InvalidArgument on the next message (generation
+  /// mismatch).
+  template <typename GetIds, typename Sink>
+  void score_batch(const TokenDatabase& db, std::size_t count,
+                   GetIds&& ids_of, Sink&& sink) {
+    bind(db);
+    const std::uint64_t bound = generation_;
+    BatchScore out;
+    for (std::size_t i = 0; i < count; ++i) {
+      check_generation(db, bound);
+      score_into(db, ids_of(i), out);
+      sink(i, static_cast<const BatchScore&>(out));
+    }
+  }
+
+  /// Convenience overload over a contiguous array of id lists.
+  template <typename Sink>
+  void score_ids_batch(const TokenDatabase& db,
+                       std::span<const TokenIdList> messages, Sink&& sink) {
+    score_batch(
+        db, messages.size(),
+        [&](std::size_t i) -> const TokenIdList& { return messages[i]; },
+        std::forward<Sink>(sink));
+  }
+
+  /// Swaps the classifier options. Invalidates the memo only when a
+  /// memo-relevant parameter (s, x, minimum_prob_strength) actually
+  /// changed; cutoffs and max_discriminators apply at combine time and
+  /// cost nothing to swap.
+  void rebind_options(const ClassifierOptions& opts);
+
+  const ClassifierOptions& options() const { return opts_; }
+
+  /// Generation of the last database this engine scored against (0 =
+  /// none yet). Exposed for tests of the invalidation contract.
+  std::uint64_t cached_generation() const { return generation_; }
+
+  /// The calling thread's engine, rebound to `opts`. Filter::classify_ids
+  /// and Filter::classify_batch route through this, which keeps a shared
+  /// const Filter safely classifiable from any number of threads.
+  static ScoreEngine& for_current_thread(const ClassifierOptions& opts);
+
+ private:
+  /// Memoized per-token values, exact for the bound (generation, options)
+  /// pair iff epoch == engine epoch. log_f/log_1mf are only meaningful
+  /// when strong (weak tokens are never selected into delta(E));
+  /// spell_prefix is the spelling's first 8 bytes as a big-endian integer,
+  /// so the tie-break comparator resolves almost every spelling
+  /// comparison with one integer compare (equal prefixes fall back to the
+  /// full string, preserving the exact (distance desc, spelling asc)
+  /// total order the Classifier uses).
+  struct TokenMemo {
+    double f = 0.5;
+    double log_f = 0.0;
+    double log_1mf = 0.0;
+    double distance = 0.0;
+    std::uint64_t spell_prefix = 0;
+    std::uint64_t epoch = 0;  // 0 never matches (engine epochs start at 1)
+    bool strong = false;
+  };
+
+  /// Sort key packing (distance desc, spelling-prefix asc) into one
+  /// 128-bit integer: the high lane is the bitwise complement of the
+  /// distance's IEEE-754 bits (distance >= 0, so raw bits order doubles
+  /// numerically and the complement flips the direction), the low lane
+  /// the big-endian 8-byte spelling prefix. Ascending key order is then
+  /// exactly the Classifier's (distance desc, spelling asc) total order,
+  /// except for prefix collisions, which the comparator resolves with a
+  /// full spelling comparison.
+  // GCC/Clang extension; __extension__ silences -Wpedantic (the build has
+  // no 128-bit-free fallback need on the supported toolchains).
+  __extension__ typedef unsigned __int128 SortKey;
+
+  struct Candidate {
+    SortKey key;
+    std::uint32_t index;  // into evidence_
+  };
+
+  /// Re-syncs to db's generation, invalidating the memo when it moved.
+  void bind(const TokenDatabase& db);
+
+  /// Throws when db no longer matches the generation a batch bound.
+  void check_generation(const TokenDatabase& db, std::uint64_t bound) const;
+
+  /// The memo entry for `id`, filled on first use this epoch.
+  const TokenMemo& memo_for(const TokenDatabase& db, TokenId id);
+
+  /// Scores one message into `out` using the memo + scratch buffers.
+  void score_into(const TokenDatabase& db, const TokenIdList& ids,
+                  BatchScore& out);
+
+  ClassifierOptions opts_;
+  std::vector<TokenMemo> memo_;  // indexed by TokenId
+  std::uint64_t epoch_ = 1;      // bumped on every invalidation
+  std::uint64_t generation_ = 0;  // db generation the memo is exact for
+  double ns_ = 0.0;               // db.spam_count() as double, cached
+  double nh_ = 0.0;
+  // Per-message scratch, reused across the whole batch:
+  std::vector<TokenIdEvidence> evidence_;
+  std::vector<Candidate> candidates_;
+};
+
+}  // namespace sbx::spambayes

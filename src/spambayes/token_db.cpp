@@ -1,6 +1,7 @@
 #include "spambayes/token_db.h"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -9,6 +10,11 @@
 #include "util/error.h"
 
 namespace sbx::spambayes {
+
+std::uint64_t TokenDatabase::next_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 void TokenDatabase::add(const TokenIdSet& ids, std::uint32_t copies,
                         bool spam) {
@@ -26,6 +32,7 @@ void TokenDatabase::add(const TokenIdSet& ids, std::uint32_t copies,
     (spam ? c.spam : c.ham) += copies;
   }
   (spam ? nspam_ : nham_) += copies;
+  generation_ = next_generation();
 }
 
 void TokenDatabase::remove(const TokenIdSet& ids, std::uint32_t copies,
@@ -35,6 +42,10 @@ void TokenDatabase::remove(const TokenIdSet& ids, std::uint32_t copies,
   if (total < copies) {
     throw InvalidArgument("TokenDatabase: untraining more emails than known");
   }
+  // Validate everything before mutating anything: a partial decrement that
+  // then threw would change the contents without moving generation_,
+  // breaking the "equal generation proves equal contents" invariant
+  // ScoreEngine's memoization rests on.
   for (TokenId id : ids) {
     const std::uint32_t have =
         id < counts_.size() ? (spam ? counts_[id].spam : counts_[id].ham) : 0;
@@ -43,11 +54,14 @@ void TokenDatabase::remove(const TokenIdSet& ids, std::uint32_t copies,
           "TokenDatabase: untraining unknown token '" +
           std::string(global_interner().spelling(id)) + "'");
     }
+  }
+  for (TokenId id : ids) {
     TokenCounts& c = counts_[id];
     (spam ? c.spam : c.ham) -= copies;
     if (c.spam == 0 && c.ham == 0) --vocab_;
   }
   total -= copies;
+  generation_ = next_generation();
 }
 
 void TokenDatabase::train_spam_ids(const TokenIdSet& ids,
@@ -107,6 +121,7 @@ void TokenDatabase::merge(const TokenDatabase& other) {
   }
   nspam_ += other.nspam_;
   nham_ += other.nham_;
+  generation_ = next_generation();
 }
 
 std::vector<std::pair<std::string, TokenCounts>> TokenDatabase::tokens()
@@ -168,6 +183,7 @@ TokenDatabase TokenDatabase::load(std::istream& in) {
     if (mine.spam == 0 && mine.ham == 0) ++db.vocab_;
     mine = c;
   }
+  db.generation_ = next_generation();
   return db;
 }
 

@@ -82,6 +82,17 @@ class TokenDatabase {
   /// Number of distinct tokens with nonzero counts.
   std::size_t vocabulary_size() const { return vocab_; }
 
+  /// Cache-invalidation stamp with a process-wide uniqueness guarantee:
+  /// every mutation (train_*/untrain_*, merge, load) assigns a value drawn
+  /// from one process-global monotonic counter, so *no two distinct
+  /// database states ever share a generation*. Copies keep the stamp (a
+  /// copy IS the same state); the first mutation of either side moves the
+  /// mutated one to a value never used before. Hence `generation() ==
+  /// cached_generation` proves the contents are bit-identical to what was
+  /// cached — the invariant ScoreEngine's memoization rests on. No-op
+  /// calls (copies == 0) do not bump.
+  std::uint64_t generation() const { return generation_; }
+
   /// Merges another database into this one (counts add; used to combine
   /// per-shard training).
   void merge(const TokenDatabase& other);
@@ -113,10 +124,15 @@ class TokenDatabase {
   void add(const TokenIdSet& ids, std::uint32_t copies, bool spam);
   void remove(const TokenIdSet& ids, std::uint32_t copies, bool spam);
 
+  /// Next value of the process-global generation counter (atomic, starts
+  /// at 1 so 0 can mean "nothing observed yet" in caches).
+  static std::uint64_t next_generation();
+
   std::vector<TokenCounts> counts_;  // indexed by TokenId
   std::size_t vocab_ = 0;            // entries with nonzero counts
   std::uint32_t nspam_ = 0;
   std::uint32_t nham_ = 0;
+  std::uint64_t generation_ = next_generation();
 };
 
 }  // namespace sbx::spambayes

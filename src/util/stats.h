@@ -41,6 +41,14 @@ double chi_square_sf(double x, double dof);
 /// of combined significance tests (tokens). Returns a value in [0, 1].
 double chi2q_even_dof(double x, std::size_t n);
 
+/// Evaluates chi2q_even_dof(xa, n) and chi2q_even_dof(xb, n) in one
+/// interleaved pass. Both results are BIT-identical to two single calls —
+/// each fold performs the exact same operation sequence — but the two
+/// data-independent log/exp chains overlap in the pipeline, roughly
+/// halving the cost of the classifier's per-message H/S evaluation.
+void chi2q_even_dof_pair(double xa, double xb, std::size_t n, double* qa,
+                         double* qb);
+
 /// log(exp(a) + exp(b)) without overflow.
 double log_sum_exp(double a, double b);
 

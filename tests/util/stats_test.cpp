@@ -82,6 +82,63 @@ TEST(Chi2QEvenDof, Boundaries) {
   EXPECT_LE(chi2q_even_dof(1e6, 150), 1e-12);
 }
 
+// Verbatim port of the pre-optimization Erlang fold: no tail break, no
+// pair interleaving. chi2q_even_dof and chi2q_even_dof_pair promise
+// BIT-identical results to this loop (the classifier's scores depend on
+// it), so every comparison below is EXPECT_EQ on doubles.
+double reference_chi2q(double x, std::size_t n) {
+  if (n == 0) return 1.0;
+  const double m = x / 2.0;
+  if (m == 0.0) return 1.0;
+  const double log_m = std::log(m);
+  double log_term = 0.0;
+  double log_sum = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    log_term += log_m - std::log(static_cast<double>(i));
+    const double hi = std::max(log_sum, log_term);
+    const double lo = std::min(log_sum, log_term);
+    log_sum = hi + std::log(1.0 + std::exp(lo - hi));
+  }
+  const double log_q = log_sum - m;
+  if (log_q >= 0.0) return 1.0;
+  return std::exp(log_q);
+}
+
+TEST(Chi2QEvenDof, BitIdenticalToPlainFold) {
+  for (std::size_t n : {1u, 2u, 5u, 17u, 50u, 150u, 300u}) {
+    for (double x = 0.0; x < 1500.0; x += 0.7) {
+      EXPECT_EQ(chi2q_even_dof(x, n), reference_chi2q(x, n))
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Chi2QEvenDofPair, BitIdenticalToTwoSingleCalls) {
+  for (std::size_t n : {1u, 2u, 5u, 17u, 50u, 150u, 300u}) {
+    for (double xa = 0.0; xa < 1500.0; xa += 1.3) {
+      const double xb = 1500.0 - xa + 0.001;
+      double qa = -1.0;
+      double qb = -1.0;
+      chi2q_even_dof_pair(xa, xb, n, &qa, &qb);
+      EXPECT_EQ(qa, reference_chi2q(xa, n)) << "n=" << n << " xa=" << xa;
+      EXPECT_EQ(qb, reference_chi2q(xb, n)) << "n=" << n << " xb=" << xb;
+    }
+  }
+}
+
+TEST(Chi2QEvenDofPair, Boundaries) {
+  double qa = -1.0;
+  double qb = -1.0;
+  chi2q_even_dof_pair(0.0, 12.0, 10, &qa, &qb);
+  EXPECT_EQ(qa, 1.0);
+  EXPECT_EQ(qb, chi2q_even_dof(12.0, 10));
+  chi2q_even_dof_pair(5.0, 7.0, 0, &qa, &qb);
+  EXPECT_EQ(qa, 1.0);
+  EXPECT_EQ(qb, 1.0);
+  EXPECT_THROW(chi2q_even_dof_pair(-1.0, 3.0, 3, &qa, &qb), InvalidArgument);
+  EXPECT_THROW(chi2q_even_dof_pair(3.0, -1.0, 3, &qa, &qb), InvalidArgument);
+}
+
 TEST(Chi2QEvenDof, MonotoneDecreasingInX) {
   double prev = 1.0;
   for (double x = 0.0; x <= 400.0; x += 10.0) {

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Saved sweep spec for the §5.2 dynamic-threshold utility-target ablation —
+# the registry form of bench/bench_ablation_threshold_sweep.cpp's grid.
+#
+# Sweeps the utility target t over {0.01, 0.05, 0.1, 0.2} (each config
+# selects cutoffs with g(theta0) ~ t and g(theta1) ~ 1-t) under a fixed 5%
+# Usenet dictionary attack, emitting one schema-validated ResultDoc JSON
+# per target. The bench binary renders the same grid as a single table in
+# the historical layout; this spec is the scriptable/CI form.
+#
+# Usage (from the repo root, after building):
+#   tools/sweeps/ablation_threshold_sweep.sh [--quick] [--threads=N] \
+#       [--out-dir=DIR] [extra key=value overrides...]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+SBX_EXPERIMENTS="${SBX_EXPERIMENTS:-build/tools/sbx_experiments}"
+if [[ ! -x "$SBX_EXPERIMENTS" ]]; then
+  echo "error: $SBX_EXPERIMENTS not found (build first, or set SBX_EXPERIMENTS)" >&2
+  exit 2
+fi
+
+exec "$SBX_EXPERIMENTS" sweep threshold \
+  --axis 'utility_targets=0.01,0.05,0.1,0.2' \
+  attack_fractions=0.05 \
+  "$@"
