@@ -5,11 +5,19 @@
 // effectiveness". This sweep fixes the attack at 1% control and varies the
 // dictionary: top-N Usenet-ranked words for N in {10k, 25k, 50k, 90k} plus
 // the full Aspell list, reporting effectiveness per attack-email byte.
+//
+// Thin presentation wrapper over the registry's "dictionary" experiment
+// (the grid used to be hand-rolled here): one registry run per variant,
+// resolved through the attack registry (attack= / dictionary_size= keys)
+// and re-rendered into the historical table layout byte-for-byte. The same
+// grid is saved as a sweep spec in tools/sweeps/ablation_dictionary_size.sh
+// (one ResultDoc per variant via `sbx_experiments sweep`).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/dictionary_attack.h"
-#include "eval/experiments.h"
+#include "eval/registry.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -18,41 +26,52 @@ int main(int argc, char** argv) {
       "Ablation: dictionary size vs. attack effectiveness (1% control)",
       "Section 3.2 remark (informed attacks, smaller emails)");
 
-  sbx::eval::DictionaryCurveConfig config;
-  config.attack_fractions = {0.01};
-  config.threads = flags.threads;
-  if (flags.seed) config.seed = *flags.seed;
-  if (flags.quick) {
-    config.training_set_size = 2'000;
-    config.folds = 5;
-  } else {
-    config.training_set_size = 10'000;
-    config.folds = 10;
-  }
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("dictionary");
 
-  const sbx::corpus::TrecLikeGenerator generator;
-  const auto& lexicons = generator.lexicons();
-  std::vector<sbx::core::DictionaryAttack> attacks;
-  for (std::size_t n : {10'000u, 25'000u, 50'000u, 90'000u}) {
-    attacks.push_back(sbx::core::DictionaryAttack::usenet(lexicons, n));
-  }
-  attacks.push_back(sbx::core::DictionaryAttack::aspell(lexicons));
+  struct Variant {
+    const char* attack;
+    const char* dictionary_size;
+  };
+  const Variant variants[] = {{"usenet", "10000"},
+                              {"usenet", "25000"},
+                              {"usenet", "50000"},
+                              {"usenet", "90000"},
+                              {"aspell", "0"}};
 
   sbx::util::Table table({"attack", "dict words", "email bytes",
                           "ham->spam %", "ham->spam|unsure %",
                           "misclass per 10KB"});
-  for (const auto& attack : attacks) {
-    const auto curve =
-        sbx::eval::run_dictionary_curve(generator, attack, config);
-    const auto& p = curve.points.back();  // the 1% point
-    const double bytes =
-        static_cast<double>(attack.attack_message().body().size());
-    const double effect = 100.0 * p.matrix.ham_misclassified_rate();
-    table.add_row({curve.attack_name, std::to_string(curve.dictionary_size),
+  for (const Variant& v : variants) {
+    // Historical grid shape: only the 1% point, 2,000 x 5-fold under
+    // --quick (NOT the registry experiment's own quick overrides).
+    const std::vector<std::string> overrides = {
+        "attack_fractions=0.01",
+        std::string("attack=") + v.attack,
+        std::string("dictionary_size=") + v.dictionary_size,
+        flags.quick ? "training_set_size=2000" : "training_set_size=10000",
+        flags.quick ? "folds=5" : "folds=10",
+    };
+    const sbx::eval::Config config = sbx::eval::resolve_config(
+        experiment, /*quick=*/false, overrides, flags.seed);
+    const sbx::eval::ResultDoc doc =
+        experiment.run(config, flags.run_context());
+
+    auto metric = [&doc](const char* name) {
+      for (const auto& [key, value] : doc.metrics) {
+        if (key == name) return value;
+      }
+      return 0.0;
+    };
+    // curve columns: training set, attack, dict words, control %,
+    // attack msgs, ham->spam %, ham->spam|unsure %, fold stddev,
+    // spam->misc %, token ratio; the last row is the 1% point.
+    const std::vector<std::string>& row = doc.table("curve").rows().back();
+    const double bytes = metric("attack_email_bytes");
+    const double effect = metric("final_ham_misclassified_pct");
+    table.add_row({row[1], row[2],
                    sbx::util::Table::cell(static_cast<std::size_t>(bytes)),
-                   sbx::util::Table::cell(100.0 * p.matrix.ham_as_spam_rate(),
-                                          1),
-                   sbx::util::Table::cell(effect, 1),
+                   row[5], row[6],
                    sbx::util::Table::cell(effect / (bytes / 10'240.0), 2)});
   }
   std::printf("%s\n", table.to_text().c_str());

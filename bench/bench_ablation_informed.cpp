@@ -8,12 +8,19 @@
 //                practical approximation);
 //   aspell-N   — the first N words of a formal dictionary (no ranking
 //                information at all).
+//
+// Thin presentation wrapper over the registry's "dictionary" experiment
+// (the grid used to be hand-rolled here): one registry run per (budget,
+// attack) cell, resolved through the attack registry — informed/usenet/
+// aspell are all just attack= values now — and re-rendered into the
+// historical table layout byte-for-byte. The same grid is saved as a sweep
+// spec in tools/sweeps/ablation_informed.sh.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/dictionary_attack.h"
-#include "core/informed_attack.h"
-#include "eval/experiments.h"
+#include "eval/registry.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -22,39 +29,29 @@ int main(int argc, char** argv) {
       "Ablation: optimal constrained attack vs. approximations (1% control)",
       "Section 3.4 'optimal constrained attack' (future work)");
 
-  sbx::eval::DictionaryCurveConfig config;
-  config.attack_fractions = {0.01};
-  config.threads = flags.threads;
-  if (flags.seed) config.seed = *flags.seed;
-  if (flags.quick) {
-    config.training_set_size = 2'000;
-    config.folds = 5;
-  } else {
-    config.training_set_size = 10'000;
-    config.folds = 10;
-  }
-
-  const sbx::corpus::TrecLikeGenerator generator;
-  const auto distribution = generator.ham_word_distribution();
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("dictionary");
 
   sbx::util::Table table({"budget", "attack", "ham->spam %",
                           "ham->spam|unsure %"});
   for (std::size_t budget : {5'000u, 10'000u, 25'000u, 44'000u}) {
-    std::vector<sbx::core::DictionaryAttack> attacks;
-    attacks.push_back(sbx::core::make_informed_attack(distribution, budget));
-    attacks.push_back(
-        sbx::core::DictionaryAttack::usenet(generator.lexicons(), budget));
-    attacks.push_back(sbx::core::DictionaryAttack::aspell_truncated(
-        generator.lexicons(), budget));
-    for (const auto& attack : attacks) {
-      const auto curve =
-          sbx::eval::run_dictionary_curve(generator, attack, config);
-      const auto& p = curve.points.back();
-      table.add_row(
-          {sbx::util::Table::cell(budget), curve.attack_name,
-           sbx::util::Table::cell(100.0 * p.matrix.ham_as_spam_rate(), 1),
-           sbx::util::Table::cell(100.0 * p.matrix.ham_misclassified_rate(),
-                                  1)});
+    for (const char* attack : {"informed", "usenet", "aspell"}) {
+      const std::vector<std::string> overrides = {
+          "attack_fractions=0.01",
+          std::string("attack=") + attack,
+          "dictionary_size=" + std::to_string(budget),
+          flags.quick ? "training_set_size=2000" : "training_set_size=10000",
+          flags.quick ? "folds=5" : "folds=10",
+      };
+      const sbx::eval::Config config = sbx::eval::resolve_config(
+          experiment, /*quick=*/false, overrides, flags.seed);
+      const sbx::eval::ResultDoc doc =
+          experiment.run(config, flags.run_context());
+      // curve columns: training set, attack, dict words, control %,
+      // attack msgs, ham->spam %, ham->spam|unsure %, ...; the last row is
+      // the 1% point.
+      const std::vector<std::string>& row = doc.table("curve").rows().back();
+      table.add_row({sbx::util::Table::cell(budget), row[1], row[5], row[6]});
     }
   }
   std::printf("%s\n", table.to_text().c_str());

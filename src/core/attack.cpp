@@ -1,0 +1,34 @@
+#include "core/attack.h"
+
+#include "util/error.h"
+
+namespace sbx::core {
+
+std::vector<email::Message> Attack::craft_poison(CraftContext& ctx) const {
+  const std::optional<CanonicalPoison> canonical =
+      canonical_poison(ctx.generator, ctx.params, ctx.rng);
+  if (!canonical.has_value()) {
+    throw InvalidArgument("attack '" + name() +
+                          "' does not craft poison (Exploratory-only; use "
+                          "evade())");
+  }
+  std::vector<email::Message> out;
+  out.reserve(ctx.count);
+  for (std::size_t i = 0; i < ctx.count; ++i) {
+    out.push_back(canonical->message);
+  }
+  return out;
+}
+
+std::optional<CanonicalPoison> Attack::canonical_poison(
+    const corpus::TrecLikeGenerator&, const util::Config&, util::Rng&) const {
+  return std::nullopt;
+}
+
+EvadeResult Attack::evade(EvadeContext&, const email::Message&) const {
+  throw InvalidArgument("attack '" + name() +
+                        "' does not evade (Causative-only; use "
+                        "craft_poison())");
+}
+
+}  // namespace sbx::core

@@ -1,0 +1,57 @@
+#include "core/attack_registry.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sbx::core {
+
+void AttackRegistry::add(std::unique_ptr<Attack> attack) {
+  if (find(attack->name()) != nullptr) {
+    throw InvalidArgument("AttackRegistry::add: duplicate attack '" +
+                          attack->name() + "'");
+  }
+  attacks_.push_back(std::move(attack));
+}
+
+const Attack* AttackRegistry::find(std::string_view name) const {
+  for (const auto& attack : attacks_) {
+    if (attack->name() == name) return attack.get();
+  }
+  return nullptr;
+}
+
+const Attack& AttackRegistry::get(std::string_view name) const {
+  const Attack* attack = find(name);
+  if (attack == nullptr) {
+    std::string known;
+    for (const Attack* a : attacks()) {
+      if (!known.empty()) known += ", ";
+      known += a->name();
+    }
+    throw InvalidArgument("unknown attack '" + std::string(name) +
+                          "' (known: " + known + ")");
+  }
+  return *attack;
+}
+
+std::vector<const Attack*> AttackRegistry::attacks() const {
+  std::vector<const Attack*> out;
+  out.reserve(attacks_.size());
+  for (const auto& attack : attacks_) out.push_back(attack.get());
+  std::sort(out.begin(), out.end(), [](const Attack* a, const Attack* b) {
+    return a->name() < b->name();
+  });
+  return out;
+}
+
+const AttackRegistry& builtin_attack_registry() {
+  static const AttackRegistry* registry = [] {
+    auto* r = new AttackRegistry();
+    register_builtin_attacks(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace sbx::core

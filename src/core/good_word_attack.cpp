@@ -3,24 +3,8 @@
 #include "util/error.h"
 
 namespace sbx::core {
-namespace {
 
-bool verdict_at_most(spambayes::Verdict v, spambayes::Verdict goal) {
-  auto rank = [](spambayes::Verdict x) {
-    switch (x) {
-      case spambayes::Verdict::ham:
-        return 0;
-      case spambayes::Verdict::unsure:
-        return 1;
-      case spambayes::Verdict::spam:
-        return 2;
-    }
-    return 1;
-  };
-  return rank(v) <= rank(goal);
-}
-
-}  // namespace
+using spambayes::verdict_at_most;
 
 GoodWordAttack::GoodWordAttack(std::vector<std::string> candidate_words,
                                std::size_t batch_size)

@@ -16,12 +16,14 @@
 #include <utility>
 #include <vector>
 
+#include "core/attack.h"
 #include "core/attack_math.h"
+#include "core/attack_registry.h"
 #include "core/dictionary_attack.h"
-#include "core/good_word_attack.h"
-#include "core/ham_labeled_attack.h"
+#include "core/focused_attack.h"
 #include "core/roni.h"
 #include "corpus/generator.h"
+#include "eval/attack_axis.h"
 #include "eval/experiment.h"
 #include "eval/experiments.h"
 #include "eval/registry.h"
@@ -57,33 +59,22 @@ std::size_t positive_uint(const Config& config, std::string_view key) {
   return static_cast<std::size_t>(value);
 }
 
-/// Builds the dictionary-attack variant selected by the "attack" /
-/// "dictionary_size" config keys (dictionary_size 0 = the variant's full
-/// default dictionary).
-core::DictionaryAttack make_dictionary_attack(
-    const corpus::TrecLikeGenerator& gen, const std::string& attack,
-    std::uint64_t dictionary_size) {
-  const std::size_t top_n = static_cast<std::size_t>(dictionary_size);
-  if (attack == "optimal") {
-    if (top_n != 0) {
-      throw InvalidArgument(
-          "dictionary_size does not apply to the optimal attack (it always "
-          "uses the full emittable vocabulary); leave it 0");
-    }
-    return core::DictionaryAttack::optimal(gen);
-  }
-  if (attack == "aspell") {
-    return top_n == 0
-               ? core::DictionaryAttack::aspell(gen.lexicons())
-               : core::DictionaryAttack::aspell_truncated(gen.lexicons(),
-                                                          top_n);
-  }
-  if (attack == "usenet") {
-    return top_n == 0 ? core::DictionaryAttack::usenet(gen.lexicons())
-                      : core::DictionaryAttack::usenet(gen.lexicons(), top_n);
-  }
-  throw InvalidArgument("unknown dictionary attack '" + attack +
-                        "' (expected optimal, usenet or aspell)");
+/// Help text for the generic attack-parameter pass-through every
+/// attack-parametric experiment declares next to its `attack` key.
+constexpr const char kAttackParamsHelp[] =
+    "extra attack parameters as 'key=value;key=value', validated against "
+    "the attack's own schema (sbx_experiments attacks describe <attack>)";
+
+/// Resolves the experiment's `attack` key through the attack registry and
+/// crafts the canonical poison. The craft rng is derived from the config
+/// seed (attacks with random canonical parts — ham-labeled, backdoor —
+/// stay deterministic per seed; the dictionary family never draws).
+std::pair<BoundAttack, PoisonSpec> resolve_attack(
+    const corpus::TrecLikeGenerator& gen, const Config& config) {
+  BoundAttack bound = bind_attack(config.get_string("attack"), config);
+  util::Rng craft_rng(config.get_uint("seed") ^ 0x63726166742d726eULL);
+  PoisonSpec spec = resolve_poison(bound, gen, craft_rng);
+  return {std::move(bound), std::move(spec)};
 }
 
 /// Shared base: name/description/paper_ref plus an owned schema.
@@ -133,7 +124,11 @@ class DictionaryExperiment : public ExperimentBase {
         .add("spam_fraction", ParamType::kDouble, "0.5",
              "spam share of the training set")
         .add("attack", ParamType::kString, "usenet",
-             "dictionary variant: optimal | usenet | aspell")
+             "registry attack crafting the poison (sbx_experiments attacks "
+             "list): optimal | usenet | aspell | informed | ham-labeled | "
+             "backdoor-trigger")
+        .add("attack_params", ParamType::kString, "",
+             kAttackParamsHelp)
         .add("dictionary_size", ParamType::kUInt, "0",
              "truncate the dictionary to this many words (0 = full)")
         .add("attack_fractions", ParamType::kDoubleList,
@@ -150,9 +145,7 @@ class DictionaryExperiment : public ExperimentBase {
 
   ResultDoc run(const Config& config, const RunContext& ctx) const override {
     const corpus::TrecLikeGenerator generator;
-    const core::DictionaryAttack attack = make_dictionary_attack(
-        generator, config.get_string("attack"),
-        config.get_uint("dictionary_size"));
+    const auto [bound, spec] = resolve_attack(generator, config);
 
     DictionaryCurveConfig dc;
     dc.training_set_size =
@@ -165,11 +158,12 @@ class DictionaryExperiment : public ExperimentBase {
 
     ctx.note(strf("running %s attack vs. %zu-message training set, "
                   "%zu-fold CV...",
-                  attack.name().c_str(), dc.training_set_size, dc.folds));
+                  spec.name.c_str(), dc.training_set_size, dc.folds));
     const DictionaryCurve curve =
-        run_dictionary_curve(generator, attack, dc);
+        run_dictionary_curve(generator, spec, dc);
 
     ResultDoc doc = make_doc(config);
+    tag_attack(doc, *bound.attack);
     Table& table = doc.add_table(
         "curve", {"training set", "attack", "dict words", "control %",
                   "attack msgs", "ham->spam %", "ham->spam|unsure %",
@@ -202,6 +196,36 @@ class DictionaryExperiment : public ExperimentBase {
         100.0 * curve.points.back().matrix.ham_misclassified_rate());
     doc.add_metric("final_attack_token_ratio",
                    curve.points.back().attack_token_ratio);
+    doc.add_metric("attack_email_bytes",
+                   static_cast<double>(spec.message.body().size()));
+
+    // BadNets measurement: the attacker's trigger-stamped spam scored
+    // against each poison level ("leak" = not filed as spam). Only
+    // trigger-carrying attacks add this table, so every pre-existing
+    // config serializes unchanged.
+    if (curve.has_trigger) {
+      Table& leak = doc.add_table(
+          "trigger", {"control %", "attack msgs", "trigger spam->ham %",
+                      "trigger spam->unsure %", "trigger leak %"});
+      Series leaked{"trigger-stamped spam leaked (%)", {}, {}};
+      for (const auto& p : curve.points) {
+        leak.add_row(
+            {Table::cell(100.0 * p.attack_fraction, 1),
+             std::to_string(p.attack_messages),
+             Table::cell(100.0 * p.triggered.spam_as_ham_rate(), 1),
+             Table::cell(100.0 * p.triggered.spam_as_unsure_rate(), 1),
+             Table::cell(100.0 * p.triggered.spam_misclassified_rate(), 1)});
+        leaked.x.push_back(100.0 * p.attack_fraction);
+        leaked.y.push_back(100.0 * p.triggered.spam_misclassified_rate());
+      }
+      doc.series.push_back(std::move(leaked));
+      doc.add_metric(
+          "control_trigger_leak_pct",
+          100.0 * curve.points.front().triggered.spam_misclassified_rate());
+      doc.add_metric(
+          "final_trigger_leak_pct",
+          100.0 * curve.points.back().triggered.spam_misclassified_rate());
+    }
     return doc;
   }
 };
@@ -225,6 +249,11 @@ class FocusedKnowledgeExperiment : public ExperimentBase {
              "target ham emails per repetition")
         .add("repetitions", ParamType::kUInt, "5",
              "independent experiment repetitions")
+        .add("attack", ParamType::kString, "focused",
+             "registry attack crafting the per-target poison "
+             "(sbx_experiments attacks list)")
+        .add("attack_params", ParamType::kString, "",
+             kAttackParamsHelp)
         .add("attack_count", ParamType::kUInt, "300",
              "attack emails per target")
         .add("guess_probabilities", ParamType::kDoubleList, "0.1,0.3,0.5,0.9",
@@ -251,14 +280,18 @@ class FocusedKnowledgeExperiment : public ExperimentBase {
     fc.seed = config.get_uint("seed");
     fc.threads = ctx.threads;
 
-    ctx.note(strf("running focused attack on %zu-message inbox, "
+    const BoundAttack bound = bind_attack(config.get_string("attack"), config);
+    ctx.note(strf("running %s attack on %zu-message inbox, "
                   "%zu targets x %zu repetitions...",
-                  fc.inbox_size, fc.target_count, fc.repetitions));
+                  bound.attack->name().c_str(), fc.inbox_size, fc.target_count,
+                  fc.repetitions));
     const auto points = run_focused_knowledge(
-        generator, config.get_double_list("guess_probabilities"),
+        generator, *bound.attack, bound.params,
+        config.get_double_list("guess_probabilities"),
         positive_uint(config, "attack_count"), fc);
 
     ResultDoc doc = make_doc(config);
+    tag_attack(doc, *bound.attack);
     Table& table = doc.add_table(
         "knowledge", {"guess prob p", "targets", "ham %", "unsure %",
                       "spam %", "attack success %", "control ham %"});
@@ -305,6 +338,11 @@ class FocusedSizeExperiment : public ExperimentBase {
              "target ham emails per repetition")
         .add("repetitions", ParamType::kUInt, "5",
              "independent experiment repetitions")
+        .add("attack", ParamType::kString, "focused",
+             "registry attack crafting the per-target poison "
+             "(sbx_experiments attacks list)")
+        .add("attack_params", ParamType::kString, "",
+             kAttackParamsHelp)
         .add("guess_probability", ParamType::kDouble, "0.5",
              "attacker token-guess probability p")
         .add("attack_fractions", ParamType::kDoubleList,
@@ -332,14 +370,18 @@ class FocusedSizeExperiment : public ExperimentBase {
     fc.seed = config.get_uint("seed");
     fc.threads = ctx.threads;
 
-    ctx.note(strf("running focused attack on %zu-message inbox, "
+    const BoundAttack bound = bind_attack(config.get_string("attack"), config);
+    ctx.note(strf("running %s attack on %zu-message inbox, "
                   "%zu targets x %zu repetitions...",
-                  fc.inbox_size, fc.target_count, fc.repetitions));
+                  bound.attack->name().c_str(), fc.inbox_size, fc.target_count,
+                  fc.repetitions));
     const auto points = run_focused_size(
-        generator, config.get_double("guess_probability"),
+        generator, *bound.attack, bound.params,
+        config.get_double("guess_probability"),
         config.get_double_list("attack_fractions"), fc);
 
     ResultDoc doc = make_doc(config);
+    tag_attack(doc, *bound.attack);
     Table& table = doc.add_table(
         "size", {"control %", "attack msgs", "targets", "target->spam %",
                  "target->spam|unsure %"});
@@ -411,6 +453,9 @@ class TokenShiftExperiment : public ExperimentBase {
         positive_uint(config, "max_targets"));
 
     ResultDoc doc = make_doc(config);
+    // The driver is intrinsically the focused attack's token-level
+    // diagnostic; tag it as such.
+    tag_attack(doc, core::builtin_attack_registry().get("focused"));
     Table& table = doc.add_table(
         "tokens",
         {"example", "token", "score_before", "score_after", "in_attack"});
@@ -489,6 +534,15 @@ class RoniExperiment : public ExperimentBase {
              "clean pool RONI samples (T, V) from")
         .add("spam_fraction", ParamType::kDouble, "0.5",
              "spam share of the clean pool")
+        .add("attack", ParamType::kString, "dictionary-suite",
+             "what RONI assesses: 'dictionary-suite' = the paper's seven "
+             "dictionary variants; any registry attack name assesses that "
+             "attack's canonical poison instead")
+        .add("attack_params", ParamType::kString, "",
+             kAttackParamsHelp)
+        .add("dictionary_size", ParamType::kUInt, "0",
+             "payload truncation forwarded to a single registry attack "
+             "(ignored by the suite; 0 = the attack's full default)")
         .add("nonattack_queries", ParamType::kUInt, "120",
              "non-attack spam queries (the false-positive class)")
         .add("attack_repetitions", ParamType::kUInt, "15",
@@ -511,19 +565,35 @@ class RoniExperiment : public ExperimentBase {
 
   ResultDoc run(const Config& config, const RunContext& ctx) const override {
     const corpus::TrecLikeGenerator generator;
-    const auto& lexicons = generator.lexicons();
-    // Seven dictionary-attack variants, as in §5.1.
-    const std::vector<core::DictionaryAttack> attacks = {
-        core::DictionaryAttack::optimal(generator),
-        core::DictionaryAttack::aspell(lexicons),
-        core::DictionaryAttack::aspell_truncated(lexicons, 50'000),
-        core::DictionaryAttack::aspell_truncated(lexicons, 25'000),
-        core::DictionaryAttack::usenet(lexicons, 90'000),
-        core::DictionaryAttack::usenet(lexicons, 50'000),
-        core::DictionaryAttack::usenet(lexicons, 25'000),
-    };
-    std::vector<const core::DictionaryAttack*> attack_ptrs;
-    for (const auto& a : attacks) attack_ptrs.push_back(&a);
+    const std::string attack_name = config.get_string("attack");
+
+    // The queries RONI assesses, plus how the document is attack-tagged.
+    std::vector<RoniQuery> queries;
+    std::string tag_name;
+    std::string tag_taxonomy;
+    if (attack_name == "dictionary-suite") {
+      // Seven dictionary-attack variants, as in §5.1.
+      const auto& lexicons = generator.lexicons();
+      const std::vector<core::DictionaryAttack> attacks = {
+          core::DictionaryAttack::optimal(generator),
+          core::DictionaryAttack::aspell(lexicons),
+          core::DictionaryAttack::aspell_truncated(lexicons, 50'000),
+          core::DictionaryAttack::aspell_truncated(lexicons, 25'000),
+          core::DictionaryAttack::usenet(lexicons, 90'000),
+          core::DictionaryAttack::usenet(lexicons, 50'000),
+          core::DictionaryAttack::usenet(lexicons, 25'000),
+      };
+      for (const auto& a : attacks) {
+        queries.push_back(RoniQuery{a.name(), a.attack_message()});
+      }
+      tag_name = "dictionary-suite";
+      tag_taxonomy = core::DictionaryAttack::properties().description();
+    } else {
+      const auto [bound, spec] = resolve_attack(generator, config);
+      queries.push_back(RoniQuery{spec.name, spec.message});
+      tag_name = bound.attack->name();
+      tag_taxonomy = bound.attack->properties().description();
+    }
 
     RoniExperimentConfig rc;
     rc.pool_size = positive_uint(config, "pool_size");
@@ -542,11 +612,13 @@ class RoniExperiment : public ExperimentBase {
     ctx.note(strf("assessing %zu non-attack queries + %zu reps x %zu "
                   "attack variants through RONI...",
                   rc.nonattack_queries, rc.attack_repetitions,
-                  attacks.size()));
+                  queries.size()));
     const RoniExperimentResult result =
-        run_roni_experiment(generator, attack_ptrs, rc);
+        run_roni_experiment(generator, queries, rc);
 
     ResultDoc doc = make_doc(config);
+    doc.attack_name = tag_name;
+    doc.attack_taxonomy = tag_taxonomy;
     Table& table = doc.add_table(
         "assessments", {"query class", "assessed", "mean impact",
                         "min impact", "max impact", "rejected %"});
@@ -596,7 +668,11 @@ class ThresholdExperiment : public ExperimentBase {
         .add("spam_fraction", ParamType::kDouble, "0.5",
              "spam share of the training set")
         .add("attack", ParamType::kString, "usenet",
-             "dictionary variant: optimal | usenet | aspell")
+             "registry attack crafting the poison (sbx_experiments attacks "
+             "list): optimal | usenet | aspell | informed | ham-labeled | "
+             "backdoor-trigger")
+        .add("attack_params", ParamType::kString, "",
+             kAttackParamsHelp)
         .add("dictionary_size", ParamType::kUInt, "0",
              "truncate the dictionary to this many words (0 = full)")
         .add("attack_fractions", ParamType::kDoubleList,
@@ -622,9 +698,7 @@ class ThresholdExperiment : public ExperimentBase {
 
   ResultDoc run(const Config& config, const RunContext& ctx) const override {
     const corpus::TrecLikeGenerator generator;
-    const core::DictionaryAttack attack = make_dictionary_attack(
-        generator, config.get_string("attack"),
-        config.get_uint("dictionary_size"));
+    const auto [bound, spec] = resolve_attack(generator, config);
 
     ThresholdDefenseConfig tc;
     tc.base.training_set_size =
@@ -641,11 +715,12 @@ class ThresholdExperiment : public ExperimentBase {
 
     ctx.note(strf("running threshold defense vs. %s attack, "
                   "%zu-message training set, %zu-fold CV...",
-                  attack.name().c_str(), tc.base.training_set_size,
+                  spec.name.c_str(), tc.base.training_set_size,
                   tc.base.folds));
-    const auto points = run_threshold_defense_curve(generator, attack, tc);
+    const auto points = run_threshold_defense_curve(generator, spec, tc);
 
     ResultDoc doc = make_doc(config);
+    tag_attack(doc, *bound.attack);
     Table& table = doc.add_table(
         "defense", {"control %", "attack msgs", "variant", "theta0",
                     "theta1", "ham->spam %", "ham->spam|unsure %",
@@ -726,11 +801,16 @@ class RetrainingExperiment : public ExperimentBase {
              "RONI (T, V) resamples per candidate (2 suffices for the "
              "dictionary-vs-mail margin)")
         .add("attack", ParamType::kString, "usenet",
-             "dictionary variant injected: optimal | usenet | aspell")
+             "registry attack injected (sbx_experiments attacks list): "
+             "optimal | usenet | aspell | informed | ham-labeled | "
+             "backdoor-trigger")
+        .add("attack_params", ParamType::kString, "",
+             kAttackParamsHelp)
         .add("attack_week", ParamType::kUInt, "2",
              "week the poison lands in")
         .add("attack_copies", ParamType::kUInt, "0",
-             "spam-labeled attack copies (0 = messages_per_week / 50)")
+             "attack copies, trained under the attack's poison label "
+             "(0 = messages_per_week / 50)")
         .add("seed", ParamType::kUInt, "20080405", "master RNG seed");
   }
 
@@ -741,11 +821,10 @@ class RetrainingExperiment : public ExperimentBase {
 
   ResultDoc run(const Config& config, const RunContext& ctx) const override {
     const corpus::TrecLikeGenerator generator;
-    const core::DictionaryAttack attack =
-        make_dictionary_attack(generator, config.get_string("attack"), 0);
+    const auto [bound, spec] = resolve_attack(generator, config);
     const spambayes::Tokenizer tokenizer;
     const spambayes::TokenSet attack_tokens =
-        spambayes::unique_tokens(tokenizer.tokenize(attack.attack_message()));
+        spambayes::unique_tokens(tokenizer.tokenize(spec.message));
 
     RetrainingConfig rc;
     rc.weeks = positive_uint(config, "weeks");
@@ -768,9 +847,12 @@ class RetrainingExperiment : public ExperimentBase {
     if (copies == 0) {
       copies = static_cast<std::uint32_t>(rc.messages_per_week / 50);
     }
-    const std::vector<AttackInjection> injections = {
-        {static_cast<std::size_t>(config.get_uint("attack_week")),
-         attack_tokens, copies}};
+    AttackInjection injection(
+        static_cast<std::size_t>(config.get_uint("attack_week")),
+        attack_tokens, copies);
+    injection.label = spec.train_as;
+    injection.trigger_ids = trigger_token_ids(spec, tokenizer);
+    const std::vector<AttackInjection> injections = {injection};
 
     ctx.note(strf("running %zu-week timeline, %zu msgs/week...",
                   rc.weeks, rc.messages_per_week));
@@ -778,6 +860,7 @@ class RetrainingExperiment : public ExperimentBase {
         run_retraining_timeline(generator, injections, rc);
 
     ResultDoc doc = make_doc(config);
+    tag_attack(doc, *bound.attack);
     Table& table = doc.add_table(
         "timeline",
         {"week", "ham misc %", "spam misc %", "attack admitted", "theta1"});
@@ -803,6 +886,32 @@ class RetrainingExperiment : public ExperimentBase {
           "final_week_ham_misclassified_pct",
           100.0 * reports.back().test.ham_misclassified_rate());
     }
+
+    // BadNets measurement: the weekly leak rate of trigger-stamped spam.
+    // Only trigger-carrying attacks add this table, so every pre-existing
+    // config serializes unchanged.
+    if (!spec.trigger.empty()) {
+      Table& leak = doc.add_table(
+          "trigger", {"week", "trigger probes", "trigger leak %"});
+      Series leaked{"trigger-stamped spam leaked (%)", {}, {}};
+      for (const auto& r : reports) {
+        const double probes =
+            r.trigger_probes > 0 ? static_cast<double>(r.trigger_probes) : 1.0;
+        leak.add_row({Table::cell(r.week), Table::cell(r.trigger_probes),
+                      Table::cell(100.0 * r.trigger_leaked / probes, 1)});
+        leaked.x.push_back(static_cast<double>(r.week));
+        leaked.y.push_back(100.0 * r.trigger_leaked / probes);
+      }
+      doc.series.push_back(std::move(leaked));
+      if (!reports.empty()) {
+        const auto& last = reports.back();
+        const double probes =
+            last.trigger_probes > 0 ? static_cast<double>(last.trigger_probes)
+                                    : 1.0;
+        doc.add_metric("final_trigger_leak_pct",
+                       100.0 * last.trigger_leaked / probes);
+      }
+    }
     return doc;
   }
 };
@@ -823,6 +932,11 @@ class GoodWordExperiment : public ExperimentBase {
              "victim training-inbox size")
         .add("spam_fraction", ParamType::kDouble, "0.5",
              "spam share of the inbox")
+        .add("attack", ParamType::kString, "good-word",
+             "registry Exploratory attack evading the fixed filter "
+             "(good-word | obfuscation)")
+        .add("attack_params", ParamType::kString, "",
+             kAttackParamsHelp)
         .add("common_words", ParamType::kUInt, "2000",
              "how many top ham-core words the evader pads with")
         .add("batch_size", ParamType::kUInt, "10",
@@ -861,23 +975,19 @@ class GoodWordExperiment : public ExperimentBase {
       }
     }
 
-    // The evader pads with the most common words of the victim's language —
-    // Wittel & Wu's "common words" strategy (the attacker plausibly knows
-    // high-frequency English, not the victim's mailbox).
-    const auto& core_words = generator.ham_core_words();
-    const std::size_t word_count = std::min<std::size_t>(
-        core_words.size(),
-        positive_uint(config, "common_words"));
-    std::vector<std::string> common_words(core_words.begin(),
-                                          core_words.begin() + word_count);
-    core::GoodWordAttack evader(
-        common_words, positive_uint(config, "batch_size"));
+    // The attacker's evasion strategy comes from the registry: good-word
+    // pads with the most common words of the victim's language — Wittel &
+    // Wu's "common words" strategy (the attacker plausibly knows
+    // high-frequency English, not the victim's mailbox) — while
+    // obfuscation mangles the spammiest words character-by-character.
+    const BoundAttack bound = bind_attack(config.get_string("attack"), config);
 
     ctx.note(strf("evading %zu-message victim filter, %zu probes per "
                   "goal...",
                   inbox_size, static_cast<std::size_t>(
                                   positive_uint(config, "probes"))));
     ResultDoc doc = make_doc(config);
+    tag_attack(doc, *bound.attack);
     Table& table = doc.add_table(
         "evasion", {"goal", "spam tried", "evaded %", "median words added",
                     "median queries"});
@@ -888,9 +998,11 @@ class GoodWordExperiment : public ExperimentBase {
       std::size_t evaded = 0;
       std::vector<double> words, queries;
       util::Rng probe_rng(7);
+      core::EvadeContext ectx{generator, bound.params, filter, max_words,
+                              goal};
       for (int i = 0; i < n; ++i) {
-        auto result = evader.evade(filter, generator.generate_spam(probe_rng),
-                                   max_words, goal);
+        auto result =
+            bound.attack->evade(ectx, generator.generate_spam(probe_rng));
         if (result.evaded) {
           ++evaded;
           words.push_back(static_cast<double>(result.words_added));
@@ -989,24 +1101,26 @@ class HamLabeledExperiment : public ExperimentBase {
       }
     }
 
-    // The attacker's payload: its own campaign vocabulary (the generator's
-    // spam word list plus the obfuscated junk tokens). Headers clone a real
+    // The attack email comes from the registry's ham-labeled adapter: the
+    // attacker's own campaign vocabulary (the generator's spam word list
+    // plus the obfuscated junk tokens) under headers cloned from a real
     // ham message so the email passes as legitimate. What the attacker can
     // NOT whiten are the headers its future campaign will carry, so some
     // spam evidence always survives — that caps the attack at "escapes the
     // spam folder" rather than "always lands as ham".
-    std::vector<std::string> payload = generator.spam_vocab_words();
-    const auto& junk = generator.spam_junk_words();
-    payload.insert(payload.end(), junk.begin(), junk.end());
-    email::Message ham_donor = generator.generate_ham(rng);
-    core::HamLabeledAttack attack(payload, ham_donor.headers());
+    const core::Attack& attack =
+        core::builtin_attack_registry().get("ham-labeled");
+    const util::Config attack_params = attack.default_params();
+    const std::optional<core::CanonicalPoison> poison =
+        attack.canonical_poison(generator, attack_params, rng);
     const spambayes::TokenSet attack_tokens =
-        spambayes::unique_tokens(tokenizer.tokenize(attack.attack_message()));
+        spambayes::unique_tokens(tokenizer.tokenize(poison->message));
 
     ResultDoc doc = make_doc(config);
+    tag_attack(doc, attack);
     doc.report.push_back(strf(
         "payload: %zu campaign words; attack taxonomy: %s",
-        attack.payload_size(), attack.properties().description().c_str()));
+        poison->payload_size, attack.properties().description().c_str()));
     doc.report.push_back("");
 
     // RONI's verdict on the attack email (assessed as if spam-labeled would
@@ -1063,6 +1177,137 @@ class HamLabeledExperiment : public ExperimentBase {
   }
 };
 
+// ---------------------------------------------------------------------------
+// focused-guessing — §4.3 interpretation ablation (DESIGN.md section 5).
+// ---------------------------------------------------------------------------
+
+class FocusedGuessingExperiment : public ExperimentBase {
+ public:
+  FocusedGuessingExperiment()
+      : ExperimentBase(
+            "focused-guessing",
+            "fixed vs. per-email guess sets in the focused attack",
+            "Section 4.3 interpretation (DESIGN.md section 5)") {
+    schema_
+        .add("inbox_size", ParamType::kUInt, "3000",
+             "victim training-inbox size")
+        .add("spam_fraction", ParamType::kDouble, "0.5",
+             "spam share of the inbox")
+        .add("attack", ParamType::kString, "focused",
+             "registry attack crafting the per-target poison; must declare "
+             "a fresh_guess_per_email parameter for the two guess models "
+             "to differ")
+        .add("attack_params", ParamType::kString, "",
+             kAttackParamsHelp)
+        .add("attack_count", ParamType::kUInt, "300",
+             "attack emails per target")
+        .add("target_count", ParamType::kUInt, "20",
+             "target ham emails per guess model and probability")
+        .add("guess_probabilities", ParamType::kDoubleList, "0.1,0.3,0.5,0.9",
+             "attacker token-guess probabilities p")
+        .add("seed", ParamType::kUInt, "20080404", "master RNG seed");
+  }
+
+  std::vector<std::pair<std::string, std::string>> quick_overrides()
+      const override {
+    return {{"inbox_size", "1000"},
+            {"attack_count", "100"},
+            {"target_count", "10"}};
+  }
+
+  ResultDoc run(const Config& config, const RunContext& ctx) const override {
+    const corpus::TrecLikeGenerator generator;
+    const BoundAttack bound = bind_attack(config.get_string("attack"), config);
+    const std::size_t inbox_size = positive_uint(config, "inbox_size");
+    const std::size_t attack_count = positive_uint(config, "attack_count");
+    const std::size_t targets = positive_uint(config, "target_count");
+    const std::vector<double> probabilities =
+        config.get_double_list("guess_probabilities");
+    const bool poison_spam =
+        bound.attack->poison_label() == corpus::TrueLabel::spam;
+
+    util::Rng rng(config.get_uint("seed"));
+    corpus::Dataset inbox = generator.sample_mailbox(
+        inbox_size, config.get_double("spam_fraction"), rng);
+    spambayes::Tokenizer tokenizer;
+    spambayes::Filter base;
+    std::vector<const email::Message*> spam_headers;
+    for (const auto& item : inbox.items) {
+      if (item.label == corpus::TrueLabel::spam) {
+        base.train_spam(item.message);
+        spam_headers.push_back(&item.message);
+      } else {
+        base.train_ham(item.message);
+      }
+    }
+
+    // The headline metrics report the LOWEST listed probability (where the
+    // two guess models differ most); the list itself runs in given order.
+    std::size_t min_pi = 0;
+    for (std::size_t i = 1; i < probabilities.size(); ++i) {
+      if (probabilities[i] < probabilities[min_pi]) min_pi = i;
+    }
+
+    ctx.note(strf("running %zu targets x %zu probabilities x 2 guess "
+                  "models...",
+                  targets, probabilities.size()));
+    ResultDoc doc = make_doc(config);
+    tag_attack(doc, *bound.attack);
+    Table& table = doc.add_table(
+        "models", {"guess model", "p", "target->ham %", "target->unsure %",
+                   "target->spam %"});
+    for (bool fresh : {false, true}) {
+      Series series{std::string(fresh ? "per-email" : "fixed") +
+                        " (target misclassified, %)",
+                    {}, {}};
+      for (std::size_t pi = 0; pi < probabilities.size(); ++pi) {
+        const double p = probabilities[pi];
+        util::Config params = bound.params;
+        if (params.has("guess_probability")) {
+          params.set("guess_probability", round_trip_string(p));
+        }
+        if (params.has("fresh_guess_per_email")) {
+          params.set("fresh_guess_per_email", fresh ? "true" : "false");
+        }
+        std::size_t as[3] = {0, 0, 0};
+        for (std::size_t t = 0; t < targets; ++t) {
+          util::Rng run_rng = rng.fork(1000 * (fresh ? 2 : 1) + 10 * t +
+                                       static_cast<std::uint64_t>(p * 10));
+          email::Message target = generator.generate_ham(run_rng);
+          const spambayes::TokenSet body_words =
+              core::attackable_body_words(target, tokenizer);
+          core::CraftContext cctx{generator,    params,      run_rng,
+                                  attack_count, &target,     &body_words,
+                                  &spam_headers};
+          spambayes::Filter filter = base;
+          for (const auto& m : bound.attack->craft_poison(cctx)) {
+            if (poison_spam) {
+              filter.train_spam(m);
+            } else {
+              filter.train_ham(m);
+            }
+          }
+          as[static_cast<int>(filter.classify(target).verdict)] += 1;
+        }
+        const double n = static_cast<double>(targets);
+        table.add_row({fresh ? "per-email (independent)" : "fixed (paper)",
+                       Table::cell(p, 1), Table::cell(100.0 * as[0] / n, 1),
+                       Table::cell(100.0 * as[1] / n, 1),
+                       Table::cell(100.0 * as[2] / n, 1)});
+        series.x.push_back(p);
+        series.y.push_back(100.0 * (as[1] + as[2]) / n);
+        if (pi == min_pi) {
+          doc.add_metric(fresh ? "per_email_min_p_misclassified_pct"
+                               : "fixed_min_p_misclassified_pct",
+                         100.0 * (as[1] + as[2]) / n);
+        }
+      }
+      doc.series.push_back(std::move(series));
+    }
+    return doc;
+  }
+};
+
 }  // namespace
 
 void register_builtin_experiments(Registry& registry) {
@@ -1075,6 +1320,7 @@ void register_builtin_experiments(Registry& registry) {
   registry.add(std::make_unique<RetrainingExperiment>());
   registry.add(std::make_unique<GoodWordExperiment>());
   registry.add(std::make_unique<HamLabeledExperiment>());
+  registry.add(std::make_unique<FocusedGuessingExperiment>());
 }
 
 }  // namespace sbx::eval

@@ -1,4 +1,10 @@
-// Figure 1 driver: dictionary attacks under K-fold cross-validation.
+// Figure 1 driver: identical-copy Causative attacks under K-fold
+// cross-validation. Generic over the PoisonSpec — spam-labeled dictionary
+// poisoning (the paper's §3.2 attacks) runs bit-identically to the
+// historical driver, while ham-labeled specs (ham-labeled, backdoor)
+// train their copies as ham and, when the spec carries BadNets trigger
+// tokens, every test-fold spam is additionally re-classified with the
+// trigger stamped in.
 #include <algorithm>
 
 #include "core/attack_math.h"
@@ -7,8 +13,28 @@
 
 namespace sbx::eval {
 
+PoisonSpec poison_spec_from(const core::DictionaryAttack& attack) {
+  PoisonSpec spec;
+  spec.name = attack.name();
+  spec.payload_size = attack.dictionary_size();
+  spec.message = attack.attack_message();
+  spec.train_as = corpus::TrueLabel::spam;
+  return spec;
+}
+
+spambayes::TokenIdSet trigger_token_ids(
+    const PoisonSpec& spec, const spambayes::Tokenizer& tokenizer) {
+  if (spec.trigger.empty()) return {};
+  std::string joined;
+  for (const auto& token : spec.trigger) {
+    if (!joined.empty()) joined.push_back(' ');
+    joined += token;
+  }
+  return spambayes::unique_token_ids(tokenizer.tokenize_text_ids(joined));
+}
+
 DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
-                                     const core::DictionaryAttack& attack,
+                                     const PoisonSpec& spec,
                                      const DictionaryCurveConfig& config) {
   Runner runner(config.seed, config.threads);
 
@@ -32,10 +58,16 @@ DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
   // Tokenize the attack message once; the raw list carries the §4.2
   // numerator, its deduplicated ids feed training.
   const spambayes::TokenIdList attack_raw =
-      tokenizer.tokenize_ids(attack.attack_message());
+      tokenizer.tokenize_ids(spec.message);
   const std::size_t attack_tokens_per_message = attack_raw.size();
   const spambayes::TokenIdSet attack_ids =
       spambayes::unique_token_ids(attack_raw);
+  const bool train_as_spam = spec.train_as == corpus::TrueLabel::spam;
+
+  // The BadNets trigger, as the ids stamping it onto a message produces.
+  const bool has_trigger = !spec.trigger.empty();
+  const spambayes::TokenIdSet trigger_ids =
+      trigger_token_ids(spec, tokenizer);
 
   util::Rng fold_rng = runner.fork(2);
   const std::vector<corpus::FoldSplit> folds =
@@ -49,6 +81,12 @@ DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
 
   std::vector<ConfusionMatrix> per_fraction(fractions.size());
   std::vector<util::RunningStats> fold_spread(fractions.size());
+  std::vector<ConfusionMatrix> per_fraction_triggered(fractions.size());
+
+  struct FoldResult {
+    std::vector<ConfusionMatrix> plain;
+    std::vector<ConfusionMatrix> triggered;
+  };
 
   runner.map_reduce(
       folds.size(), /*salt=*/100,
@@ -57,30 +95,64 @@ DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
         spambayes::Filter filter(config.filter);
         train_on_indices(filter, tokenized, split.train);
 
+        // Stamped test-fold spam (trigger measurement only): id sets are
+        // precomputed per fold, re-classified at every fraction.
+        std::vector<std::size_t> spam_test;
+        std::vector<spambayes::TokenIdSet> stamped;
+        if (has_trigger) {
+          for (std::size_t i : split.test) {
+            if (tokenized.items[i].label != corpus::TrueLabel::spam) continue;
+            spam_test.push_back(i);
+            spambayes::TokenIdList ids = tokenized.items[i].ids;
+            ids.insert(ids.end(), trigger_ids.begin(), trigger_ids.end());
+            stamped.push_back(spambayes::unique_token_ids(std::move(ids)));
+          }
+        }
+
         std::size_t trained_attack = 0;
-        std::vector<ConfusionMatrix> local(fractions.size());
+        FoldResult local;
+        local.plain.resize(fractions.size());
+        local.triggered.resize(fractions.size());
         for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
           const std::size_t want =
               core::attack_message_count(split.train.size(), fractions[pi]);
           if (want > trained_attack) {
-            filter.train_spam_ids(
-                attack_ids, static_cast<std::uint32_t>(want - trained_attack));
+            const auto copies =
+                static_cast<std::uint32_t>(want - trained_attack);
+            if (train_as_spam) {
+              filter.train_spam_ids(attack_ids, copies);
+            } else {
+              filter.train_ham_ids(attack_ids, copies);
+            }
             trained_attack = want;
           }
-          local[pi] = classify_indices(filter, tokenized, split.test);
+          local.plain[pi] = classify_indices(filter, tokenized, split.test);
+          if (has_trigger) {
+            filter.classify_batch(
+                stamped.size(),
+                [&](std::size_t i) -> const spambayes::TokenIdList& {
+                  return stamped[i];
+                },
+                [&](std::size_t i, const spambayes::BatchScore& scored) {
+                  local.triggered[pi].add(tokenized.items[spam_test[i]].label,
+                                          scored.verdict);
+                });
+          }
         }
         return local;
       },
-      [&](std::size_t, std::vector<ConfusionMatrix> local) {
+      [&](std::size_t, FoldResult local) {
         for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
-          per_fraction[pi].merge(local[pi]);
-          fold_spread[pi].add(local[pi].ham_misclassified_rate());
+          per_fraction[pi].merge(local.plain[pi]);
+          fold_spread[pi].add(local.plain[pi].ham_misclassified_rate());
+          per_fraction_triggered[pi].merge(local.triggered[pi]);
         }
       });
 
   DictionaryCurve curve;
-  curve.attack_name = attack.name();
-  curve.dictionary_size = attack.dictionary_size();
+  curve.attack_name = spec.name;
+  curve.dictionary_size = spec.payload_size;
+  curve.has_trigger = has_trigger;
   const std::size_t train_size = folds.front().train.size();
   for (std::size_t pi = 0; pi < fractions.size(); ++pi) {
     DictionaryCurvePoint point;
@@ -95,6 +167,7 @@ DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
                   static_cast<double>(clean_tokens);
     point.matrix = per_fraction[pi];
     point.ham_misclassified_by_fold = fold_spread[pi];
+    point.triggered = per_fraction_triggered[pi];
     curve.points.push_back(std::move(point));
   }
   return curve;

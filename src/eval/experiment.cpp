@@ -1,210 +1,6 @@
 #include "eval/experiment.h"
 
-#include <charconv>
-#include <cmath>
-
-#include "util/error.h"
-#include "util/strings.h"
-
 namespace sbx::eval {
-
-namespace {
-
-[[noreturn]] void parse_failure(std::string_view what, std::string_view text,
-                                std::string_view expected) {
-  throw ParseError(std::string(what) + ": invalid value '" +
-                   std::string(text) + "' (expected " + std::string(expected) +
-                   ")");
-}
-
-std::vector<std::string> split_list(std::string_view text) {
-  // Comma- or semicolon-separated; a swept list parameter uses ';' so the
-  // sweep axis splitter (which owns ',') can carry whole lists as values.
-  return util::split(util::replace_all(text, ";", ","), ',');
-}
-
-void validate(ParamType type, std::string_view value, std::string_view what) {
-  switch (type) {
-    case ParamType::kUInt:
-      parse_uint(value, what);
-      break;
-    case ParamType::kDouble:
-      parse_double(value, what);
-      break;
-    case ParamType::kBool:
-      parse_bool(value, what);
-      break;
-    case ParamType::kString:
-      break;
-    case ParamType::kUIntList:
-      for (const auto& item : split_list(value)) parse_uint(item, what);
-      break;
-    case ParamType::kDoubleList:
-      for (const auto& item : split_list(value)) parse_double(item, what);
-      break;
-  }
-}
-
-}  // namespace
-
-std::uint64_t parse_uint(std::string_view text, std::string_view what) {
-  std::string_view trimmed = util::trim(text);
-  std::uint64_t value = 0;
-  const char* first = trimmed.data();
-  const char* last = trimmed.data() + trimmed.size();
-  auto [ptr, ec] = std::from_chars(first, last, value, 10);
-  if (trimmed.empty() || ec != std::errc() || ptr != last) {
-    parse_failure(what, text, "a non-negative integer");
-  }
-  return value;
-}
-
-double parse_double(std::string_view text, std::string_view what) {
-  std::string_view trimmed = util::trim(text);
-  double value = 0.0;
-  const char* first = trimmed.data();
-  const char* last = trimmed.data() + trimmed.size();
-  auto [ptr, ec] = std::from_chars(first, last, value);
-  if (trimmed.empty() || ec != std::errc() || ptr != last ||
-      !std::isfinite(value)) {
-    parse_failure(what, text, "a finite number");
-  }
-  return value;
-}
-
-bool parse_bool(std::string_view text, std::string_view what) {
-  std::string_view trimmed = util::trim(text);
-  for (std::string_view truthy : {"true", "1", "yes", "on"}) {
-    if (util::iequals(trimmed, truthy)) return true;
-  }
-  for (std::string_view falsy : {"false", "0", "no", "off"}) {
-    if (util::iequals(trimmed, falsy)) return false;
-  }
-  parse_failure(what, text, "true/false");
-}
-
-std::string_view to_string(ParamType type) {
-  switch (type) {
-    case ParamType::kUInt: return "uint";
-    case ParamType::kDouble: return "double";
-    case ParamType::kBool: return "bool";
-    case ParamType::kString: return "string";
-    case ParamType::kUIntList: return "uint list";
-    case ParamType::kDoubleList: return "double list";
-  }
-  return "?";
-}
-
-ConfigSchema& ConfigSchema::add(std::string key, ParamType type,
-                                std::string default_value,
-                                std::string description) {
-  if (find(key) != nullptr) {
-    throw InvalidArgument("ConfigSchema::add: duplicate key '" + key + "'");
-  }
-  validate(type, default_value, "default for '" + key + "'");
-  params_.push_back(ParamSpec{std::move(key), type, std::move(default_value),
-                              std::move(description)});
-  return *this;
-}
-
-const ParamSpec* ConfigSchema::find(std::string_view key) const {
-  for (const auto& spec : params_) {
-    if (spec.key == key) return &spec;
-  }
-  return nullptr;
-}
-
-Config::Config(const ConfigSchema* schema) : schema_(schema) {
-  values_.reserve(schema_->params().size());
-  for (const auto& spec : schema_->params()) {
-    values_.push_back(spec.default_value);
-  }
-}
-
-void Config::set(std::string_view key, std::string_view value) {
-  const auto& params = schema_->params();
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    if (params[i].key == key) {
-      validate(params[i].type, value, "config key '" + params[i].key + "'");
-      values_[i] = std::string(value);
-      return;
-    }
-  }
-  std::string known;
-  for (const auto& spec : params) {
-    if (!known.empty()) known += ", ";
-    known += spec.key;
-  }
-  throw InvalidArgument("Config::set: unknown key '" + std::string(key) +
-                        "' (known keys: " + known + ")");
-}
-
-void Config::set_key_value(std::string_view assignment) {
-  std::size_t eq = assignment.find('=');
-  if (eq == std::string_view::npos || eq == 0) {
-    throw InvalidArgument("Config: override '" + std::string(assignment) +
-                          "' is not of the form key=value");
-  }
-  set(assignment.substr(0, eq), assignment.substr(eq + 1));
-}
-
-const std::string& Config::raw(std::string_view key, ParamType expected) const {
-  const auto& params = schema_->params();
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    if (params[i].key == key) {
-      if (params[i].type != expected) {
-        throw InvalidArgument("Config: key '" + params[i].key + "' is " +
-                              std::string(to_string(params[i].type)) +
-                              ", requested as " +
-                              std::string(to_string(expected)));
-      }
-      return values_[i];
-    }
-  }
-  throw InvalidArgument("Config: unknown key '" + std::string(key) + "'");
-}
-
-std::uint64_t Config::get_uint(std::string_view key) const {
-  return parse_uint(raw(key, ParamType::kUInt), key);
-}
-
-double Config::get_double(std::string_view key) const {
-  return parse_double(raw(key, ParamType::kDouble), key);
-}
-
-bool Config::get_bool(std::string_view key) const {
-  return parse_bool(raw(key, ParamType::kBool), key);
-}
-
-std::string Config::get_string(std::string_view key) const {
-  return raw(key, ParamType::kString);
-}
-
-std::vector<std::uint64_t> Config::get_uint_list(std::string_view key) const {
-  std::vector<std::uint64_t> out;
-  for (const auto& item : split_list(raw(key, ParamType::kUIntList))) {
-    out.push_back(parse_uint(item, key));
-  }
-  return out;
-}
-
-std::vector<double> Config::get_double_list(std::string_view key) const {
-  std::vector<double> out;
-  for (const auto& item : split_list(raw(key, ParamType::kDoubleList))) {
-    out.push_back(parse_double(item, key));
-  }
-  return out;
-}
-
-std::vector<std::pair<std::string, std::string>> Config::items() const {
-  std::vector<std::pair<std::string, std::string>> out;
-  const auto& params = schema_->params();
-  out.reserve(params.size());
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    out.emplace_back(params[i].key, values_[i]);
-  }
-  return out;
-}
 
 Config resolve_config(const Experiment& experiment, bool quick,
                       const std::vector<std::string>& overrides,

@@ -24,102 +24,25 @@
 #include <vector>
 
 #include "eval/result_doc.h"
+#include "util/config.h"
 
 namespace sbx::eval {
 
 // ---------------------------------------------------------------------------
-// Strict scalar parsing (shared with the CLI and the bench flag parser).
+// Config machinery. Lives in util/config.h (so core::Attack can declare
+// schemas too — core sits below eval in the library stack); re-exported
+// here under the eval:: names the experiment layer has always used.
 // ---------------------------------------------------------------------------
 
-/// Parses a non-negative integer; the whole string must be consumed.
-/// Throws sbx::ParseError naming `what` on any malformed input.
-std::uint64_t parse_uint(std::string_view text, std::string_view what);
+using util::parse_bool;
+using util::parse_double;
+using util::parse_uint;
+using util::to_string;
 
-/// Parses a finite double; the whole string must be consumed.
-double parse_double(std::string_view text, std::string_view what);
-
-/// Accepts true/false/1/0/yes/no/on/off (ASCII case-insensitive).
-bool parse_bool(std::string_view text, std::string_view what);
-
-// ---------------------------------------------------------------------------
-// Config schema.
-// ---------------------------------------------------------------------------
-
-/// Value type of one config parameter. List values are comma- or
-/// semicolon-separated ("0.01,0.05" or "0.01;0.05"); sweep axes split
-/// their value lists on commas, so a swept list-typed parameter uses ';'
-/// inside each axis value.
-enum class ParamType { kUInt, kDouble, kBool, kString, kUIntList, kDoubleList };
-
-std::string_view to_string(ParamType type);
-
-/// One declared parameter: key, type, canonical default, one-line help.
-struct ParamSpec {
-  std::string key;
-  ParamType type = ParamType::kString;
-  std::string default_value;
-  std::string description;
-};
-
-/// Ordered parameter declarations for one experiment. Declaration order is
-/// the canonical order (describe output, ResultDoc config serialization).
-class ConfigSchema {
- public:
-  /// Declares a parameter; validates `default_value` against `type`.
-  /// Throws sbx::InvalidArgument on duplicate keys or invalid defaults.
-  ConfigSchema& add(std::string key, ParamType type,
-                    std::string default_value, std::string description);
-
-  /// nullptr when the key is not declared.
-  const ParamSpec* find(std::string_view key) const;
-
-  const std::vector<ParamSpec>& params() const { return params_; }
-
- private:
-  std::vector<ParamSpec> params_;
-};
-
-// ---------------------------------------------------------------------------
-// A resolved configuration.
-// ---------------------------------------------------------------------------
-
-/// Schema defaults plus overrides. Copyable (sweep expansion clones the
-/// base config per grid point); the schema must outlive the config —
-/// experiment schemas live in the process-wide registry, which does.
-class Config {
- public:
-  explicit Config(const ConfigSchema* schema);
-
-  /// Overrides one parameter; throws sbx::InvalidArgument for unknown keys
-  /// and sbx::ParseError for values invalid under the declared type.
-  void set(std::string_view key, std::string_view value);
-
-  /// Applies "key=value" (the CLI override form).
-  void set_key_value(std::string_view assignment);
-
-  // Typed getters; throw sbx::InvalidArgument when the key is not declared
-  // with the requested type (a programming error in an adapter).
-  std::uint64_t get_uint(std::string_view key) const;
-  double get_double(std::string_view key) const;
-  bool get_bool(std::string_view key) const;
-  std::string get_string(std::string_view key) const;
-  std::vector<std::uint64_t> get_uint_list(std::string_view key) const;
-  std::vector<double> get_double_list(std::string_view key) const;
-
-  /// True when the schema declares `key`.
-  bool has(std::string_view key) const { return schema_->find(key) != nullptr; }
-
-  /// Resolved (key, value) pairs in schema order.
-  std::vector<std::pair<std::string, std::string>> items() const;
-
-  const ConfigSchema& schema() const { return *schema_; }
-
- private:
-  const std::string& raw(std::string_view key, ParamType expected) const;
-
-  const ConfigSchema* schema_;
-  std::vector<std::string> values_;  // parallel to schema params
-};
+using ParamType = util::ParamType;
+using ParamSpec = util::ParamSpec;
+using ConfigSchema = util::ConfigSchema;
+using Config = util::Config;
 
 // ---------------------------------------------------------------------------
 // The experiment interface.

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/attack.h"
 #include "core/dictionary_attack.h"
 #include "core/dynamic_threshold.h"
 #include "core/focused_attack.h"
@@ -29,6 +30,36 @@
 #include "util/stats.h"
 
 namespace sbx::eval {
+
+// ---------------------------------------------------------------------------
+// Generic poison description — what the Causative drivers consume.
+// ---------------------------------------------------------------------------
+
+/// One identical-copy Causative attack, reduced to what the drivers need:
+/// the canonical message, the label its copies are trained under, and the
+/// optional BadNets trigger the attacker stamps onto its own post-poison
+/// spam. Built from a registry attack by eval::resolve_poison
+/// (attack_axis.h) or from a core::DictionaryAttack by poison_spec_from.
+struct PoisonSpec {
+  std::string name;              // display name, e.g. "usenet-90000"
+  std::size_t payload_size = 0;  // dictionary/payload words
+  email::Message message;        // the canonical attack email
+  corpus::TrueLabel train_as = corpus::TrueLabel::spam;
+  /// Trigger tokens stamped onto the attacker's future spam (empty for
+  /// attacks whose future mail is unmodified). When set, the dictionary
+  /// and retraining drivers additionally measure trigger-stamped spam.
+  std::vector<std::string> trigger;
+};
+
+/// The spec of a dictionary-family attack (spam-labeled, no trigger).
+PoisonSpec poison_spec_from(const core::DictionaryAttack& attack);
+
+/// The spec's trigger tokens as the deduplicated id set that stamping
+/// them onto a message produces (empty when the attack has no trigger).
+/// Single home for the trigger-text tokenization so the dictionary and
+/// retraining measurements cannot diverge.
+spambayes::TokenIdSet trigger_token_ids(const PoisonSpec& spec,
+                                        const spambayes::Tokenizer& tokenizer);
 
 // ---------------------------------------------------------------------------
 // Figure 1: dictionary attacks vs. percent control of the training set.
@@ -60,6 +91,10 @@ struct DictionaryCurvePoint {
   /// Per-fold ham-misclassification rates — the spread behind the paper's
   /// "variation on our tests was small" remark (§4.1).
   util::RunningStats ham_misclassified_by_fold;
+  /// BadNets measurement, filled only when the attack defines trigger
+  /// tokens: every test-fold spam message re-classified with the trigger
+  /// stamped in (true label spam; "leak" = not filed as spam).
+  ConfusionMatrix triggered;
 };
 
 /// A full curve for one attack variant. points[0] is the control (no
@@ -67,12 +102,22 @@ struct DictionaryCurvePoint {
 struct DictionaryCurve {
   std::string attack_name;
   std::size_t dictionary_size = 0;
+  bool has_trigger = false;  // whether points[i].triggered is meaningful
   std::vector<DictionaryCurvePoint> points;
 };
 
+/// Generic Causative driver: trains `spec.message` copies under
+/// `spec.train_as` at each attack fraction. For a spam-labeled spec with
+/// no trigger this is bit-identical to the historical dictionary driver.
 DictionaryCurve run_dictionary_curve(const corpus::TrecLikeGenerator& gen,
-                                     const core::DictionaryAttack& attack,
+                                     const PoisonSpec& spec,
                                      const DictionaryCurveConfig& config);
+
+inline DictionaryCurve run_dictionary_curve(
+    const corpus::TrecLikeGenerator& gen, const core::DictionaryAttack& attack,
+    const DictionaryCurveConfig& config) {
+  return run_dictionary_curve(gen, poison_spec_from(attack), config);
+}
 
 // ---------------------------------------------------------------------------
 // Figures 2 & 3: the focused attack.
@@ -101,6 +146,20 @@ struct FocusedKnowledgePoint {
   std::size_t control_as_ham = 0;  // pre-attack sanity: targets are ham
 };
 
+/// Attack-parametric form: `attack` crafts the per-target poison through
+/// core::Attack::craft_poison (the CraftContext carries the target, its
+/// attacker-guessable body words and the spam header pool). When the
+/// attack declares a "guess_probability" parameter it is overridden per
+/// point; other attacks run once per listed probability with identical
+/// poison (the x-axis degenerates, but indiscriminate attacks remain
+/// comparable against the focused curves).
+std::vector<FocusedKnowledgePoint> run_focused_knowledge(
+    const corpus::TrecLikeGenerator& gen, const core::Attack& attack,
+    const util::Config& attack_params,
+    const std::vector<double>& guess_probabilities, std::size_t attack_count,
+    const FocusedConfig& config);
+
+/// Historical form: the registry "focused" attack with default params.
 std::vector<FocusedKnowledgePoint> run_focused_knowledge(
     const corpus::TrecLikeGenerator& gen,
     const std::vector<double>& guess_probabilities, std::size_t attack_count,
@@ -116,6 +175,12 @@ struct FocusedSizePoint {
   std::size_t as_unsure_or_spam = 0;
 };
 
+std::vector<FocusedSizePoint> run_focused_size(
+    const corpus::TrecLikeGenerator& gen, const core::Attack& attack,
+    const util::Config& attack_params, double guess_probability,
+    const std::vector<double>& attack_fractions, const FocusedConfig& config);
+
+/// Historical form: the registry "focused" attack with default params.
 std::vector<FocusedSizePoint> run_focused_size(
     const corpus::TrecLikeGenerator& gen, double guess_probability,
     const std::vector<double>& attack_fractions, const FocusedConfig& config);
@@ -184,6 +249,17 @@ struct RoniExperimentResult {
   std::vector<RoniVariantResult> attack_variants;
 };
 
+/// One named attack query RONI assesses `attack_repetitions` times.
+struct RoniQuery {
+  std::string name;
+  email::Message message;
+};
+
+RoniExperimentResult run_roni_experiment(const corpus::TrecLikeGenerator& gen,
+                                         const std::vector<RoniQuery>& queries,
+                                         const RoniExperimentConfig& config);
+
+/// Historical form over dictionary-attack variants.
 RoniExperimentResult run_roni_experiment(
     const corpus::TrecLikeGenerator& gen,
     const std::vector<const core::DictionaryAttack*>& attacks,
@@ -211,8 +287,14 @@ struct ThresholdCurvePoint {
 };
 
 std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
-    const corpus::TrecLikeGenerator& gen, const core::DictionaryAttack& attack,
+    const corpus::TrecLikeGenerator& gen, const PoisonSpec& spec,
     const ThresholdDefenseConfig& config);
+
+inline std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
+    const corpus::TrecLikeGenerator& gen, const core::DictionaryAttack& attack,
+    const ThresholdDefenseConfig& config) {
+  return run_threshold_defense_curve(gen, poison_spec_from(attack), config);
+}
 
 // ---------------------------------------------------------------------------
 // Shared helpers (exposed for tests).

@@ -1,8 +1,14 @@
-// Figures 2, 3 and 4 drivers: the focused (targeted) attack.
+// Figures 2, 3 and 4 drivers: the focused (targeted) attack. The
+// knowledge/size curves are attack-parametric: poison emails come from a
+// core::Attack's craft_poison hook (the CraftContext carries the target
+// and the spam header pool), with the registry "focused" adapter
+// reproducing the historical driver bit-for-bit.
 #include <algorithm>
 #include <unordered_set>
 
 #include "core/attack_math.h"
+#include "core/attack_registry.h"
+#include "eval/attack_axis.h"
 #include "eval/experiments.h"
 #include "eval/runner.h"
 #include "util/error.h"
@@ -40,20 +46,46 @@ struct FocusedRun {
   }
 };
 
-/// Trains the given attack emails, runs `body`, then untrains them exactly,
-/// restoring the filter. Returns body's verdict-relevant result through the
-/// callable's side effects.
+/// Trains the given attack emails under `label`, runs `body`, then
+/// untrains them exactly, restoring the filter. Returns body's
+/// verdict-relevant result through the callable's side effects.
 template <typename Body>
 void with_attack_trained(spambayes::Filter& filter,
                          const std::vector<spambayes::TokenIdSet>& attack_ids,
-                         std::size_t count, Body&& body) {
+                         std::size_t count, corpus::TrueLabel label,
+                         Body&& body) {
+  const bool spam = label == corpus::TrueLabel::spam;
   for (std::size_t i = 0; i < count; ++i) {
-    filter.train_spam_ids(attack_ids[i]);
+    if (spam) {
+      filter.train_spam_ids(attack_ids[i]);
+    } else {
+      filter.train_ham_ids(attack_ids[i]);
+    }
   }
   body();
   for (std::size_t i = 0; i < count; ++i) {
-    filter.untrain_spam_ids(attack_ids[i]);
+    if (spam) {
+      filter.untrain_spam_ids(attack_ids[i]);
+    } else {
+      filter.untrain_ham_ids(attack_ids[i]);
+    }
   }
+}
+
+/// Per-point attack params: `guess_probability` (when the attack declares
+/// it) overridden with the point's value, round-trip-formatted so the
+/// attack parses back the identical double.
+std::vector<util::Config> per_point_params(
+    const util::Config& attack_params,
+    const std::vector<double>& guess_probabilities) {
+  std::vector<util::Config> out(guess_probabilities.size(), attack_params);
+  if (attack_params.has("guess_probability")) {
+    for (std::size_t pi = 0; pi < guess_probabilities.size(); ++pi) {
+      out[pi].set("guess_probability",
+                  round_trip_string(guess_probabilities[pi]));
+    }
+  }
+  return out;
 }
 
 std::vector<spambayes::TokenIdSet> tokenize_attack_emails(
@@ -70,10 +102,14 @@ std::vector<spambayes::TokenIdSet> tokenize_attack_emails(
 }  // namespace
 
 std::vector<FocusedKnowledgePoint> run_focused_knowledge(
-    const corpus::TrecLikeGenerator& gen,
+    const corpus::TrecLikeGenerator& gen, const core::Attack& attack,
+    const util::Config& attack_params,
     const std::vector<double>& guess_probabilities, std::size_t attack_count,
     const FocusedConfig& config) {
   Runner runner(config.seed, config.threads);
+  const std::vector<util::Config> point_params =
+      per_point_params(attack_params, guess_probabilities);
+  const corpus::TrueLabel poison_label = attack.poison_label();
 
   std::vector<FocusedKnowledgePoint> points(guess_probabilities.size());
   for (std::size_t pi = 0; pi < guess_probabilities.size(); ++pi) {
@@ -101,17 +137,17 @@ std::vector<FocusedKnowledgePoint> run_focused_knowledge(
               spambayes::Verdict::ham;
 
           for (std::size_t pi = 0; pi < guess_probabilities.size(); ++pi) {
-            core::FocusedAttackConfig attack_config;
-            attack_config.guess_probability = guess_probabilities[pi];
             util::Rng attack_rng = rng.fork(7919 * (t + 1) + pi);
-            core::FocusedAttack attack(attack_config, body_words, attack_rng);
-            const auto attack_ids = tokenize_attack_emails(
-                attack.generate(run.spam_headers, attack_count, attack_rng),
-                tokenizer);
+            core::CraftContext ctx{gen,     point_params[pi],
+                                   attack_rng, attack_count,
+                                   &target, &body_words,
+                                   &run.spam_headers};
+            const auto attack_ids =
+                tokenize_attack_emails(attack.craft_poison(ctx), tokenizer);
 
             spambayes::Verdict verdict = spambayes::Verdict::unsure;
             with_attack_trained(run.filter, attack_ids, attack_ids.size(),
-                                [&] {
+                                poison_label, [&] {
                                   verdict = run.filter
                                                 .classify_ids(target_ids)
                                                 .verdict;
@@ -147,9 +183,14 @@ std::vector<FocusedKnowledgePoint> run_focused_knowledge(
 }
 
 std::vector<FocusedSizePoint> run_focused_size(
-    const corpus::TrecLikeGenerator& gen, double guess_probability,
+    const corpus::TrecLikeGenerator& gen, const core::Attack& attack,
+    const util::Config& attack_params, double guess_probability,
     const std::vector<double>& attack_fractions, const FocusedConfig& config) {
   Runner runner(config.seed, config.threads);
+  const std::vector<util::Config> point_params =
+      per_point_params(attack_params, {guess_probability});
+  const corpus::TrueLabel poison_label = attack.poison_label();
+  const bool poison_spam = poison_label == corpus::TrueLabel::spam;
 
   std::vector<double> fractions = attack_fractions;
   std::sort(fractions.begin(), fractions.end());
@@ -172,13 +213,13 @@ std::vector<FocusedSizePoint> run_focused_size(
           const spambayes::TokenSet body_words =
               core::attackable_body_words(target, tokenizer);
 
-          core::FocusedAttackConfig attack_config;
-          attack_config.guess_probability = guess_probability;
           util::Rng attack_rng = rng.fork(104729 * (t + 1));
-          core::FocusedAttack attack(attack_config, body_words, attack_rng);
-          const auto attack_ids = tokenize_attack_emails(
-              attack.generate(run.spam_headers, max_messages, attack_rng),
-              tokenizer);
+          core::CraftContext ctx{gen,     point_params.front(),
+                                 attack_rng, max_messages,
+                                 &target, &body_words,
+                                 &run.spam_headers};
+          const auto attack_ids =
+              tokenize_attack_emails(attack.craft_poison(ctx), tokenizer);
 
           // Ascending sweep: train incrementally, then untrain everything.
           std::size_t trained = 0;
@@ -186,7 +227,11 @@ std::vector<FocusedSizePoint> run_focused_size(
             const std::size_t want = core::attack_message_count(
                 config.inbox_size, fractions[pi]);
             for (; trained < want; ++trained) {
-              run.filter.train_spam_ids(attack_ids[trained]);
+              if (poison_spam) {
+                run.filter.train_spam_ids(attack_ids[trained]);
+              } else {
+                run.filter.train_ham_ids(attack_ids[trained]);
+              }
             }
             spambayes::Verdict verdict =
                 run.filter.classify_ids(target_ids).verdict;
@@ -197,7 +242,11 @@ std::vector<FocusedSizePoint> run_focused_size(
                 verdict != spambayes::Verdict::ham ? 1 : 0;
           }
           for (std::size_t i = 0; i < trained; ++i) {
-            run.filter.untrain_spam_ids(attack_ids[i]);
+            if (poison_spam) {
+              run.filter.untrain_spam_ids(attack_ids[i]);
+            } else {
+              run.filter.untrain_ham_ids(attack_ids[i]);
+            }
           }
         }
         return local;
@@ -216,6 +265,23 @@ std::vector<FocusedSizePoint> run_focused_size(
         core::attack_message_count(config.inbox_size, fractions[pi]);
   }
   return points;
+}
+
+std::vector<FocusedKnowledgePoint> run_focused_knowledge(
+    const corpus::TrecLikeGenerator& gen,
+    const std::vector<double>& guess_probabilities, std::size_t attack_count,
+    const FocusedConfig& config) {
+  const core::Attack& attack = core::builtin_attack_registry().get("focused");
+  return run_focused_knowledge(gen, attack, attack.default_params(),
+                               guess_probabilities, attack_count, config);
+}
+
+std::vector<FocusedSizePoint> run_focused_size(
+    const corpus::TrecLikeGenerator& gen, double guess_probability,
+    const std::vector<double>& attack_fractions, const FocusedConfig& config) {
+  const core::Attack& attack = core::builtin_attack_registry().get("focused");
+  return run_focused_size(gen, attack, attack.default_params(),
+                          guess_probability, attack_fractions, config);
 }
 
 std::vector<TokenShiftExample> run_token_shift(

@@ -89,7 +89,11 @@ std::string ResultDoc::to_json() const {
   std::string out;
   out += "{\n  \"experiment\": ";
   out += json_quote(experiment);
-  out += ",\n  \"config\": {";
+  out += ",\n  \"attack\": {\"name\": ";
+  out += json_quote(attack_name);
+  out += ", \"taxonomy\": ";
+  out += json_quote(attack_taxonomy);
+  out += "},\n  \"config\": {";
   for (std::size_t i = 0; i < config.size(); ++i) {
     out += i > 0 ? ", " : "";
     out += json_quote(config[i].first);

@@ -34,6 +34,12 @@ struct Series {
 /// Uniform experiment output.
 struct ResultDoc {
   std::string experiment;
+  /// The attack this run exercised: registry name (attack_registry.h) and
+  /// Barreno-Nelson taxonomy coordinates. Every built-in experiment sets
+  /// both (eval::tag_attack); `check_bench.py validate-resultdoc` requires
+  /// them non-empty.
+  std::string attack_name;
+  std::string attack_taxonomy;
   /// Resolved config in schema order.
   std::vector<std::pair<std::string, std::string>> config;
   /// Scalar headline metrics in insertion order.
@@ -59,7 +65,8 @@ struct ResultDoc {
   const util::Table& table(std::string_view name) const;
 
   /// The whole document as a single JSON object:
-  ///   {"experiment": ..., "config": {...}, "metrics": {...},
+  ///   {"experiment": ..., "attack": {"name": ..., "taxonomy": ...},
+  ///    "config": {...}, "metrics": {...},
   ///    "tables": {name: {"headers": [...], "rows": [[...]]}},
   ///    "series": [{"name":..., "x":[...], "y":[...]}], "report": [...]}
   /// Keys preserve document order; doubles use round-trip precision; the

@@ -7,9 +7,14 @@
 namespace sbx::eval {
 namespace {
 
+struct LabeledBatch {
+  core::SpamBatch batch;
+  corpus::TrueLabel label = corpus::TrueLabel::spam;
+};
+
 struct WeekData {
   std::vector<std::size_t> clean_indices;  // into the accumulated dataset
-  std::vector<core::SpamBatch> attacks;    // admitted attack batches
+  std::vector<LabeledBatch> attacks;       // admitted attack batches
 };
 
 }  // namespace
@@ -34,6 +39,15 @@ std::vector<WeekReport> run_retraining_timeline(
   std::vector<WeekReport> reports;
   reports.reserve(config.weeks);
   std::vector<spambayes::TokenIdSet> fresh_ids;  // reused across weeks
+
+  // BadNets trigger (union across injections; normally one injection).
+  spambayes::TokenIdList all_trigger_ids;
+  for (const AttackInjection& inj : injections) {
+    all_trigger_ids.insert(all_trigger_ids.end(), inj.trigger_ids.begin(),
+                           inj.trigger_ids.end());
+  }
+  const spambayes::TokenIdSet trigger_ids =
+      spambayes::unique_token_ids(std::move(all_trigger_ids));
 
   for (std::size_t week = 0; week < config.weeks; ++week) {
     WeekReport report;
@@ -69,7 +83,10 @@ std::vector<WeekReport> run_retraining_timeline(
       if (inj.week != week || inj.copies == 0) continue;
       report.attack_offered += inj.copies;
       std::uint32_t admitted = inj.copies;
-      if (gate_active) {
+      // The gate screens the spam folder; ham-labeled poison (the §2.2
+      // extension / backdoor) arrives through the ham pipeline and is
+      // never assessed.
+      if (gate_active && inj.label == corpus::TrueLabel::spam) {
         // All copies are identical; one assessment decides the batch.
         util::Rng gate_rng = week_rng.fork(99'000 + inj.week);
         if (roni.assess(inj.ids, all_clean, gate_rng).rejected) {
@@ -78,7 +95,7 @@ std::vector<WeekReport> run_retraining_timeline(
       }
       report.attack_admitted += admitted;
       if (admitted > 0) {
-        weeks[week].attacks.push_back({inj.ids, admitted});
+        weeks[week].attacks.push_back({{inj.ids, admitted}, inj.label});
       }
     }
 
@@ -100,10 +117,16 @@ std::vector<WeekReport> run_retraining_timeline(
         }
         scope_indices.push_back(idx);
       }
-      for (const auto& batch : weeks[w].attacks) {
-        filter.train_spam_ids(batch.ids, batch.copies);
-        scope_attacks.push_back(batch);
-        report.training_size += batch.copies;
+      for (const auto& labeled : weeks[w].attacks) {
+        if (labeled.label == corpus::TrueLabel::spam) {
+          filter.train_spam_ids(labeled.batch.ids, labeled.batch.copies);
+          // Ham-labeled batches never sit in the spam folder, so only
+          // spam-labeled ones inform the threshold re-derivation.
+          scope_attacks.push_back(labeled.batch);
+        } else {
+          filter.train_ham_ids(labeled.batch.ids, labeled.batch.copies);
+        }
+        report.training_size += labeled.batch.copies;
       }
     }
     report.training_size += scope_indices.size();
@@ -140,6 +163,32 @@ std::vector<WeekReport> run_retraining_timeline(
                               scored.score, thresholds.theta0,
                               thresholds.theta1));
         });
+
+    // --- BadNets leak probe: the same fresh spam, trigger-stamped ---
+    if (!trigger_ids.empty()) {
+      std::vector<spambayes::TokenIdSet> stamped;
+      for (std::size_t i = 0; i < fresh.items.size(); ++i) {
+        if (fresh.items[i].label != corpus::TrueLabel::spam) continue;
+        spambayes::TokenIdList ids = fresh_ids[i];
+        ids.insert(ids.end(), trigger_ids.begin(), trigger_ids.end());
+        stamped.push_back(spambayes::unique_token_ids(std::move(ids)));
+      }
+      filter.classify_batch(
+          stamped.size(),
+          [&](std::size_t i) -> const spambayes::TokenIdList& {
+            return stamped[i];
+          },
+          [&](std::size_t, const spambayes::BatchScore& scored) {
+            report.trigger_probes += 1;
+            report.trigger_leaked +=
+                spambayes::Classifier::verdict_for(scored.score,
+                                                   thresholds.theta0,
+                                                   thresholds.theta1) !=
+                        spambayes::Verdict::spam
+                    ? 1
+                    : 0;
+          });
+    }
     reports.push_back(std::move(report));
   }
   return reports;

@@ -24,11 +24,19 @@
 
 namespace sbx::eval {
 
-/// One week's attack injection: `copies` spam-labeled copies of a message.
+/// One week's attack injection: `copies` copies of a message, trained
+/// under `label` (spam for the §2.2 contamination model; ham for the
+/// inbox-poisoning extensions — ham-labeled, backdoor). Ham-labeled
+/// injections bypass the RONI gate: the gate screens the spam folder.
 struct AttackInjection {
   std::size_t week = 0;
   spambayes::TokenIdSet ids;
   std::uint32_t copies = 0;
+  corpus::TrueLabel label = corpus::TrueLabel::spam;
+  /// BadNets trigger ids: when non-empty, every weekly measurement also
+  /// scores the fresh spam with these ids stamped in (WeekReport
+  /// trigger_probes/trigger_leaked).
+  spambayes::TokenIdSet trigger_ids;
 
   AttackInjection() = default;
   AttackInjection(std::size_t week_in, spambayes::TokenIdSet ids_in,
@@ -76,6 +84,11 @@ struct WeekReport {
   std::size_t attack_admitted = 0; // copies surviving the RONI gate
   core::ThresholdPair thresholds{0.15, 0.9};
   std::size_t training_size = 0;   // messages trained on this cycle
+  /// BadNets measurement (zero unless an injection carries trigger ids):
+  /// fresh spam re-scored with the trigger stamped in; "leaked" = not
+  /// filed as spam under this week's thresholds.
+  std::size_t trigger_probes = 0;
+  std::size_t trigger_leaked = 0;
 };
 
 /// Runs the timeline; returns one report per week (after that week's

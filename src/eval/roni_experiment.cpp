@@ -20,10 +20,9 @@ void merge_outcome(RoniVariantResult& variant, const AssessmentOutcome& o) {
 
 }  // namespace
 
-RoniExperimentResult run_roni_experiment(
-    const corpus::TrecLikeGenerator& gen,
-    const std::vector<const core::DictionaryAttack*>& attacks,
-    const RoniExperimentConfig& config) {
+RoniExperimentResult run_roni_experiment(const corpus::TrecLikeGenerator& gen,
+                                         const std::vector<RoniQuery>& queries,
+                                         const RoniExperimentConfig& config) {
   Runner runner(config.seed, config.threads);
 
   util::Rng pool_rng = runner.fork(1);
@@ -58,13 +57,13 @@ RoniExperimentResult run_roni_experiment(
         });
   }
 
-  // --- dictionary attack variants, `attack_repetitions` assessments each ---
-  for (std::size_t ai = 0; ai < attacks.size(); ++ai) {
-    const core::DictionaryAttack& attack = *attacks[ai];
+  // --- attack queries, `attack_repetitions` assessments each ---
+  for (std::size_t ai = 0; ai < queries.size(); ++ai) {
+    const RoniQuery& query = queries[ai];
     RoniVariantResult variant;
-    variant.name = attack.name();
+    variant.name = query.name;
     const spambayes::TokenIdSet attack_ids = spambayes::unique_token_ids(
-        tokenizer.tokenize_ids(attack.attack_message()));
+        tokenizer.tokenize_ids(query.message));
 
     util::Rng attack_rng = runner.fork(100 + ai);
     runner.map_reduce(
@@ -78,6 +77,18 @@ RoniExperimentResult run_roni_experiment(
     result.attack_variants.push_back(std::move(variant));
   }
   return result;
+}
+
+RoniExperimentResult run_roni_experiment(
+    const corpus::TrecLikeGenerator& gen,
+    const std::vector<const core::DictionaryAttack*>& attacks,
+    const RoniExperimentConfig& config) {
+  std::vector<RoniQuery> queries;
+  queries.reserve(attacks.size());
+  for (const core::DictionaryAttack* attack : attacks) {
+    queries.push_back(RoniQuery{attack->name(), attack->attack_message()});
+  }
+  return run_roni_experiment(gen, queries, config);
 }
 
 }  // namespace sbx::eval

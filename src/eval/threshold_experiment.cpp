@@ -18,7 +18,7 @@ struct ThresholdFoldResult {
 }  // namespace
 
 std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
-    const corpus::TrecLikeGenerator& gen, const core::DictionaryAttack& attack,
+    const corpus::TrecLikeGenerator& gen, const PoisonSpec& spec,
     const ThresholdDefenseConfig& config) {
   const DictionaryCurveConfig& base = config.base;
   Runner runner(base.seed, base.threads);
@@ -32,7 +32,8 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
   const corpus::TokenizedDataset tokenized =
       corpus::tokenize_dataset(dataset, tokenizer);
   const spambayes::TokenIdSet attack_ids = spambayes::unique_token_ids(
-      tokenizer.tokenize_ids(attack.attack_message()));
+      tokenizer.tokenize_ids(spec.message));
+  const bool train_as_spam = spec.train_as == corpus::TrueLabel::spam;
 
   util::Rng fold_rng = runner.fork(2);
   const std::vector<corpus::FoldSplit> folds =
@@ -73,15 +74,22 @@ std::vector<ThresholdCurvePoint> run_threshold_defense_curve(
           const std::size_t want =
               core::attack_message_count(split.train.size(), fractions[pi]);
           if (want > trained_attack) {
-            filter.train_spam_ids(
-                attack_ids, static_cast<std::uint32_t>(want - trained_attack));
+            const auto copies =
+                static_cast<std::uint32_t>(want - trained_attack);
+            if (train_as_spam) {
+              filter.train_spam_ids(attack_ids, copies);
+            } else {
+              filter.train_ham_ids(attack_ids, copies);
+            }
             trained_attack = want;
           }
 
           // Dynamic thresholds from a half/half split of the poisoned
-          // training set.
+          // training set. Ham-labeled poison is invisible to the
+          // derivation (it never sits in the spam folder the defense
+          // re-scores), so only spam-labeled copies form a batch.
           std::vector<core::SpamBatch> batches;
-          if (trained_attack > 0) {
+          if (train_as_spam && trained_attack > 0) {
             batches.push_back(
                 {attack_ids, static_cast<std::uint32_t>(trained_attack)});
           }

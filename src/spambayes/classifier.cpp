@@ -110,6 +110,21 @@ std::string_view to_string(Verdict v) {
   return "unsure";
 }
 
+bool verdict_at_most(Verdict v, Verdict goal) {
+  auto rank = [](Verdict x) {
+    switch (x) {
+      case Verdict::ham:
+        return 0;
+      case Verdict::unsure:
+        return 1;
+      case Verdict::spam:
+        return 2;
+    }
+    return 1;
+  };
+  return rank(v) <= rank(goal);
+}
+
 Classifier::Classifier(ClassifierOptions opts) : opts_(opts) {
   if (opts_.ham_cutoff < 0 || opts_.spam_cutoff > 1 ||
       opts_.ham_cutoff > opts_.spam_cutoff) {

@@ -33,6 +33,11 @@ enum class Verdict { ham, unsure, spam };
 /// Human-readable verdict name ("ham" / "unsure" / "spam").
 std::string_view to_string(Verdict v);
 
+/// True when `v` is no spammier than `goal` under the ordering
+/// ham < unsure < spam — the success test every Exploratory (evasion)
+/// attack applies to its goal verdict.
+bool verdict_at_most(Verdict v, Verdict goal);
+
 /// One token's contribution to a score, exposed for analysis (Figure 4
 /// plots these before/after an attack).
 struct TokenEvidence {

@@ -15,15 +15,6 @@ bool is_word_char(char c) {
          c == '!';
 }
 
-// Strips characters that are not word characters from both ends.
-std::string_view strip_punct(std::string_view w) {
-  std::size_t b = 0;
-  std::size_t e = w.size();
-  while (b < e && !is_word_char(w[b])) ++b;
-  while (e > b && !is_word_char(w[e - 1])) --e;
-  return w.substr(b, e - b);
-}
-
 bool looks_like_url(std::string_view w) {
   return util::istarts_with(w, "http://") || util::istarts_with(w, "https://") ||
          util::istarts_with(w, "www.");
@@ -233,6 +224,15 @@ class Emitter {
 };
 
 }  // namespace
+
+// Strips characters that are not word characters from both ends.
+std::string_view strip_punct(std::string_view w) {
+  std::size_t b = 0;
+  std::size_t e = w.size();
+  while (b < e && !is_word_char(w[b])) ++b;
+  while (e > b && !is_word_char(w[e - 1])) --e;
+  return w.substr(b, e - b);
+}
 
 Tokenizer::Tokenizer(TokenizerOptions opts) : opts_(opts) {}
 

@@ -82,4 +82,11 @@ TokenIdSet unique_token_ids(TokenIdList ids);
 TokenIdSet intern_tokens(const TokenSet& tokens,
                          TokenInterner& interner = global_interner());
 
+/// Strips non-word characters (anything outside the tokenizer's word-char
+/// set: alnum, ', -, $, !) from both ends of `word` — the normalization
+/// every body word gets before it becomes a token. Exposed so attacks that
+/// rank raw text chunks by per-token score can look up the same spelling
+/// the filter trained on.
+std::string_view strip_punct(std::string_view word);
+
 }  // namespace sbx::spambayes

@@ -193,8 +193,10 @@ TEST(RoniExperiment, SeparatesAttacksFromSpam) {
       core::DictionaryAttack::usenet(generator().lexicons());
   core::DictionaryAttack aspell =
       core::DictionaryAttack::aspell(generator().lexicons());
-  RoniExperimentResult result = run_roni_experiment(
-      generator(), {&usenet, &aspell}, small_roni_config());
+  const std::vector<const core::DictionaryAttack*> attacks = {&usenet,
+                                                              &aspell};
+  RoniExperimentResult result =
+      run_roni_experiment(generator(), attacks, small_roni_config());
 
   EXPECT_EQ(result.nonattack_spam.assessed, 12u);
   EXPECT_EQ(result.nonattack_spam.rejected, 0u);  // no false positives

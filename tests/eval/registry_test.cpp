@@ -119,8 +119,9 @@ TEST(ConfigSchema, RejectsDuplicateKeysAndBadDefaults) {
 
 TEST(Registry, ContainsEveryBuiltinExperiment) {
   const std::vector<std::string> expected = {
-      "dictionary", "focused-knowledge", "focused-size", "good-word",
-      "ham-labeled", "retraining",       "roni",         "threshold",
+      "dictionary",  "focused-guessing", "focused-knowledge",
+      "focused-size", "good-word",       "ham-labeled",
+      "retraining",   "roni",            "threshold",
       "token-shift"};
   std::vector<std::string> names;
   for (const Experiment* e : builtin_registry().experiments()) {

@@ -73,13 +73,22 @@ def validate_resultdoc(path: str) -> None:
     if not isinstance(doc, dict):
         _fail(path, "top level is not an object")
 
-    for key in ("experiment", "config", "metrics", "tables", "series",
-                "report"):
+    for key in ("experiment", "attack", "config", "metrics", "tables",
+                "series", "report"):
         if key not in doc:
             _fail(path, f"missing key '{key}'")
 
     if not isinstance(doc["experiment"], str) or not doc["experiment"]:
         _fail(path, "'experiment' is not a non-empty string")
+
+    # Every document names the attack it exercised and its Barreno-Nelson
+    # taxonomy coordinates (eval::tag_attack).
+    attack = doc["attack"]
+    if not isinstance(attack, dict):
+        _fail(path, "'attack' is not an object")
+    for key in ("name", "taxonomy"):
+        if not isinstance(attack.get(key), str) or not attack[key]:
+            _fail(path, f"attack['{key}'] is not a non-empty string")
 
     if not isinstance(doc["config"], dict):
         _fail(path, "'config' is not an object")

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/attack_registry.h"
 #include "eval/experiment.h"
 #include "eval/registry.h"
 #include "eval/sweep.h"
@@ -50,6 +51,10 @@ int usage(FILE* to) {
                "  run <exp> [k=v ...]          run one config\n"
                "  sweep <exp> --axis k=v1,v2 [--axis ...] [k=v ...]\n"
                "                               run the axis cross-product\n"
+               "  attacks list                 all registered attacks with\n"
+               "                               their taxonomy coordinates\n"
+               "  attacks describe <attack>    taxonomy, threat model and\n"
+               "                               parameter schema\n"
                "\n"
                "flags (run/sweep):\n"
                "  --quick          reduced-scale config for smoke runs\n"
@@ -142,6 +147,40 @@ int cmd_describe(const std::string& name) {
   return 0;
 }
 
+int cmd_attacks_list() {
+  std::printf("%-18s %-40s %s\n", "attack", "taxonomy", "description");
+  for (const sbx::core::Attack* attack :
+       sbx::core::builtin_attack_registry().attacks()) {
+    std::printf("%-18s %-40s %s\n", attack->name().c_str(),
+                attack->properties().description().c_str(),
+                attack->description().c_str());
+  }
+  return 0;
+}
+
+int cmd_attacks_describe(const std::string& name) {
+  const sbx::core::Attack& attack =
+      sbx::core::builtin_attack_registry().get(name);
+  const sbx::core::AttackProperties properties = attack.properties();
+  std::printf("%s — %s\ntaxonomy: %s\nreproduces: %s\nhooks:%s%s\n\n",
+              attack.name().c_str(), attack.description().c_str(),
+              properties.description().c_str(), attack.paper_ref().c_str(),
+              attack.crafts_poison() ? " craft_poison (Causative)" : "",
+              attack.evades() ? " evade (Exploratory)" : "");
+  if (attack.schema().params().empty()) {
+    std::printf("no parameters\n");
+    return 0;
+  }
+  std::printf("%-20s %-12s %-28s %s\n", "key", "type", "default",
+              "description");
+  for (const auto& spec : attack.schema().params()) {
+    std::printf("%-20s %-12s %-28s %s\n", spec.key.c_str(),
+                std::string(eval::to_string(spec.type)).c_str(),
+                spec.default_value.c_str(), spec.description.c_str());
+  }
+  return 0;
+}
+
 int cmd_run(const std::string& name, const CliFlags& flags) {
   const eval::Experiment& experiment = eval::builtin_registry().get(name);
   const eval::Config config = resolve(experiment, flags);
@@ -229,6 +268,18 @@ int main(int argc, char** argv) {
     if (command == "describe") {
       if (argc < 3) return usage(stderr);
       return cmd_describe(argv[2]);
+    }
+    if (command == "attacks") {
+      if (argc < 3) return usage(stderr);
+      const std::string sub = argv[2];
+      if (sub == "list") return cmd_attacks_list();
+      if (sub == "describe") {
+        if (argc < 4) return usage(stderr);
+        return cmd_attacks_describe(argv[3]);
+      }
+      std::fprintf(stderr, "sbx_experiments: unknown attacks command '%s'\n\n",
+                   sub.c_str());
+      return usage(stderr);
     }
     if (command == "run" || command == "sweep") {
       if (argc < 3) return usage(stderr);

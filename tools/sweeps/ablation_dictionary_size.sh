@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Saved sweep spec for the §3.2 dictionary-size ablation — the registry
+# form of bench/bench_ablation_dictionary_size.cpp's grid.
+#
+# Fixes the attack at 1% control and varies the payload through the attack
+# registry: top-N Usenet truncations for N in {10k, 25k, 50k, 90k}, then
+# the full Aspell list, one schema-validated ResultDoc JSON per variant.
+# The bench binary renders the same grid (plus the per-byte efficiency
+# column) as a single table in the historical layout; this spec is the
+# scriptable/CI form.
+#
+# Usage (from the repo root, after building):
+#   tools/sweeps/ablation_dictionary_size.sh [--quick] [--threads=N] \
+#       [--out-dir=DIR] [extra key=value overrides...]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+SBX_EXPERIMENTS="${SBX_EXPERIMENTS:-build/tools/sbx_experiments}"
+if [[ ! -x "$SBX_EXPERIMENTS" ]]; then
+  echo "error: $SBX_EXPERIMENTS not found (build first, or set SBX_EXPERIMENTS)" >&2
+  exit 2
+fi
+
+"$SBX_EXPERIMENTS" sweep dictionary \
+  --axis 'dictionary_size=10000,25000,50000,90000' \
+  attack=usenet attack_fractions=0.01 \
+  "$@"
+
+exec "$SBX_EXPERIMENTS" run dictionary \
+  attack=aspell attack_fractions=0.01 \
+  "$@"

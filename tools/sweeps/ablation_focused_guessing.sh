@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Saved spec for the §4.3 guess-model ablation — the registry form of
+# bench/bench_ablation_focused_guessing.cpp.
+#
+# One registry config runs both guess models (fixed-per-attack vs.
+# independent-per-email) across the Figure-2 probabilities, crafting every
+# poison email through the attack registry's "focused" adapter, and emits
+# one schema-validated ResultDoc JSON. The bench binary renders the same
+# document in the historical layout; this spec is the scriptable/CI form.
+#
+# Usage (from the repo root, after building):
+#   tools/sweeps/ablation_focused_guessing.sh [--quick] [--threads=N] \
+#       [--out-dir=DIR] [extra key=value overrides...]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+SBX_EXPERIMENTS="${SBX_EXPERIMENTS:-build/tools/sbx_experiments}"
+if [[ ! -x "$SBX_EXPERIMENTS" ]]; then
+  echo "error: $SBX_EXPERIMENTS not found (build first, or set SBX_EXPERIMENTS)" >&2
+  exit 2
+fi
+
+exec "$SBX_EXPERIMENTS" run focused-guessing \
+  "$@"

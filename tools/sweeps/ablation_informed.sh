@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Saved sweep spec for the §3.4 optimal-constrained-attack ablation — the
+# registry form of bench/bench_ablation_informed.cpp's grid, and the
+# flagship attack-axis sweep: the attack is just another --axis.
+#
+# Crosses attacker knowledge (informed = the victim's true ham
+# distribution, usenet = a ranked general-purpose corpus, aspell = an
+# unranked formal dictionary) against equal word budgets at 1% control,
+# one schema-validated ResultDoc JSON per (attack, budget) cell.
+#
+# Usage (from the repo root, after building):
+#   tools/sweeps/ablation_informed.sh [--quick] [--threads=N] \
+#       [--out-dir=DIR] [extra key=value overrides...]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+SBX_EXPERIMENTS="${SBX_EXPERIMENTS:-build/tools/sbx_experiments}"
+if [[ ! -x "$SBX_EXPERIMENTS" ]]; then
+  echo "error: $SBX_EXPERIMENTS not found (build first, or set SBX_EXPERIMENTS)" >&2
+  exit 2
+fi
+
+exec "$SBX_EXPERIMENTS" sweep dictionary \
+  --axis 'attack=informed,usenet,aspell' \
+  --axis 'dictionary_size=5000,10000,25000,44000' \
+  attack_fractions=0.01 \
+  "$@"
