@@ -4,11 +4,21 @@
 // larger test sets". This sweep scales (|T|, |V|) from the paper's (20, 50)
 // up 4x and down 2x, measuring how the attack/non-attack separation margin
 // and the detection rates respond.
+//
+// Thin presentation wrapper over the registry's "roni" experiment: |T|,
+// |V|, resamples and the rejection threshold are ordinary config keys, and
+// the two-attack workload is the comma-list form `attack=usenet,aspell` —
+// the same grid is saved as a sweep spec in
+// tools/sweeps/ablation_roni_sizes.sh. Cells come from the registry
+// metrics (nonattack_max_impact / attack_min_impact / attack_rejected_pct
+// / nonattack_rejected_pct) re-rendered in the historical layout.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/dictionary_attack.h"
-#include "eval/experiments.h"
+#include "eval/attack_axis.h"
+#include "eval/registry.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -16,11 +26,8 @@ int main(int argc, char** argv) {
   sbx::bench::print_header("Ablation: RONI (|T|, |V|) scaling",
                            "Section 5.1 future-work remark");
 
-  const sbx::corpus::TrecLikeGenerator generator;
-  const sbx::core::DictionaryAttack usenet =
-      sbx::core::DictionaryAttack::usenet(generator.lexicons());
-  const sbx::core::DictionaryAttack aspell =
-      sbx::core::DictionaryAttack::aspell(generator.lexicons());
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("roni");
 
   struct Sizing {
     std::size_t train;
@@ -32,39 +39,41 @@ int main(int argc, char** argv) {
   sbx::util::Table table({"|T|", "|V|", "nonattack max", "attack min",
                           "margin", "attack rejected %", "false pos %"});
   for (const Sizing& s : sizings) {
-    sbx::eval::RoniExperimentConfig config;
-    config.roni.train_size = s.train;
-    config.roni.validation_size = s.validation;
     // Scale the rejection threshold with |V|'s ham share so the decision
     // rule stays comparable across sizes (the paper's 5.5 was tuned for
-    // 25 ham in V).
-    config.roni.rejection_threshold =
-        5.5 * static_cast<double>(s.validation) / 50.0;
-    config.threads = flags.threads;
-    if (flags.seed) config.seed = *flags.seed;
-    config.nonattack_queries = flags.quick ? 20 : 60;
-    config.attack_repetitions = flags.quick ? 4 : 10;
-    config.pool_size = flags.quick ? 400 : 1'000;
+    // 25 ham in V). round_trip_string keeps the double bit-exact across
+    // the config's string boundary.
+    const std::vector<std::string> overrides = {
+        "attack=usenet,aspell",
+        "train_size=" + std::to_string(s.train),
+        "validation_size=" + std::to_string(s.validation),
+        "rejection_threshold=" +
+            sbx::eval::round_trip_string(
+                5.5 * static_cast<double>(s.validation) / 50.0),
+        flags.quick ? "nonattack_queries=20" : "nonattack_queries=60",
+        flags.quick ? "attack_repetitions=4" : "attack_repetitions=10",
+        flags.quick ? "pool_size=400" : "pool_size=1000",
+    };
+    const sbx::eval::Config config = sbx::eval::resolve_config(
+        experiment, /*quick=*/false, overrides, flags.seed);
+    const sbx::eval::ResultDoc doc =
+        experiment.run(config, flags.run_context());
 
-    const auto result = sbx::eval::run_roni_experiment(
-        generator, {&usenet, &aspell}, config);
-    double attack_min = 1e18;
-    double rejected = 0, assessed = 0;
-    for (const auto& v : result.attack_variants) {
-      attack_min = std::min(attack_min, v.impact.min());
-      rejected += static_cast<double>(v.rejected);
-      assessed += static_cast<double>(v.assessed);
-    }
+    auto metric = [&doc](const char* name) {
+      for (const auto& [key, value] : doc.metrics) {
+        if (key == name) return value;
+      }
+      return 0.0;
+    };
+    const double nonattack_max = metric("nonattack_max_impact");
+    const double attack_min = metric("attack_min_impact");
     table.add_row(
         {sbx::util::Table::cell(s.train), sbx::util::Table::cell(s.validation),
-         sbx::util::Table::cell(result.nonattack_spam.impact.max(), 2),
+         sbx::util::Table::cell(nonattack_max, 2),
          sbx::util::Table::cell(attack_min, 2),
-         sbx::util::Table::cell(attack_min -
-                                    result.nonattack_spam.impact.max(),
-                                2),
-         sbx::util::Table::cell(100.0 * rejected / assessed, 1),
-         sbx::util::Table::cell(
-             100.0 * result.nonattack_spam.rejection_rate(), 1)});
+         sbx::util::Table::cell(attack_min - nonattack_max, 2),
+         sbx::util::Table::cell(metric("attack_rejected_pct"), 1),
+         sbx::util::Table::cell(metric("nonattack_rejected_pct"), 1)});
   }
   std::printf("%s\n", table.to_text().c_str());
   table.write_csv(flags.csv_dir + "/ablation_roni_sizes.csv");

@@ -8,11 +8,19 @@
 // interesting mechanism: flavors that do NOT segregate header tokens by
 // field prefix (BogoFilter-style) let the body-only attack poison header
 // evidence too, removing ham's "safe" anchors.
+//
+// Thin presentation wrapper over the registry's "dictionary" experiment:
+// the flavor is now the `tokenizer=` config key (eval/filter_axis.h), so
+// this grid is equally expressible as `sbx_experiments sweep dictionary
+// --axis tokenizer=spambayes,bogofilter,spamassassin` — saved as a sweep
+// spec in tools/sweeps/ext_tokenizer_flavors.sh. Cells are re-rendered
+// from the registry ResultDoc byte-for-byte in the historical layout.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "core/dictionary_attack.h"
-#include "eval/experiments.h"
+#include "eval/registry.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -21,47 +29,36 @@ int main(int argc, char** argv) {
       "Extension: dictionary attack vs. tokenizer flavors (1% control)",
       "footnote 1 + Section 7 conjecture");
 
-  struct Flavor {
-    const char* name;
-    sbx::spambayes::TokenizerOptions options;
-  };
-  const Flavor flavors[] = {
-      {"spambayes", sbx::spambayes::TokenizerFlavors::spambayes()},
-      {"bogofilter", sbx::spambayes::TokenizerFlavors::bogofilter()},
-      {"spamassassin", sbx::spambayes::TokenizerFlavors::spamassassin()},
-  };
-
-  const sbx::corpus::TrecLikeGenerator generator;
-  const sbx::core::DictionaryAttack attack =
-      sbx::core::DictionaryAttack::usenet(generator.lexicons());
+  const sbx::eval::Experiment& experiment =
+      sbx::eval::builtin_registry().get("dictionary");
+  const char* kFlavors[] = {"spambayes", "bogofilter", "spamassassin"};
 
   sbx::util::Table table({"flavor", "control %", "baseline ham misc %",
                           "attacked ham->spam %",
                           "attacked ham->spam|unsure %"});
-  for (const Flavor& flavor : flavors) {
-    sbx::eval::DictionaryCurveConfig config;
-    config.attack_fractions = {0.01};
-    config.filter.tokenizer = flavor.options;
-    config.threads = flags.threads;
-    if (flags.seed) config.seed = *flags.seed;
-    if (flags.quick) {
-      config.training_set_size = 2'000;
-      config.folds = 5;
-    } else {
-      config.training_set_size = 10'000;
-      config.folds = 10;
-    }
-    const auto curve =
-        sbx::eval::run_dictionary_curve(generator, attack, config);
-    const auto& control = curve.points.front();
-    const auto& attacked = curve.points.back();
-    table.add_row(
-        {flavor.name, "1.0",
-         sbx::util::Table::cell(100.0 * control.matrix.ham_misclassified_rate(),
-                                1),
-         sbx::util::Table::cell(100.0 * attacked.matrix.ham_as_spam_rate(), 1),
-         sbx::util::Table::cell(
-             100.0 * attacked.matrix.ham_misclassified_rate(), 1)});
+  for (const char* flavor : kFlavors) {
+    // Historical grid shape: usenet at the 1% point only, 2,000 x 5-fold
+    // under --quick (NOT the registry experiment's own quick overrides).
+    const std::vector<std::string> overrides = {
+        "attack=usenet",
+        "attack_fractions=0.01",
+        std::string("tokenizer=") + flavor,
+        flags.quick ? "training_set_size=2000" : "training_set_size=10000",
+        flags.quick ? "folds=5" : "folds=10",
+    };
+    const sbx::eval::Config config = sbx::eval::resolve_config(
+        experiment, /*quick=*/false, overrides, flags.seed);
+    const sbx::eval::ResultDoc doc =
+        experiment.run(config, flags.run_context());
+
+    // curve columns: training set, attack, dict words, control %,
+    // attack msgs, ham->spam %, ham->spam|unsure %, fold stddev,
+    // spam->misc %, token ratio. Row 0 is the control, the last row is
+    // the 1% point; reusing the rendered cells keeps output byte-stable.
+    const auto& rows = doc.table("curve").rows();
+    const std::vector<std::string>& control = rows.front();
+    const std::vector<std::string>& attacked = rows.back();
+    table.add_row({flavor, "1.0", control[6], attacked[5], attacked[6]});
   }
   std::printf("%s\n", table.to_text().c_str());
   table.write_csv(flags.csv_dir + "/ext_tokenizer_flavors.csv");

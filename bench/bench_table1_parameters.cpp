@@ -1,51 +1,70 @@
 // Table 1: "Parameters used in our experiments."
 //
-// Prints the experiment parameters exactly as configured in the eval
-// drivers' default structs — the same structs every other bench binary
-// runs with — so the reader can verify the reproduction uses the paper's
-// settings.
+// Prints the experiment parameters exactly as configured in the registry
+// experiments' default configs — the same defaults `sbx_experiments run`
+// uses — so the reader can verify the reproduction uses the paper's
+// settings. Each column is sourced from builtin_registry().get(name)
+// .default_config(); editing a schema default changes this table and the
+// actual runs in lockstep. The same four configs are saved as a sweep
+// spec in tools/sweeps/table1_parameters.sh.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
-#include "eval/experiments.h"
+#include "eval/registry.h"
+#include "spambayes/classifier.h"
 #include "util/table.h"
+
+namespace {
+
+std::string uint_cell(const sbx::eval::Config& config, const char* key) {
+  return std::to_string(config.get_uint(key));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   (void)sbx::bench::parse_flags(argc, argv);
   sbx::bench::print_header("Table 1: experiment parameters",
                            "Table 1 of Nelson et al. 2008");
 
-  const sbx::eval::DictionaryCurveConfig dict;
-  const sbx::eval::FocusedConfig focused;
-  const sbx::eval::RoniExperimentConfig roni;
-  const sbx::eval::ThresholdDefenseConfig threshold;
+  const sbx::eval::Registry& registry = sbx::eval::builtin_registry();
+  const sbx::eval::Config dict = registry.get("dictionary").default_config();
+  const sbx::eval::Config focused =
+      registry.get("focused-knowledge").default_config();
+  const sbx::eval::Config roni = registry.get("roni").default_config();
+  const sbx::eval::Config threshold =
+      registry.get("threshold").default_config();
 
   sbx::util::Table table({"Parameter", "Dictionary Attack", "Focused Attack",
                           "RONI Defense", "Threshold Defense"});
   table.add_row({"Training set size", "2,000 / 10,000 (default 10,000)",
-                 std::to_string(focused.inbox_size),
-                 std::to_string(roni.roni.train_size),
-                 std::to_string(threshold.base.training_set_size)});
-  table.add_row({"Test set size",
-                 "~" + std::to_string(dict.training_set_size / (dict.folds - 1)),
-                 "N/A", std::to_string(roni.roni.validation_size),
-                 "~" + std::to_string(threshold.base.training_set_size /
-                                      (threshold.base.folds - 1))});
+                 uint_cell(focused, "inbox_size"),
+                 uint_cell(roni, "train_size"),
+                 uint_cell(threshold, "training_set_size")});
+  table.add_row(
+      {"Test set size",
+       "~" + std::to_string(dict.get_uint("training_set_size") /
+                            (dict.get_uint("folds") - 1)),
+       "N/A", uint_cell(roni, "validation_size"),
+       "~" + std::to_string(threshold.get_uint("training_set_size") /
+                            (threshold.get_uint("folds") - 1))});
   table.add_row({"Spam prevalence",
-                 sbx::util::Table::cell(dict.spam_fraction, 2),
-                 sbx::util::Table::cell(focused.spam_fraction, 2),
-                 sbx::util::Table::cell(roni.spam_fraction, 2),
-                 sbx::util::Table::cell(threshold.base.spam_fraction, 2)});
+                 sbx::util::Table::cell(dict.get_double("spam_fraction"), 2),
+                 sbx::util::Table::cell(focused.get_double("spam_fraction"), 2),
+                 sbx::util::Table::cell(roni.get_double("spam_fraction"), 2),
+                 sbx::util::Table::cell(
+                     threshold.get_double("spam_fraction"), 2)});
   table.add_row({"Attack fraction",
                  "0.001,0.005,0.01,0.02,0.05,0.10",
                  "0.02 to 0.10 by 0.02 (Fig 3)", "0.05 (variants, Fig RONI)",
                  "0.001,0.01,0.05,0.10"});
-  table.add_row({"Folds of validation", std::to_string(dict.folds),
-                 std::to_string(focused.repetitions) + " repetitions",
-                 std::to_string(roni.roni.resamples) + " repetitions",
-                 std::to_string(threshold.base.folds)});
-  table.add_row({"Target emails", "N/A",
-                 std::to_string(focused.target_count), "N/A", "N/A"});
+  table.add_row({"Folds of validation", uint_cell(dict, "folds"),
+                 uint_cell(focused, "repetitions") + " repetitions",
+                 uint_cell(roni, "resamples") + " repetitions",
+                 uint_cell(threshold, "folds")});
+  table.add_row({"Target emails", "N/A", uint_cell(focused, "target_count"),
+                 "N/A", "N/A"});
 
   std::printf("%s\n", table.to_text().c_str());
 

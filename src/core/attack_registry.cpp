@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace sbx::core {
 
@@ -24,13 +25,9 @@ const Attack* AttackRegistry::find(std::string_view name) const {
 const Attack& AttackRegistry::get(std::string_view name) const {
   const Attack* attack = find(name);
   if (attack == nullptr) {
-    std::string known;
-    for (const Attack* a : attacks()) {
-      if (!known.empty()) known += ", ";
-      known += a->name();
-    }
-    throw InvalidArgument("unknown attack '" + std::string(name) +
-                          "' (known: " + known + ")");
+    std::vector<std::string> known;
+    for (const Attack* a : attacks()) known.push_back(a->name());
+    throw InvalidArgument(util::unknown_name_message("attack", name, known));
   }
   return *attack;
 }

@@ -1,0 +1,81 @@
+#include "eval/filter_axis.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sbx::eval {
+namespace {
+
+spambayes::TokenizerOptions preset_named(std::string_view name) {
+  if (name == "spambayes") return spambayes::TokenizerFlavors::spambayes();
+  if (name == "bogofilter") return spambayes::TokenizerFlavors::bogofilter();
+  if (name == "spamassassin") {
+    return spambayes::TokenizerFlavors::spamassassin();
+  }
+  throw InvalidArgument(util::unknown_name_message(
+      "tokenizer preset", name, {"bogofilter", "spamassassin", "spambayes"}));
+}
+
+void apply_override(spambayes::TokenizerOptions& opts, std::string_view key,
+                    std::string_view value) {
+  if (key == "min_token_length") {
+    opts.min_token_length = util::parse_uint(value, key);
+  } else if (key == "max_token_length") {
+    opts.max_token_length = util::parse_uint(value, key);
+  } else if (key == "generate_skip_tokens") {
+    opts.generate_skip_tokens = util::parse_bool(value, key);
+  } else if (key == "tokenize_headers") {
+    opts.tokenize_headers = util::parse_bool(value, key);
+  } else if (key == "prefix_header_tokens") {
+    opts.prefix_header_tokens = util::parse_bool(value, key);
+  } else if (key == "tokenize_urls") {
+    opts.tokenize_urls = util::parse_bool(value, key);
+  } else {
+    throw InvalidArgument(util::unknown_name_message(
+        "tokenizer parameter", key,
+        {"generate_skip_tokens", "max_token_length", "min_token_length",
+         "prefix_header_tokens", "tokenize_headers", "tokenize_urls"}));
+  }
+}
+
+}  // namespace
+
+void add_tokenizer_axis(util::ConfigSchema& schema) {
+  schema
+      .add("tokenizer", util::ParamType::kString, "spambayes",
+           "tokenizer preset: spambayes | bogofilter | spamassassin "
+           "(footnote 1 filter flavors)")
+      .add("tokenizer_params", util::ParamType::kString, "",
+           "'key=value;key=value' TokenizerOptions overrides on top of the "
+           "preset: min_token_length, max_token_length, "
+           "generate_skip_tokens, tokenize_headers, prefix_header_tokens, "
+           "tokenize_urls");
+}
+
+spambayes::FilterOptions resolve_filter_options(const util::Config& config) {
+  spambayes::FilterOptions out;
+  out.tokenizer = preset_named(config.get_string("tokenizer"));
+  const std::string params = config.get_string("tokenizer_params");
+  std::string_view rest = params;
+  while (!rest.empty()) {
+    const std::size_t sep = rest.find(';');
+    const std::string_view pair =
+        sep == std::string_view::npos ? rest : rest.substr(0, sep);
+    rest = sep == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(sep + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      throw InvalidArgument("tokenizer_params: expected key=value, got '" +
+                            std::string(pair) + "'");
+    }
+    apply_override(out.tokenizer, pair.substr(0, eq), pair.substr(eq + 1));
+  }
+  return out;
+}
+
+}  // namespace sbx::eval

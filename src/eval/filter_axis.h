@@ -1,0 +1,30 @@
+// sbx/eval/filter_axis.h
+//
+// FilterOptions as a config surface: experiments declare a `tokenizer`
+// preset key (+ `tokenizer_params` fine-grained overrides) and resolve
+// them to spambayes::FilterOptions here. This is what makes the tokenizer
+// flavor a first-class sweep axis (`sbx_experiments sweep dictionary
+// --axis tokenizer=spambayes,bogofilter,spamassassin ...`) — the
+// ext_tokenizer_flavors bench rides the same registry path as every other
+// sweep instead of hard-coding flavor structs.
+//
+// Defaults resolve to FilterOptions{} exactly, so experiments that gained
+// the axis behave bit-identically until someone actually sets it.
+#pragma once
+
+#include "spambayes/options.h"
+#include "util/config.h"
+
+namespace sbx::eval {
+
+/// Declares `tokenizer` (preset name, default "spambayes") and
+/// `tokenizer_params` ('k=v;k=v' TokenizerOptions field overrides) on an
+/// experiment schema.
+void add_tokenizer_axis(util::ConfigSchema& schema);
+
+/// Resolves the preset + overrides declared by add_tokenizer_axis into
+/// FilterOptions. Unknown preset or override key throws InvalidArgument
+/// with the known-name list.
+spambayes::FilterOptions resolve_filter_options(const util::Config& config);
+
+}  // namespace sbx::eval

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace sbx::eval {
 
@@ -24,13 +25,9 @@ const Experiment* Registry::find(std::string_view name) const {
 const Experiment& Registry::get(std::string_view name) const {
   const Experiment* experiment = find(name);
   if (experiment == nullptr) {
-    std::string known;
-    for (const Experiment* e : experiments()) {
-      if (!known.empty()) known += ", ";
-      known += e->name();
-    }
-    throw InvalidArgument("unknown experiment '" + std::string(name) +
-                          "' (known: " + known + ")");
+    std::vector<std::string> known;
+    for (const Experiment* e : experiments()) known.push_back(e->name());
+    throw InvalidArgument(util::unknown_name_message("experiment", name, known));
   }
   return *experiment;
 }

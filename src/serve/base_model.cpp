@@ -1,0 +1,24 @@
+#include "serve/base_model.h"
+
+#include "corpus/generator.h"
+#include "util/random.h"
+
+namespace sbx::serve {
+
+spambayes::Filter build_base_filter(const BaseModelConfig& config) {
+  const corpus::TrecLikeGenerator generator;
+  util::Rng rng(config.seed);
+  const corpus::Dataset mailbox =
+      generator.sample_mailbox(config.base_size, config.spam_fraction, rng);
+  spambayes::Filter filter;
+  for (const corpus::LabeledMessage& item : mailbox.items) {
+    if (item.label == corpus::TrueLabel::spam) {
+      filter.train_spam(item.message);
+    } else {
+      filter.train_ham(item.message);
+    }
+  }
+  return filter;
+}
+
+}  // namespace sbx::serve

@@ -1,0 +1,27 @@
+// sbx/serve/base_model.h
+//
+// Deterministic construction of the shared base filter sbx_serve starts
+// from. Factored out so the daemon and sbx_loadgen --verify (which mirrors
+// every request into an in-process frontend and compares score bits) build
+// the exact same base from the same (size, spam_fraction, seed) triple.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "spambayes/filter.h"
+
+namespace sbx::serve {
+
+struct BaseModelConfig {
+  std::size_t base_size = 2000;       // messages trained into the base
+  double spam_fraction = 0.5;
+  std::uint64_t seed = 42;
+};
+
+/// Samples a TREC-like mailbox and trains it into a fresh filter. Equal
+/// configs produce bit-identical filters (generator, sampling and training
+/// are all deterministic in the seed).
+spambayes::Filter build_base_filter(const BaseModelConfig& config);
+
+}  // namespace sbx::serve

@@ -1,0 +1,191 @@
+#include "serve/frontend.h"
+
+#include <span>
+#include <string>
+#include <utility>
+
+#include "email/rfc2822.h"
+#include "spambayes/score_engine.h"
+#include "util/error.h"
+#include "util/sharding.h"
+
+namespace sbx::serve {
+namespace {
+
+/// Per-shard work item for classify_many: index into the request (and
+/// response) vector.
+using ShardPlan = std::vector<std::vector<std::size_t>>;
+
+}  // namespace
+
+ServeFrontend::ServeFrontend(spambayes::Filter base, FrontendConfig config)
+    : base_(std::move(base)) {
+  if (config.shard_count == 0) {
+    throw InvalidArgument("ServeFrontend: shard_count must be greater than 0");
+  }
+  if (config.user_count == 0) {
+    throw InvalidArgument("ServeFrontend: user_count must be greater than 0");
+  }
+  // Route every user id up front: shard by splitmix64 hash, then assign
+  // dense local slots per shard so each ModelShard only allocates the
+  // users it actually owns.
+  route_.resize(config.user_count);
+  std::vector<std::uint32_t> next_local(config.shard_count, 0);
+  for (std::uint64_t uid = 0; uid < config.user_count; ++uid) {
+    const std::size_t shard = util::shard_of(uid, config.shard_count);
+    route_[uid] = {static_cast<std::uint32_t>(shard), next_local[shard]++};
+  }
+  shards_.reserve(config.shard_count);
+  for (std::size_t s = 0; s < config.shard_count; ++s) {
+    // A hash-unlucky shard may own zero users; give it one slot so the
+    // shard array stays dense and addressable.
+    const std::size_t owned = next_local[s] > 0 ? next_local[s] : 1;
+    shards_.push_back(std::make_unique<ModelShard>(owned));
+  }
+}
+
+ServeFrontend::RouteEntry ServeFrontend::route(std::uint64_t user_id) const {
+  return route_checked(user_id);
+}
+
+const ServeFrontend::RouteEntry& ServeFrontend::route_checked(
+    std::uint64_t user_id) const {
+  if (user_id >= route_.size()) {
+    throw InvalidArgument("serve: unknown user " + std::to_string(user_id) +
+                          " (serving " + std::to_string(route_.size()) +
+                          " users)");
+  }
+  return route_[user_id];
+}
+
+ClassifyBatchResponse ServeFrontend::classify_batch(
+    const ClassifyBatchRequest& request) {
+  const RouteEntry at = route_checked(request.user_id);
+  ModelShard& shard = *shards_[at.shard];
+
+  // Tokenize the whole batch first; scoring then runs over pure id sets.
+  std::vector<spambayes::TokenIdSet> ids;
+  ids.reserve(request.messages.size());
+  for (const std::string& raw : request.messages) {
+    ids.push_back(base_.message_token_ids(email::parse_message(raw)));
+  }
+
+  // One snapshot for the whole batch: mutations landing mid-batch are
+  // seen by the next request, never by a half-scored batch.
+  const OverlaySnapshot overlay = shard.overlay(at.local);
+
+  ClassifyBatchResponse response;
+  response.results.resize(ids.size());
+  if (!overlay) {
+    // Empty overlay: the base filter IS this user's model. Pump the
+    // generation-cached zero-alloc batch path — bit-identical to the
+    // batch experiments' classify path.
+    spambayes::ScoreEngine::for_current_thread(base_.options().classifier)
+        .score_ids_batch(
+            base_.database(), std::span<const spambayes::TokenIdList>(ids),
+            [&](std::size_t i, const spambayes::BatchScore& s) {
+              response.results[i] = {s.score, verdict_to_byte(s.verdict)};
+            });
+  } else {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const spambayes::ScoreIdResult r =
+          base_.classifier().score_ids(base_.database(), *overlay, ids[i]);
+      response.results[i] = {r.score, verdict_to_byte(r.verdict)};
+    }
+  }
+  shard.record_classified(at.local, ids.size());
+  classify_requests_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+TrainResponse ServeFrontend::train(const TrainRequest& request) {
+  if (request.copies == 0) {
+    throw InvalidArgument("serve: train copies must be greater than 0");
+  }
+  const RouteEntry at = route_checked(request.user_id);
+  ModelShard& shard = *shards_[at.shard];
+  const spambayes::TokenIdSet ids =
+      base_.message_token_ids(email::parse_message(request.message));
+  shard.apply_train(at.local, ids, request.as_spam, request.copies);
+  const OverlaySnapshot now = shard.overlay(at.local);
+  train_requests_.fetch_add(1, std::memory_order_relaxed);
+  return {now->generation(), now->spam_count(), now->ham_count()};
+}
+
+UntrainResponse ServeFrontend::untrain(const UntrainRequest& request) {
+  if (request.copies == 0) {
+    throw InvalidArgument("serve: untrain copies must be greater than 0");
+  }
+  const RouteEntry at = route_checked(request.user_id);
+  ModelShard& shard = *shards_[at.shard];
+  const spambayes::TokenIdSet ids =
+      base_.message_token_ids(email::parse_message(request.message));
+  shard.apply_untrain(at.local, ids, request.as_spam, request.copies);
+  const OverlaySnapshot now = shard.overlay(at.local);
+  untrain_requests_.fetch_add(1, std::memory_order_relaxed);
+  return {now->generation(), now->spam_count(), now->ham_count()};
+}
+
+StatsResponse ServeFrontend::stats() const {
+  StatsResponse out;
+  out.users = route_.size();
+  out.shards = shards_.size();
+  for (const auto& shard : shards_) {
+    const ShardStats s = shard->stats();
+    out.overlay_users += s.overlay_users;
+    out.classified_messages += s.classified_messages;
+  }
+  out.classify_requests = classify_requests_.load(std::memory_order_relaxed);
+  out.train_requests = train_requests_.load(std::memory_order_relaxed);
+  out.untrain_requests = untrain_requests_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  out.base_spam_count = base_.database().spam_count();
+  out.base_ham_count = base_.database().ham_count();
+  return out;
+}
+
+Response ServeFrontend::dispatch(const Request& request) {
+  try {
+    if (const auto* c = std::get_if<ClassifyBatchRequest>(&request)) {
+      return classify_batch(*c);
+    }
+    if (const auto* t = std::get_if<TrainRequest>(&request)) {
+      return train(*t);
+    }
+    if (const auto* u = std::get_if<UntrainRequest>(&request)) {
+      return untrain(*u);
+    }
+    if (std::holds_alternative<StatsRequest>(request)) {
+      return stats();
+    }
+    return ShutdownResponse{};
+  } catch (const Error& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse{e.what()};
+  }
+}
+
+std::vector<Response> ServeFrontend::classify_many(
+    const std::vector<ClassifyBatchRequest>& requests) {
+  std::vector<Response> responses(requests.size());
+  ShardPlan plan(shards_.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].user_id >= route_.size()) {
+      responses[i] = ErrorResponse{"serve: unknown user " +
+                                   std::to_string(requests[i].user_id) +
+                                   " (serving " +
+                                   std::to_string(route_.size()) + " users)"};
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    plan[route_[requests[i].user_id].shard].push_back(i);
+  }
+  util::parallel_over_shards(shards_.size(), [&](std::size_t shard) {
+    for (const std::size_t i : plan[shard]) {
+      responses[i] = dispatch(Request(requests[i]));
+    }
+  });
+  return responses;
+}
+
+}  // namespace sbx::serve

@@ -1,0 +1,91 @@
+// sbx/serve/frontend.h
+//
+// ServeFrontend is the in-process serving API: it owns the shared base
+// filter, the shard array, and the user-id routing table, and maps
+// protocol requests to responses. The socket server (server.h) and any
+// embedded caller (tests, sbx_loadgen --verify) use the exact same
+// dispatch path, so "what the daemon answers" is defined here once.
+//
+// Consistency contract (the ISSUE's correctness bar):
+//
+//  * a user with an empty overlay classifies bit-identically to the base
+//    filter — the classify path pumps the base through the
+//    generation-cached ScoreEngine batch API, the same code path batch
+//    experiments use;
+//  * a user whose overlay was trained on messages M classifies
+//    bit-identically to a standalone Filter copy trained on M — merged
+//    counts are exact uint32 sums, so Classifier::score_ids(base, overlay)
+//    sees the same doubles as a merged database would;
+//  * one classify batch reads one overlay snapshot: mutations that land
+//    mid-batch affect later requests, never a half-scored batch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/shard.h"
+#include "spambayes/filter.h"
+
+namespace sbx::serve {
+
+struct FrontendConfig {
+  std::size_t shard_count = 4;
+  std::size_t user_count = 64;
+};
+
+class ServeFrontend {
+ public:
+  /// Takes ownership of the shared base filter (immutable from here on)
+  /// and builds the shard/user routing table. Throws InvalidArgument on a
+  /// zero shard or user count.
+  ServeFrontend(spambayes::Filter base, FrontendConfig config);
+
+  ServeFrontend(const ServeFrontend&) = delete;
+  ServeFrontend& operator=(const ServeFrontend&) = delete;
+
+  ClassifyBatchResponse classify_batch(const ClassifyBatchRequest& request);
+  TrainResponse train(const TrainRequest& request);
+  UntrainResponse untrain(const UntrainRequest& request);
+  StatsResponse stats() const;
+
+  /// Maps any request to its response, converting sbx::Error into
+  /// ErrorResponse (the connection-level catch-all). ShutdownRequest gets
+  /// a ShutdownResponse; acting on it is the server's job.
+  Response dispatch(const Request& request);
+
+  /// Scores many batches concurrently: requests are grouped by shard and
+  /// the groups run on the shared process-wide pool
+  /// (util::parallel_over_shards), one ScoreEngine per worker thread.
+  /// Response order matches request order.
+  std::vector<Response> classify_many(
+      const std::vector<ClassifyBatchRequest>& requests);
+
+  const spambayes::Filter& base() const { return base_; }
+  std::size_t user_count() const { return route_.size(); }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The routed (shard, local slot) of a user id — exposed so tests can
+  /// target users that share / don't share a shard.
+  struct RouteEntry {
+    std::uint32_t shard = 0;
+    std::uint32_t local = 0;
+  };
+  RouteEntry route(std::uint64_t user_id) const;
+
+ private:
+  const RouteEntry& route_checked(std::uint64_t user_id) const;
+
+  spambayes::Filter base_;
+  std::vector<std::unique_ptr<ModelShard>> shards_;
+  std::vector<RouteEntry> route_;  // indexed by user id
+  std::atomic<std::uint64_t> classify_requests_{0};
+  std::atomic<std::uint64_t> train_requests_{0};
+  std::atomic<std::uint64_t> untrain_requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace sbx::serve

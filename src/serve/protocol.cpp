@@ -1,0 +1,339 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+#include <string>
+
+#include "util/error.h"
+
+namespace sbx::serve {
+namespace {
+
+// --- Little-endian writer --------------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    if (s.size() > kMaxFrameBytes) {
+      throw InvalidArgument("serve protocol: string exceeds frame limit");
+    }
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+// --- Little-endian reader --------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  bool done() const { return pos_ == data_.size(); }
+  void expect_done() const {
+    if (!done()) {
+      throw ParseError("serve protocol: " +
+                       std::to_string(data_.size() - pos_) +
+                       " trailing bytes after message body");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw ParseError("serve protocol: truncated message body");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// --- Body codecs -----------------------------------------------------------
+
+// TrainRequest and UntrainRequest share one body layout.
+template <typename T>
+void encode_feedback_body(Writer& w, const T& r) {
+  w.u64(r.user_id);
+  w.u8(r.as_spam ? 1 : 0);
+  w.u32(r.copies);
+  w.str(r.message);
+}
+
+template <typename T>
+T decode_feedback_body(Reader& r) {
+  T out;
+  out.user_id = r.u64();
+  out.as_spam = r.u8() != 0;
+  out.copies = r.u32();
+  out.message = r.str();
+  return out;
+}
+
+template <typename T>
+void encode_feedback_response_body(Writer& w, const T& r) {
+  w.u64(r.overlay_generation);
+  w.u32(r.overlay_spam);
+  w.u32(r.overlay_ham);
+}
+
+template <typename T>
+T decode_feedback_response_body(Reader& r) {
+  T out;
+  out.overlay_generation = r.u64();
+  out.overlay_spam = r.u32();
+  out.overlay_ham = r.u32();
+  return out;
+}
+
+std::vector<std::uint8_t> finish_frame(MsgType type, Writer&& body) {
+  const std::vector<std::uint8_t> payload_body = std::move(body).take();
+  Writer frame;
+  const std::size_t payload_len = payload_body.size() + 2;  // version + type
+  if (payload_len > kMaxFrameBytes) {
+    throw InvalidArgument("serve protocol: frame exceeds " +
+                          std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  frame.u32(static_cast<std::uint32_t>(payload_len));
+  frame.u8(kProtocolVersion);
+  frame.u8(static_cast<std::uint8_t>(type));
+  std::vector<std::uint8_t> out = std::move(frame).take();
+  out.insert(out.end(), payload_body.begin(), payload_body.end());
+  return out;
+}
+
+MsgType read_header(Reader& r) {
+  const std::uint8_t version = r.u8();
+  if (version != kProtocolVersion) {
+    throw ParseError("serve protocol: unsupported version " +
+                     std::to_string(version) + " (expected " +
+                     std::to_string(kProtocolVersion) + ")");
+  }
+  return static_cast<MsgType>(r.u8());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Request& request) {
+  Writer w;
+  MsgType type;
+  if (const auto* c = std::get_if<ClassifyBatchRequest>(&request)) {
+    type = MsgType::kClassifyBatchRequest;
+    w.u64(c->user_id);
+    if (c->messages.size() > kMaxFrameBytes) {
+      throw InvalidArgument("serve protocol: batch too large");
+    }
+    w.u32(static_cast<std::uint32_t>(c->messages.size()));
+    for (const std::string& m : c->messages) w.str(m);
+  } else if (const auto* t = std::get_if<TrainRequest>(&request)) {
+    type = MsgType::kTrainRequest;
+    encode_feedback_body(w, *t);
+  } else if (const auto* u = std::get_if<UntrainRequest>(&request)) {
+    type = MsgType::kUntrainRequest;
+    encode_feedback_body(w, *u);
+  } else if (std::holds_alternative<StatsRequest>(request)) {
+    type = MsgType::kStatsRequest;
+  } else {
+    type = MsgType::kShutdownRequest;
+  }
+  return finish_frame(type, std::move(w));
+}
+
+std::vector<std::uint8_t> encode_frame(const Response& response) {
+  Writer w;
+  MsgType type;
+  if (const auto* c = std::get_if<ClassifyBatchResponse>(&response)) {
+    type = MsgType::kClassifyBatchResponse;
+    w.u32(static_cast<std::uint32_t>(c->results.size()));
+    for (const ClassifyResult& r : c->results) {
+      w.f64(r.score);
+      w.u8(r.verdict);
+    }
+  } else if (const auto* t = std::get_if<TrainResponse>(&response)) {
+    type = MsgType::kTrainResponse;
+    encode_feedback_response_body(w, *t);
+  } else if (const auto* u = std::get_if<UntrainResponse>(&response)) {
+    type = MsgType::kUntrainResponse;
+    encode_feedback_response_body(w, *u);
+  } else if (const auto* s = std::get_if<StatsResponse>(&response)) {
+    type = MsgType::kStatsResponse;
+    w.u64(s->users);
+    w.u64(s->shards);
+    w.u64(s->overlay_users);
+    w.u64(s->classify_requests);
+    w.u64(s->classified_messages);
+    w.u64(s->train_requests);
+    w.u64(s->untrain_requests);
+    w.u64(s->errors);
+    w.u64(s->base_spam_count);
+    w.u64(s->base_ham_count);
+  } else if (std::holds_alternative<ShutdownResponse>(response)) {
+    type = MsgType::kShutdownResponse;
+  } else {
+    type = MsgType::kErrorResponse;
+    w.str(std::get<ErrorResponse>(response).message);
+  }
+  return finish_frame(type, std::move(w));
+}
+
+Request decode_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const MsgType type = read_header(r);
+  Request out;
+  switch (type) {
+    case MsgType::kClassifyBatchRequest: {
+      ClassifyBatchRequest req;
+      req.user_id = r.u64();
+      const std::uint32_t count = r.u32();
+      req.messages.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) req.messages.push_back(r.str());
+      out = std::move(req);
+      break;
+    }
+    case MsgType::kTrainRequest:
+      out = decode_feedback_body<TrainRequest>(r);
+      break;
+    case MsgType::kUntrainRequest:
+      out = decode_feedback_body<UntrainRequest>(r);
+      break;
+    case MsgType::kStatsRequest:
+      out = StatsRequest{};
+      break;
+    case MsgType::kShutdownRequest:
+      out = ShutdownRequest{};
+      break;
+    default:
+      throw ParseError("serve protocol: unknown request type " +
+                       std::to_string(static_cast<int>(type)));
+  }
+  r.expect_done();
+  return out;
+}
+
+Response decode_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const MsgType type = read_header(r);
+  Response out;
+  switch (type) {
+    case MsgType::kClassifyBatchResponse: {
+      ClassifyBatchResponse resp;
+      const std::uint32_t count = r.u32();
+      resp.results.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ClassifyResult cr;
+        cr.score = r.f64();
+        cr.verdict = r.u8();
+        resp.results.push_back(cr);
+      }
+      out = std::move(resp);
+      break;
+    }
+    case MsgType::kTrainResponse:
+      out = decode_feedback_response_body<TrainResponse>(r);
+      break;
+    case MsgType::kUntrainResponse:
+      out = decode_feedback_response_body<UntrainResponse>(r);
+      break;
+    case MsgType::kStatsResponse: {
+      StatsResponse s;
+      s.users = r.u64();
+      s.shards = r.u64();
+      s.overlay_users = r.u64();
+      s.classify_requests = r.u64();
+      s.classified_messages = r.u64();
+      s.train_requests = r.u64();
+      s.untrain_requests = r.u64();
+      s.errors = r.u64();
+      s.base_spam_count = r.u64();
+      s.base_ham_count = r.u64();
+      out = s;
+      break;
+    }
+    case MsgType::kShutdownResponse:
+      out = ShutdownResponse{};
+      break;
+    case MsgType::kErrorResponse: {
+      ErrorResponse e;
+      e.message = r.str();
+      out = std::move(e);
+      break;
+    }
+    default:
+      throw ParseError("serve protocol: unknown response type " +
+                       std::to_string(static_cast<int>(type)));
+  }
+  r.expect_done();
+  return out;
+}
+
+std::uint8_t verdict_to_byte(spambayes::Verdict v) {
+  switch (v) {
+    case spambayes::Verdict::ham:
+      return 0;
+    case spambayes::Verdict::unsure:
+      return 1;
+    case spambayes::Verdict::spam:
+      return 2;
+  }
+  return 1;
+}
+
+spambayes::Verdict verdict_from_byte(std::uint8_t b) {
+  switch (b) {
+    case 0:
+      return spambayes::Verdict::ham;
+    case 1:
+      return spambayes::Verdict::unsure;
+    case 2:
+      return spambayes::Verdict::spam;
+    default:
+      throw ParseError("serve protocol: bad verdict byte " + std::to_string(b));
+  }
+}
+
+}  // namespace sbx::serve

@@ -1,0 +1,164 @@
+// sbx/serve/protocol.h
+//
+// The versioned, length-prefixed request/response protocol of the serving
+// API. The structs below ARE the API: ServeFrontend consumes and produces
+// them in-process, and the TCP/UDS front-end (server.h) is a thin framing
+// layer over the same structs — a client linking the library skips the
+// socket entirely and calls ServeFrontend::dispatch with identical
+// semantics.
+//
+// Wire format (all integers little-endian):
+//
+//   frame    := u32 payload_len, payload            (len counts the payload)
+//   payload  := u8 version (=1), u8 msg_type, body
+//   string   := u32 byte_len, bytes                 (raw UTF-8/RFC2822 text)
+//
+// Message bodies:
+//
+//   ClassifyBatchRequest  u64 user_id, u32 count, count x string
+//   TrainRequest          u64 user_id, u8 as_spam, u32 copies, string msg
+//   UntrainRequest        same body as TrainRequest
+//   StatsRequest          (empty)
+//   ShutdownRequest       (empty)
+//   ClassifyBatchResponse u32 count, count x { f64 score, u8 verdict }
+//   TrainResponse         u64 overlay_generation, u32 spam, u32 ham
+//   UntrainResponse       same body as TrainResponse
+//   StatsResponse         10 x u64 (see struct order)
+//   ShutdownResponse      (empty)
+//   ErrorResponse         string message
+//
+// Verdict bytes: 0 = ham, 1 = unsure, 2 = spam.
+//
+// Decoding is strict: unknown version, unknown type, trailing bytes and
+// truncated bodies all throw sbx::ParseError (fail loudly, never guess).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "spambayes/classifier.h"
+
+namespace sbx::serve {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Frames larger than this are rejected before allocation (a corrupt or
+/// hostile length prefix must not drive a multi-gigabyte resize).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class MsgType : std::uint8_t {
+  kClassifyBatchRequest = 1,
+  kTrainRequest = 2,
+  kUntrainRequest = 3,
+  kStatsRequest = 4,
+  kShutdownRequest = 5,
+  kClassifyBatchResponse = 129,
+  kTrainResponse = 130,
+  kUntrainResponse = 131,
+  kStatsResponse = 132,
+  kShutdownResponse = 133,
+  kErrorResponse = 255,
+};
+
+// --- Requests --------------------------------------------------------------
+
+/// Classify `messages` (raw RFC2822 text) under `user_id`'s model. The
+/// whole batch scores against one overlay snapshot.
+struct ClassifyBatchRequest {
+  std::uint64_t user_id = 0;
+  std::vector<std::string> messages;
+};
+
+/// Train `copies` identical copies of `message` as spam/ham feedback into
+/// the user's overlay.
+struct TrainRequest {
+  std::uint64_t user_id = 0;
+  bool as_spam = true;
+  std::uint32_t copies = 1;
+  std::string message;
+};
+
+/// Exactly reverses a TrainRequest with the same fields.
+struct UntrainRequest {
+  std::uint64_t user_id = 0;
+  bool as_spam = true;
+  std::uint32_t copies = 1;
+  std::string message;
+};
+
+struct StatsRequest {};
+
+/// Asks the server to stop accepting connections and return from run().
+struct ShutdownRequest {};
+
+// --- Responses -------------------------------------------------------------
+
+/// One scored message: the Fisher score I(E) and the thresholded verdict.
+struct ClassifyResult {
+  double score = 0.5;
+  std::uint8_t verdict = 1;  // 0 ham, 1 unsure, 2 spam
+};
+
+struct ClassifyBatchResponse {
+  std::vector<ClassifyResult> results;
+};
+
+/// Post-mutation overlay summary. `overlay_generation` values for one user
+/// are strictly increasing across publishes (the snapshot-consistency
+/// proof riding TokenDatabase's process-global generation counter).
+struct TrainResponse {
+  std::uint64_t overlay_generation = 0;
+  std::uint32_t overlay_spam = 0;
+  std::uint32_t overlay_ham = 0;
+};
+
+struct UntrainResponse {
+  std::uint64_t overlay_generation = 0;
+  std::uint32_t overlay_spam = 0;
+  std::uint32_t overlay_ham = 0;
+};
+
+struct StatsResponse {
+  std::uint64_t users = 0;
+  std::uint64_t shards = 0;
+  std::uint64_t overlay_users = 0;
+  std::uint64_t classify_requests = 0;
+  std::uint64_t classified_messages = 0;
+  std::uint64_t train_requests = 0;
+  std::uint64_t untrain_requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t base_spam_count = 0;
+  std::uint64_t base_ham_count = 0;
+};
+
+struct ShutdownResponse {};
+
+/// Any request-level failure (unknown user, untrain of an untrained
+/// message, malformed message text). The connection stays usable.
+struct ErrorResponse {
+  std::string message;
+};
+
+using Request = std::variant<ClassifyBatchRequest, TrainRequest,
+                             UntrainRequest, StatsRequest, ShutdownRequest>;
+using Response =
+    std::variant<ClassifyBatchResponse, TrainResponse, UntrainResponse,
+                 StatsResponse, ShutdownResponse, ErrorResponse>;
+
+/// Serializes a full frame (length prefix included).
+std::vector<std::uint8_t> encode_frame(const Request& request);
+std::vector<std::uint8_t> encode_frame(const Response& response);
+
+/// Parses a payload (a frame minus its length prefix). Throws ParseError
+/// on version/type/body mismatch.
+Request decode_request(std::span<const std::uint8_t> payload);
+Response decode_response(std::span<const std::uint8_t> payload);
+
+/// Verdict <-> wire byte (0 ham, 1 unsure, 2 spam).
+std::uint8_t verdict_to_byte(spambayes::Verdict v);
+spambayes::Verdict verdict_from_byte(std::uint8_t b);
+
+}  // namespace sbx::serve

@@ -1,0 +1,82 @@
+// sbx/serve/server.h
+//
+// Thin socket front-end over ServeFrontend: one frame in, one frame out,
+// same request/response structs as the in-process API. Endpoints are
+// spelled as strings:
+//
+//   "unix:/tmp/sbx.sock"   UNIX domain stream socket at that path
+//   "tcp:8725"             TCP on 127.0.0.1:8725 (loopback only)
+//   "tcp:0"                TCP on an OS-assigned loopback port
+//
+// The server accepts connections until a ShutdownRequest arrives (the
+// response is sent before the accept loop stops). Each connection gets a
+// service thread; request-level failures become ErrorResponse frames and
+// the connection survives, while framing/protocol violations close it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/frontend.h"
+#include "serve/protocol.h"
+
+namespace sbx::serve {
+
+class Server {
+ public:
+  /// Binds and listens immediately (throws IoError on failure), but
+  /// accepts nothing until run(). The frontend must outlive the server.
+  Server(ServeFrontend& frontend, const std::string& endpoint);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The resolved endpoint — for "tcp:0" this is the real port, e.g.
+  /// "tcp:127.0.0.1:40613", printed by sbx_serve for clients to connect
+  /// to.
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// Serves until a ShutdownRequest (or stop()) arrives, then joins all
+  /// connection threads.
+  void run();
+
+  /// Asynchronously stops the accept loop (idempotent, thread-safe).
+  void stop();
+
+ private:
+  void serve_connection(int fd);
+
+  ServeFrontend& frontend_;
+  std::string endpoint_;
+  std::string unix_path_;  // unlinked on destruction when non-empty
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+};
+
+/// Blocking client for the framed protocol (used by sbx_loadgen and the
+/// tests; handy for ad-hoc poking from other tools too).
+class Client {
+ public:
+  /// Connects to an endpoint in the Server spelling ("unix:PATH",
+  /// "tcp:PORT" or "tcp:HOST:PORT"). Throws IoError on failure.
+  explicit Client(const std::string& endpoint);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One round-trip: encode, send, receive, decode.
+  Response call(const Request& request);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace sbx::serve

@@ -1,0 +1,66 @@
+#include "serve/shard.h"
+
+#include <string>
+
+#include "util/error.h"
+
+namespace sbx::serve {
+
+ModelShard::ModelShard(std::size_t user_count)
+    : user_count_(user_count),
+      users_(std::make_unique<UserModel[]>(user_count)) {
+  if (user_count == 0) {
+    throw InvalidArgument("ModelShard: user_count must be greater than 0");
+  }
+}
+
+UserModel& ModelShard::user(std::size_t local) {
+  if (local >= user_count_) {
+    throw InvalidArgument("ModelShard: user slot " + std::to_string(local) +
+                          " out of range (shard owns " +
+                          std::to_string(user_count_) + ")");
+  }
+  return users_[local];
+}
+
+const UserModel& ModelShard::user(std::size_t local) const {
+  return const_cast<ModelShard*>(this)->user(local);
+}
+
+OverlaySnapshot ModelShard::overlay(std::size_t local) const {
+  return user(local).snapshot();
+}
+
+void ModelShard::apply_train(std::size_t local,
+                             const spambayes::TokenIdSet& ids, bool as_spam,
+                             std::uint32_t copies) {
+  UserModel& model = user(local);
+  const std::lock_guard<std::mutex> lock(mutation_mutex_);
+  model.train(ids, as_spam, copies);
+}
+
+void ModelShard::apply_untrain(std::size_t local,
+                               const spambayes::TokenIdSet& ids, bool as_spam,
+                               std::uint32_t copies) {
+  UserModel& model = user(local);
+  const std::lock_guard<std::mutex> lock(mutation_mutex_);
+  model.untrain(ids, as_spam, copies);
+}
+
+void ModelShard::record_classified(std::size_t local, std::uint64_t messages) {
+  user(local).record_classified(messages);
+}
+
+ShardStats ModelShard::stats() const {
+  ShardStats out;
+  out.users = user_count_;
+  for (std::size_t i = 0; i < user_count_; ++i) {
+    const UserModel& model = users_[i];
+    if (model.snapshot() != nullptr) ++out.overlay_users;
+    out.classified_messages += model.classified();
+    out.mutations += model.mutations();
+  }
+  return out;
+}
+
+}  // namespace sbx::serve

@@ -1,0 +1,73 @@
+// sbx/serve/shard.h
+//
+// A ModelShard owns a fixed set of UserModel slots and enforces the
+// serving layer's concurrency contract:
+//
+//  * classify reads are lock-free — overlay(local) acquire-loads the last
+//    published snapshot and never blocks, no matter how many trains are
+//    in flight;
+//  * train/untrain mutations are applied single-threaded per shard — one
+//    mutation mutex serializes them, so UserModel's copy-mutate-publish
+//    sequence never races with itself and per-user feedback is applied in
+//    a well-defined order.
+//
+// The shard is the unit of mutation parallelism: with S shards, up to S
+// feedback streams commit concurrently while any number of classify
+// readers proceed untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "serve/user_model.h"
+
+namespace sbx::serve {
+
+/// Aggregate shard counters (relaxed reads; exact once mutations quiesce).
+struct ShardStats {
+  std::uint64_t users = 0;
+  std::uint64_t overlay_users = 0;  // users with a non-empty overlay
+  std::uint64_t classified_messages = 0;
+  std::uint64_t mutations = 0;
+};
+
+class ModelShard {
+ public:
+  explicit ModelShard(std::size_t user_count);
+
+  ModelShard(const ModelShard&) = delete;
+  ModelShard& operator=(const ModelShard&) = delete;
+
+  std::size_t user_count() const { return user_count_; }
+
+  /// Lock-free read of user `local`'s published overlay (null = empty).
+  /// Throws InvalidArgument for an out-of-range slot.
+  OverlaySnapshot overlay(std::size_t local) const;
+
+  /// Applies one training mutation under the shard mutation lock.
+  void apply_train(std::size_t local, const spambayes::TokenIdSet& ids,
+                   bool as_spam, std::uint32_t copies);
+
+  /// Applies one untraining mutation under the shard mutation lock.
+  /// Throws InvalidArgument when the user's overlay does not contain the
+  /// message (fail loudly instead of silently corrupting counts).
+  void apply_untrain(std::size_t local, const spambayes::TokenIdSet& ids,
+                     bool as_spam, std::uint32_t copies);
+
+  /// Attributes `messages` classified messages to user `local`.
+  void record_classified(std::size_t local, std::uint64_t messages);
+
+  ShardStats stats() const;
+
+ private:
+  UserModel& user(std::size_t local);
+  const UserModel& user(std::size_t local) const;
+
+  std::size_t user_count_;
+  std::unique_ptr<UserModel[]> users_;
+  std::mutex mutation_mutex_;
+};
+
+}  // namespace sbx::serve

@@ -1,0 +1,46 @@
+#include "serve/user_model.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace sbx::serve {
+
+void UserModel::train(const spambayes::TokenIdSet& ids, bool as_spam,
+                      std::uint32_t copies) {
+  const OverlaySnapshot current = snapshot();
+  auto next = current
+                  ? std::make_shared<spambayes::TokenDatabase>(*current)
+                  : std::make_shared<spambayes::TokenDatabase>();
+  if (as_spam) {
+    next->train_spam_ids(ids, copies);
+  } else {
+    next->train_ham_ids(ids, copies);
+  }
+  overlay_.store(OverlaySnapshot(std::move(next)),
+                 std::memory_order_release);
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UserModel::untrain(const spambayes::TokenIdSet& ids, bool as_spam,
+                        std::uint32_t copies) {
+  const OverlaySnapshot current = snapshot();
+  if (!current) {
+    throw InvalidArgument(
+        "untrain: user has no trained messages (empty overlay)");
+  }
+  auto next = std::make_shared<spambayes::TokenDatabase>(*current);
+  // TokenDatabase throws InvalidArgument when the message was never
+  // trained; the unpublished copy is discarded and the published overlay
+  // stays as it was.
+  if (as_spam) {
+    next->untrain_spam_ids(ids, copies);
+  } else {
+    next->untrain_ham_ids(ids, copies);
+  }
+  overlay_.store(OverlaySnapshot(std::move(next)),
+                 std::memory_order_release);
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace sbx::serve

@@ -1,0 +1,87 @@
+// sbx/serve/user_model.h
+//
+// Per-user training state for the multi-tenant serving layer: a
+// copy-on-write delta overlay on a shared immutable base TokenDatabase.
+//
+// Every user starts with a null overlay — classification then runs
+// directly against the base through the generation-cached ScoreEngine, so
+// an idle fleet of a million users costs one database, one memo, zero
+// per-user bytes beyond the slot itself. The first train/untrain call
+// materializes a private delta database holding only that user's
+// feedback; classification merges it with the base on the fly
+// (Classifier's overlay-aware score_ids), which is bit-identical to a
+// standalone filter trained on base + overlay messages.
+//
+// Publication protocol (the lock-free read contract): mutations never
+// modify a published overlay. They copy it, mutate the copy, and publish
+// the copy with a release store into an atomic shared_ptr; readers
+// acquire-load a snapshot and score against it for as long as they like —
+// the snapshot is immutable and refcount-kept. TokenDatabase's
+// process-globally monotonic generation stamp (PR 4) then proves snapshot
+// consistency: a copy keeps the stamp, the first mutation of the copy
+// draws a strictly larger one, so successive published overlays carry
+// strictly increasing generations and `generation() == cached` still
+// proves bit-identical contents to any reader's cache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "spambayes/interner.h"
+#include "spambayes/token_db.h"
+
+namespace sbx::serve {
+
+/// An immutable published overlay state. Null = empty overlay (the user
+/// has no feedback of their own; classify against the base directly).
+using OverlaySnapshot = std::shared_ptr<const spambayes::TokenDatabase>;
+
+/// One user's slot: the published overlay plus relaxed usage counters.
+/// Reads (snapshot, counters) are safe from any thread at any time;
+/// mutations must be serialized externally — the owning ModelShard applies
+/// them single-threaded under its mutation lock.
+class UserModel {
+ public:
+  UserModel() = default;
+  UserModel(const UserModel&) = delete;
+  UserModel& operator=(const UserModel&) = delete;
+
+  /// The last published overlay (acquire). Scoring against the returned
+  /// snapshot is race-free regardless of concurrent mutations: a mutation
+  /// publishes a new database, it never touches this one.
+  OverlaySnapshot snapshot() const {
+    return overlay_.load(std::memory_order_acquire);
+  }
+
+  /// Copy-on-write train: copies the current overlay (or starts an empty
+  /// one), trains `copies` messages with token set `ids`, publishes the
+  /// copy (release). Caller holds the shard mutation lock.
+  void train(const spambayes::TokenIdSet& ids, bool as_spam,
+             std::uint32_t copies);
+
+  /// Copy-on-write untrain, exactly reversing a train with the same
+  /// arguments. Throws sbx::InvalidArgument when the overlay does not
+  /// contain the message (never trained, or already untrained) — the
+  /// published overlay is untouched in that case.
+  void untrain(const spambayes::TokenIdSet& ids, bool as_spam,
+               std::uint32_t copies);
+
+  /// Relaxed counters, exported through the stats endpoint.
+  void record_classified(std::uint64_t messages) {
+    classified_.fetch_add(messages, std::memory_order_relaxed);
+  }
+  std::uint64_t classified() const {
+    return classified_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t mutations() const {
+    return mutations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<OverlaySnapshot> overlay_{nullptr};
+  std::atomic<std::uint64_t> classified_{0};
+  std::atomic<std::uint64_t> mutations_{0};
+};
+
+}  // namespace sbx::serve

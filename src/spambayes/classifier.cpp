@@ -177,6 +177,31 @@ ScoreIdResult Classifier::score_ids(const TokenDatabase& db,
   return result;
 }
 
+ScoreIdResult Classifier::score_ids(const TokenDatabase& base,
+                                    const TokenDatabase& overlay,
+                                    const TokenIdList& ids) const {
+  ScoreIdResult result;
+  result.evidence.reserve(ids.size());
+  // uint32 sums, then the same uint32 -> double conversion score_ids()
+  // performs: bit-identical inputs to score_from_counts versus a database
+  // trained on base's and overlay's message sets together.
+  const double ns =
+      static_cast<double>(base.spam_count() + overlay.spam_count());
+  const double nh = static_cast<double>(base.ham_count() + overlay.ham_count());
+  for (TokenId id : ids) {
+    const TokenCounts b = base.counts(id);
+    const TokenCounts o = overlay.counts(id);
+    const TokenCounts merged{b.spam + o.spam, b.ham + o.ham};
+    result.evidence.push_back(
+        {id, score_from_counts(merged, ns, nh, opts_), false});
+  }
+  const TokenInterner& interner = global_interner();
+  select_and_combine(result, opts_, [&](std::size_t i) {
+    return interner.spelling(result.evidence[i].id);
+  });
+  return result;
+}
+
 Verdict Classifier::verdict_for(double score) const {
   return verdict_for(score, opts_.ham_cutoff, opts_.spam_cutoff);
 }

@@ -96,6 +96,19 @@ class Classifier {
   ScoreIdResult score_ids(const TokenDatabase& db,
                           const TokenIdList& ids) const;
 
+  /// Overlay-aware scoring view: scores `ids` against the virtual merge of
+  /// a shared immutable `base` database and a per-user `overlay` delta,
+  /// without materializing the merge. Per-token counts are the uint32 sums
+  /// base + overlay and the class totals NS/NH are summed the same way —
+  /// exactly the values a database trained on both message sets would hold
+  /// (counts are additive, TokenDatabase::merge does the same additions) —
+  /// so every score is bit-identical to score_ids() on such a merged
+  /// database. This is the serving layer's classify path for users with a
+  /// non-empty copy-on-write overlay (src/serve/).
+  ScoreIdResult score_ids(const TokenDatabase& base,
+                          const TokenDatabase& overlay,
+                          const TokenIdList& ids) const;
+
   /// Maps a score I(E) to a verdict using the configured cutoffs:
   /// ham for [0, theta0], unsure for (theta0, theta1], spam for (theta1, 1].
   Verdict verdict_for(double score) const;

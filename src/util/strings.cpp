@@ -113,4 +113,16 @@ std::string format_double(double v, int precision) {
   return buf;
 }
 
+std::string unknown_name_message(std::string_view kind, std::string_view name,
+                                 const std::vector<std::string>& known) {
+  std::string message = "unknown ";
+  message += kind;
+  message += " '";
+  message += name;
+  message += "' (known: ";
+  message += join(known, ", ");
+  message += ")";
+  return message;
+}
+
 }  // namespace sbx::util

@@ -45,4 +45,11 @@ std::string replace_all(std::string_view s, std::string_view from,
 /// Formats a double with fixed precision (printf "%.*f").
 std::string format_double(double v, int precision);
 
+/// The one spelling of a registry-lookup failure: "unknown <kind> '<name>'
+/// (known: a, b, c)". Shared by the experiment registry, the attack
+/// registry and the tokenizer-preset axis so every unknown-name error
+/// lists the valid names the same way.
+std::string unknown_name_message(std::string_view kind, std::string_view name,
+                                 const std::vector<std::string>& known);
+
 }  // namespace sbx::util

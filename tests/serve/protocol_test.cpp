@@ -1,0 +1,141 @@
+// Wire-format round-trips and strict-decoding failure cases for the
+// serving protocol.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/error.h"
+
+namespace sbx::serve {
+namespace {
+
+/// Strips the length prefix and checks it matched the payload size.
+std::vector<std::uint8_t> payload_of(const std::vector<std::uint8_t>& frame) {
+  EXPECT_GE(frame.size(), 6u);  // u32 len + version + type
+  std::uint32_t len = 0;
+  std::memcpy(&len, frame.data(), 4);  // little-endian host assumed in tests
+  EXPECT_EQ(len, frame.size() - 4);
+  return {frame.begin() + 4, frame.end()};
+}
+
+TEST(Protocol, ClassifyBatchRequestRoundTrip) {
+  ClassifyBatchRequest req;
+  req.user_id = 0x1122334455667788ULL;
+  req.messages = {"Subject: a\n\nbody one", "", "Subject: b\n\nbody two"};
+  const auto payload = payload_of(encode_frame(Request(req)));
+  const Request back = decode_request(payload);
+  const auto& got = std::get<ClassifyBatchRequest>(back);
+  EXPECT_EQ(got.user_id, req.user_id);
+  EXPECT_EQ(got.messages, req.messages);
+}
+
+TEST(Protocol, TrainAndUntrainRoundTrip) {
+  TrainRequest t;
+  t.user_id = 7;
+  t.as_spam = false;
+  t.copies = 3;
+  t.message = "Subject: x\n\nhello";
+  const auto tback =
+      std::get<TrainRequest>(decode_request(payload_of(encode_frame(Request(t)))));
+  EXPECT_EQ(tback.user_id, 7u);
+  EXPECT_FALSE(tback.as_spam);
+  EXPECT_EQ(tback.copies, 3u);
+  EXPECT_EQ(tback.message, t.message);
+
+  UntrainRequest u;
+  u.user_id = 9;
+  u.as_spam = true;
+  u.copies = 1;
+  u.message = "m";
+  const auto uback = std::get<UntrainRequest>(
+      decode_request(payload_of(encode_frame(Request(u)))));
+  EXPECT_EQ(uback.user_id, 9u);
+  EXPECT_TRUE(uback.as_spam);
+}
+
+TEST(Protocol, EmptyBodyRequestsRoundTrip) {
+  EXPECT_TRUE(std::holds_alternative<StatsRequest>(
+      decode_request(payload_of(encode_frame(Request(StatsRequest{}))))));
+  EXPECT_TRUE(std::holds_alternative<ShutdownRequest>(
+      decode_request(payload_of(encode_frame(Request(ShutdownRequest{}))))));
+}
+
+TEST(Protocol, ResponsesRoundTripWithScoreBitsIntact) {
+  ClassifyBatchResponse c;
+  c.results = {{0.123456789012345, 2}, {1.0, 0}, {5e-324, 1}};  // denormal too
+  const auto cback = std::get<ClassifyBatchResponse>(
+      decode_response(payload_of(encode_frame(Response(c)))));
+  ASSERT_EQ(cback.results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(cback.results[i].score, c.results[i].score);
+    EXPECT_EQ(cback.results[i].verdict, c.results[i].verdict);
+  }
+
+  TrainResponse t{/*generation=*/42, /*spam=*/3, /*ham=*/1};
+  const auto tback = std::get<TrainResponse>(
+      decode_response(payload_of(encode_frame(Response(t)))));
+  EXPECT_EQ(tback.overlay_generation, 42u);
+  EXPECT_EQ(tback.overlay_spam, 3u);
+  EXPECT_EQ(tback.overlay_ham, 1u);
+
+  StatsResponse s;
+  s.users = 64;
+  s.shards = 4;
+  s.classified_messages = 12345;
+  const auto sback = std::get<StatsResponse>(
+      decode_response(payload_of(encode_frame(Response(s)))));
+  EXPECT_EQ(sback.users, 64u);
+  EXPECT_EQ(sback.shards, 4u);
+  EXPECT_EQ(sback.classified_messages, 12345u);
+
+  ErrorResponse e{"boom"};
+  EXPECT_EQ(std::get<ErrorResponse>(
+                decode_response(payload_of(encode_frame(Response(e)))))
+                .message,
+            "boom");
+}
+
+TEST(Protocol, RejectsWrongVersion) {
+  auto payload = payload_of(encode_frame(Request(StatsRequest{})));
+  payload[0] = kProtocolVersion + 1;
+  EXPECT_THROW(decode_request(payload), ParseError);
+}
+
+TEST(Protocol, RejectsUnknownType) {
+  auto payload = payload_of(encode_frame(Request(StatsRequest{})));
+  payload[1] = 200;
+  EXPECT_THROW(decode_request(payload), ParseError);
+}
+
+TEST(Protocol, RejectsTruncatedBody) {
+  TrainRequest t;
+  t.message = "hello world";
+  auto payload = payload_of(encode_frame(Request(t)));
+  payload.resize(payload.size() - 4);
+  EXPECT_THROW(decode_request(payload), ParseError);
+}
+
+TEST(Protocol, RejectsTrailingBytes) {
+  auto payload = payload_of(encode_frame(Request(ShutdownRequest{})));
+  payload.push_back(0);
+  EXPECT_THROW(decode_request(payload), ParseError);
+}
+
+TEST(Protocol, RejectsRequestDecodedAsResponse) {
+  const auto payload = payload_of(encode_frame(Request(StatsRequest{})));
+  EXPECT_THROW(decode_response(payload), ParseError);
+}
+
+TEST(Protocol, VerdictByteMapping) {
+  EXPECT_EQ(verdict_to_byte(spambayes::Verdict::ham), 0);
+  EXPECT_EQ(verdict_to_byte(spambayes::Verdict::unsure), 1);
+  EXPECT_EQ(verdict_to_byte(spambayes::Verdict::spam), 2);
+  EXPECT_EQ(verdict_from_byte(2), spambayes::Verdict::spam);
+  EXPECT_THROW(verdict_from_byte(3), ParseError);
+}
+
+}  // namespace
+}  // namespace sbx::serve

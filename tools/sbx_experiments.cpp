@@ -257,6 +257,14 @@ int cmd_sweep(const std::string& name, const CliFlags& flags) {
   return 0;
 }
 
+/// Shared exit-2 path for an unrecognized (sub)command: one complaint
+/// format, then the usage text on stderr.
+int unknown_command(const char* kind, const std::string& name) {
+  std::fprintf(stderr, "sbx_experiments: unknown %s '%s'\n\n", kind,
+               name.c_str());
+  return usage(stderr);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -277,9 +285,7 @@ int main(int argc, char** argv) {
         if (argc < 4) return usage(stderr);
         return cmd_attacks_describe(argv[3]);
       }
-      std::fprintf(stderr, "sbx_experiments: unknown attacks command '%s'\n\n",
-                   sub.c_str());
-      return usage(stderr);
+      return unknown_command("attacks command", sub);
     }
     if (command == "run" || command == "sweep") {
       if (argc < 3) return usage(stderr);
@@ -293,9 +299,7 @@ int main(int argc, char** argv) {
       return command == "run" ? cmd_run(argv[2], flags)
                               : cmd_sweep(argv[2], flags);
     }
-    std::fprintf(stderr, "sbx_experiments: unknown command '%s'\n\n",
-                 command.c_str());
-    return usage(stderr);
+    return unknown_command("command", command);
   } catch (const sbx::Error& e) {
     std::fprintf(stderr, "sbx_experiments: %s\n", e.what());
     return 2;

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Saved sweep spec for the §5.1 RONI measurement-set sizing ablation — the
+# registry form of bench/bench_ablation_roni_sizes.cpp's grid.
+#
+# Scales (|T|, |V|) from the paper's (20, 50) down 2x and up 4x while
+# assessing the usenet and aspell dictionary attacks as a comma-list
+# workload (`attack=usenet,aspell`). |T| and |V| move together, so the
+# grid is four paired runs rather than an axis cross-product; the
+# rejection threshold scales with |V| (the paper's 5.5 was tuned for 25
+# ham in V). The bench binary re-renders the same four configs as one
+# table in the historical layout; this spec is the scriptable/CI form.
+#
+# Usage (from the repo root, after building):
+#   tools/sweeps/ablation_roni_sizes.sh [--quick] [--threads=N] \
+#       [--out-dir=DIR] [extra key=value overrides...]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+SBX_EXPERIMENTS="${SBX_EXPERIMENTS:-build/tools/sbx_experiments}"
+if [[ ! -x "$SBX_EXPERIMENTS" ]]; then
+  echo "error: $SBX_EXPERIMENTS not found (build first, or set SBX_EXPERIMENTS)" >&2
+  exit 2
+fi
+
+"$SBX_EXPERIMENTS" run roni \
+  attack=usenet,aspell train_size=10 validation_size=25 \
+  rejection_threshold=2.75 \
+  "$@"
+
+"$SBX_EXPERIMENTS" run roni \
+  attack=usenet,aspell train_size=20 validation_size=50 \
+  rejection_threshold=5.5 \
+  "$@"
+
+"$SBX_EXPERIMENTS" run roni \
+  attack=usenet,aspell train_size=40 validation_size=100 \
+  rejection_threshold=11 \
+  "$@"
+
+exec "$SBX_EXPERIMENTS" run roni \
+  attack=usenet,aspell train_size=80 validation_size=200 \
+  rejection_threshold=22 \
+  "$@"

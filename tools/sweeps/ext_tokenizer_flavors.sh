@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Saved sweep spec for the footnote-1 tokenizer-flavor extension — the
+# registry form of bench/bench_ext_tokenizer_flavors.cpp's grid.
+#
+# Runs the 1% Usenet dictionary attack against the same learner under the
+# three tokenizer presets (SpamBayes, BogoFilter, SpamAssassin's Bayes
+# component). The flavor is the ordinary `tokenizer=` config key added by
+# eval/filter_axis.h, so the grid is a one-axis sweep; fine-grained
+# TokenizerOptions overrides ride on `tokenizer_params='k=v;k=v'`. The
+# bench binary re-renders the same three configs as one table in the
+# historical layout; this spec is the scriptable/CI form.
+#
+# Usage (from the repo root, after building):
+#   tools/sweeps/ext_tokenizer_flavors.sh [--quick] [--threads=N] \
+#       [--out-dir=DIR] [extra key=value overrides...]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+SBX_EXPERIMENTS="${SBX_EXPERIMENTS:-build/tools/sbx_experiments}"
+if [[ ! -x "$SBX_EXPERIMENTS" ]]; then
+  echo "error: $SBX_EXPERIMENTS not found (build first, or set SBX_EXPERIMENTS)" >&2
+  exit 2
+fi
+
+exec "$SBX_EXPERIMENTS" sweep dictionary \
+  --axis 'tokenizer=spambayes,bogofilter,spamassassin' \
+  attack=usenet attack_fractions=0.01 \
+  "$@"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Saved spec for Table 1 ("Parameters used in our experiments") — the
+# registry form of bench/bench_table1_parameters.cpp.
+#
+# Table 1 is pure configuration, so its registry form is `describe`: the
+# four experiment columns are the default configs of the dictionary,
+# focused-knowledge, roni and threshold experiments, printed with their
+# schema docs. The bench binary renders the same defaults in the paper's
+# table layout; editing a schema default changes both in lockstep.
+#
+# Usage (from the repo root, after building):
+#   tools/sweeps/table1_parameters.sh
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+SBX_EXPERIMENTS="${SBX_EXPERIMENTS:-build/tools/sbx_experiments}"
+if [[ ! -x "$SBX_EXPERIMENTS" ]]; then
+  echo "error: $SBX_EXPERIMENTS not found (build first, or set SBX_EXPERIMENTS)" >&2
+  exit 2
+fi
+
+for exp in dictionary focused-knowledge roni threshold; do
+  "$SBX_EXPERIMENTS" describe "$exp"
+done
