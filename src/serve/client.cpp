@@ -1,0 +1,176 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "serve/framing.h"
+#include "util/error.h"
+
+namespace sbx::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError("serve client: " + what + ": " + std::strerror(errno));
+}
+
+/// True when an ErrorResponse signals a transient server condition that a
+/// retry (against the same or a recovered server) can fix.
+bool is_retryable(const Response& response) {
+  const auto* e = std::get_if<ErrorResponse>(&response);
+  return e != nullptr &&
+         (e->code == static_cast<std::uint8_t>(ErrorCode::kOverloaded) ||
+          e->code == static_cast<std::uint8_t>(ErrorCode::kShuttingDown));
+}
+
+}  // namespace
+
+Client::Client(const std::string& endpoint, ClientOptions options)
+    : endpoint_(endpoint),
+      options_(options),
+      backoff_(options.backoff_base_ms, options.backoff_cap_ms,
+               options.jitter_seed) {
+  if (options_.max_attempts < 1) {
+    throw InvalidArgument("serve client: max_attempts must be at least 1");
+  }
+  // Fail fast on an unreachable endpoint — but honor the retry budget, so
+  // a client racing a restarting server (the chaos harness) can outwait
+  // the recovery window.
+  for (int attempt = 1;; ++attempt) {
+    try {
+      connect_with_deadline();
+      return;
+    } catch (const IoError&) {
+      if (attempt >= options_.max_attempts) throw;
+      ++retries_;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_.next_delay_ms()));
+    }
+  }
+}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect_with_deadline() {
+  disconnect();
+  const io::ParsedEndpoint ep = io::parse_endpoint(endpoint_);
+  const util::Deadline deadline =
+      util::Deadline::after_ms(options_.connect_timeout_ms);
+
+  sockaddr_un uaddr{};
+  sockaddr_in taddr{};
+  const sockaddr* addr = nullptr;
+  socklen_t addr_len = 0;
+  if (ep.is_unix) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw_errno("socket(AF_UNIX)");
+    uaddr.sun_family = AF_UNIX;
+    std::strncpy(uaddr.sun_path, ep.path.c_str(), sizeof(uaddr.sun_path) - 1);
+    addr = reinterpret_cast<const sockaddr*>(&uaddr);
+    addr_len = sizeof(uaddr);
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw_errno("socket(AF_INET)");
+    taddr.sin_family = AF_INET;
+    taddr.sin_port = htons(ep.port);
+    const std::string host = ep.host.empty() ? "127.0.0.1" : ep.host;
+    if (::inet_pton(AF_INET, host.c_str(), &taddr.sin_addr) != 1) {
+      disconnect();
+      throw InvalidArgument("serve client: bad tcp host '" + host + "'");
+    }
+    addr = reinterpret_cast<const sockaddr*>(&taddr);
+    addr_len = sizeof(taddr);
+  }
+
+  try {
+    io::set_nonblocking(fd_);
+    if (::connect(fd_, addr, addr_len) == 0) return;
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      throw_errno("connect(" + endpoint_ + ")");
+    }
+    // Non-blocking connect: wait for writability, then read the verdict
+    // out of SO_ERROR.
+    for (;;) {
+      if (deadline.expired()) {
+        throw IoError("serve client: connect(" + endpoint_ + ") timed out");
+      }
+      struct pollfd pfd {};
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      const int rc = ::poll(&pfd, 1, deadline.remaining_ms());
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll(connect)");
+      }
+      if (rc > 0) break;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      throw_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect(" + endpoint_ + ")");
+    }
+  } catch (...) {
+    disconnect();
+    throw;
+  }
+}
+
+void Client::ensure_connected() {
+  if (fd_ < 0) connect_with_deadline();
+}
+
+Response Client::call(const Request& request) {
+  const auto frame = encode_frame(request);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      ensure_connected();
+      const util::Deadline deadline =
+          util::Deadline::after_ms(options_.op_timeout_ms);
+      io::write_frame(fd_, frame, deadline);
+      std::vector<std::uint8_t> payload;
+      if (!io::read_frame(fd_, payload, deadline)) {
+        throw IoError("serve client: server closed the connection");
+      }
+      const Response response = decode_response(payload);
+      if (!is_retryable(response) || attempt >= options_.max_attempts) {
+        return response;
+      }
+      // Overloaded/draining: the connection may be closing under us —
+      // reconnect fresh after the backoff.
+      disconnect();
+    } catch (const ParseError&) {
+      // A protocol violation will not improve with repetition.
+      disconnect();
+      throw;
+    } catch (const IoError&) {
+      disconnect();
+      if (attempt >= options_.max_attempts) throw;
+    }
+    ++retries_;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff_.next_delay_ms()));
+  }
+}
+
+}  // namespace sbx::serve

@@ -1,0 +1,79 @@
+// sbx/serve/client.h
+//
+// Deadline- and retry-aware client for the framed serving protocol (used
+// by sbx_loadgen and the tests; handy for ad-hoc poking from other tools
+// too).
+//
+// Robustness semantics:
+//
+//  * connect and every call() run under explicit deadlines — a dead or
+//    wedged server costs a bounded wait, never a hang;
+//  * transport failures (connection refused/reset, timeout, mid-frame
+//    close) and ErrorResponse{kOverloaded} load-shed answers are retried
+//    up to `max_attempts` times with exponential backoff and full jitter,
+//    reconnecting between attempts;
+//  * ParseError is never retried — a protocol violation will not improve
+//    with repetition;
+//  * retrying a Train/Untrain is only idempotent when the request carries
+//    a request_id (the server's dedup window absorbs the duplicate); the
+//    caller owns id assignment, the client just resends the frame
+//    verbatim.
+//
+// Backoff jitter draws from a deterministic util::Rng seeded by
+// `jitter_seed`, keeping retry schedules reproducible in tests and
+// loadgen runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/backoff.h"
+
+namespace sbx::serve {
+
+struct ClientOptions {
+  long connect_timeout_ms = 5'000;
+  /// Deadline for one call() attempt (request write + response read).
+  long op_timeout_ms = 10'000;
+  /// Total attempts per call() (1 = no retries).
+  int max_attempts = 1;
+  int backoff_base_ms = 10;
+  int backoff_cap_ms = 1'000;
+  std::uint64_t jitter_seed = 1;
+};
+
+class Client {
+ public:
+  /// Connects to an endpoint in the Server spelling ("unix:PATH",
+  /// "tcp:PORT" or "tcp:HOST:PORT"). Throws IoError on failure (after
+  /// retries, when configured).
+  explicit Client(const std::string& endpoint, ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One round-trip: encode, send, receive, decode — with deadline,
+  /// reconnect and backoff per the options.
+  Response call(const Request& request);
+
+  /// Retries performed across all call()s so far (telemetry).
+  std::uint64_t retries() const { return retries_; }
+
+  /// Closes the connection (idempotent). The next call() reconnects.
+  void disconnect();
+
+ private:
+  void connect_with_deadline();
+  void ensure_connected();
+
+  std::string endpoint_;
+  ClientOptions options_;
+  util::ExponentialBackoff backoff_;
+  int fd_ = -1;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace sbx::serve

@@ -1,0 +1,81 @@
+// sbx/serve/fault_injector.h
+//
+// Deterministic fault injection for the serving layer's I/O paths. The
+// singleton is a set of cheap hooks threaded through framing.cpp (socket
+// reads/writes) and wal.cpp (log appends); unconfigured, every hook is a
+// single relaxed load. Configured — programmatically in tests or via the
+// SBX_FAULT environment variable in sbx_serve — it turns the happy path
+// into the failure matrix the robustness tests assert against:
+//
+//   short_write_every=N   every Nth write call transfers at most 1 byte
+//                         (exercises every partial-write loop)
+//   delay_read_every=N    sleep delay_ms before every Nth read (stalls
+//                         that read timeouts / client deadlines must catch)
+//   delay_ms=MS           the delay for delay_read_every (default 50)
+//   close_write_at=N      shut the socket down instead of performing the
+//                         Nth write (mid-operation connection loss)
+//   crash_after_wal=N     _Exit(42) immediately after the Nth WAL record
+//                         is appended (the kill -9 analogue with a
+//                         deterministic crash point)
+//
+// Example: SBX_FAULT=short_write_every=7,crash_after_wal=100 sbx_serve ...
+//
+// Counters are process-global and monotonically increasing; reset() rearms
+// everything (tests only — the daemon configures once at startup).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sbx::serve {
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Parses the comma-separated key=value spec above. Throws ParseError on
+  /// unknown keys or malformed values. An empty spec is a no-op.
+  void configure(const std::string& spec);
+
+  /// Reads $SBX_FAULT (absent/empty = no faults).
+  void configure_from_env();
+
+  /// Disarms all faults and zeroes the trigger counters.
+  void reset();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // --- Hooks (called from framing.cpp / wal.cpp) ---------------------------
+
+  /// Clamp for the next write(2)'s length (short-write injection).
+  std::size_t clamp_write_len(std::size_t len);
+
+  /// True when the caller should shut the connection down instead of
+  /// writing (close injection).
+  bool should_close_instead_of_write();
+
+  /// Possibly sleeps before a read (delay injection).
+  void before_read();
+
+  /// Called after each WAL record append; may _Exit(42) (crash injection).
+  void after_wal_record();
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> write_ops_{0};
+  std::atomic<std::uint64_t> read_ops_{0};
+  std::atomic<std::uint64_t> wal_records_{0};
+
+  // 0 = disarmed for every trigger below.
+  std::atomic<std::uint64_t> short_write_every_{0};
+  std::atomic<std::uint64_t> delay_read_every_{0};
+  std::atomic<std::uint64_t> delay_ms_{50};
+  std::atomic<std::uint64_t> close_write_at_{0};
+  std::atomic<std::uint64_t> crash_after_wal_{0};
+};
+
+}  // namespace sbx::serve

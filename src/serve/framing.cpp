@@ -1,0 +1,196 @@
+#include "serve/framing.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "serve/fault_injector.h"
+#include "util/error.h"
+
+namespace sbx::serve::io {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+/// Polls `fd` for `events` until ready or the deadline expires. Throws on
+/// deadline expiry; EINTR restarts the wait.
+void poll_or_throw(int fd, short events, const util::Deadline& deadline,
+                   const char* what) {
+  for (;;) {
+    if (deadline.expired()) {
+      throw IoError(std::string(what) + ": timed out");
+    }
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, deadline.remaining_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(std::string(what) + ": poll");
+    }
+    if (rc > 0) return;  // ready (or error/hup — let read/write report it)
+  }
+}
+
+}  // namespace
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("serve io: fcntl(F_GETFL)");
+  if ((flags & O_NONBLOCK) == 0 &&
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("serve io: fcntl(F_SETFL, O_NONBLOCK)");
+  }
+}
+
+Waited wait_readable(int fd, long idle_timeout_ms,
+                     const std::atomic<bool>* stop) {
+  const util::Deadline deadline = util::Deadline::after_ms(idle_timeout_ms);
+  const bool unlimited = idle_timeout_ms <= 0;
+  for (;;) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      return Waited::kStop;
+    }
+    if (!unlimited && deadline.expired()) return Waited::kIdleTimeout;
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    // Short slices keep the stop flag responsive on an otherwise idle
+    // connection.
+    int slice = unlimited ? 100 : deadline.remaining_ms();
+    if (slice > 100) slice = 100;
+    const int rc = ::poll(&pfd, 1, slice);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve io: poll");
+    }
+    if (rc > 0) return Waited::kReadable;
+  }
+}
+
+bool read_exact(int fd, void* buf, std::size_t len,
+                const util::Deadline& deadline) {
+  auto* out = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    FaultInjector::instance().before_read();
+    const ssize_t n = ::read(fd, out + got, len - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF between frames
+      throw IoError("serve io: connection closed mid-frame (" +
+                    std::to_string(got) + "/" + std::to_string(len) +
+                    " bytes)");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      poll_or_throw(fd, POLLIN, deadline, "serve io: read");
+      continue;
+    }
+    throw_errno("serve io: read");
+  }
+  return true;
+}
+
+void write_all(int fd, const void* buf, std::size_t len,
+               const util::Deadline& deadline) {
+  const auto* in = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < len) {
+    FaultInjector& faults = FaultInjector::instance();
+    if (faults.should_close_instead_of_write()) {
+      ::shutdown(fd, SHUT_RDWR);
+      throw IoError("serve io: connection closed by fault injection");
+    }
+    const std::size_t chunk = faults.clamp_write_len(len - sent);
+    // send() instead of write(): MSG_NOSIGNAL turns a peer-closed socket
+    // into EPIPE (an IoError the caller can retry) instead of SIGPIPE
+    // killing the process.
+    const ssize_t n = ::send(fd, in + sent, chunk, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        poll_or_throw(fd, POLLOUT, deadline, "serve io: write");
+        continue;
+      }
+      throw_errno("serve io: write");
+    }
+  }
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& payload,
+                const util::Deadline& deadline) {
+  std::uint8_t len_bytes[4];
+  if (!read_exact(fd, len_bytes, sizeof(len_bytes), deadline)) return false;
+  std::uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<std::uint32_t>(len_bytes[i]) << (8 * i);
+  }
+  if (payload_len < 2 || payload_len > kMaxFrameBytes) {
+    throw ParseError("serve io: bad frame length " +
+                     std::to_string(payload_len));
+  }
+  payload.resize(payload_len);
+  if (!read_exact(fd, payload.data(), payload.size(), deadline)) {
+    throw IoError("serve io: connection closed after frame header");
+  }
+  return true;
+}
+
+void write_frame(int fd, const std::vector<std::uint8_t>& frame,
+                 const util::Deadline& deadline) {
+  write_all(fd, frame.data(), frame.size(), deadline);
+}
+
+ParsedEndpoint parse_endpoint(const std::string& endpoint) {
+  ParsedEndpoint out;
+  if (endpoint.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = endpoint.substr(5);
+    if (out.path.empty()) {
+      throw InvalidArgument("serve: empty unix socket path in '" + endpoint +
+                            "'");
+    }
+    if (out.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw InvalidArgument("serve: unix socket path too long: " + out.path);
+    }
+    return out;
+  }
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    std::string rest = endpoint.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon != std::string::npos) {
+      out.host = rest.substr(0, colon);
+      rest = rest.substr(colon + 1);
+    }
+    try {
+      const unsigned long port = std::stoul(rest);
+      if (port > 65535) throw std::out_of_range("port");
+      out.port = static_cast<std::uint16_t>(port);
+    } catch (const std::exception&) {
+      throw InvalidArgument("serve: bad tcp port in '" + endpoint + "'");
+    }
+    return out;
+  }
+  throw InvalidArgument(
+      "serve: endpoint must be unix:PATH or tcp:PORT, got '" + endpoint + "'");
+}
+
+}  // namespace sbx::serve::io

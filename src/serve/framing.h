@@ -1,0 +1,78 @@
+// sbx/serve/framing.h
+//
+// Deadline-aware, partial-I/O-safe frame transport shared by the server's
+// connection loop and the client. Every fd handed to these helpers is
+// switched to non-blocking; progress is made under poll(2), so a peer that
+// dribbles one byte at a time, stalls mid-frame, or raises EINTR storms is
+// handled identically everywhere. Fault-injection hooks (fault_injector.h)
+// sit inside the read/write loops, which is what lets the chaos tests force
+// short writes and stalls without a special build.
+//
+// Timeout semantics: read_exact/write_all/read_frame throw sbx::IoError
+// when the Deadline expires mid-transfer. read_exact returns false only on
+// a clean EOF at byte 0 (peer closed between frames); EOF mid-frame is an
+// IoError. wait_readable separates the idle wait (no frame in flight,
+// interruptible by a stop flag) from the mid-frame read timeout.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/backoff.h"
+
+namespace sbx::serve::io {
+
+/// Puts `fd` into O_NONBLOCK mode (throws IoError on fcntl failure).
+void set_nonblocking(int fd);
+
+enum class Waited {
+  kReadable,     // data (or EOF) is available
+  kStop,         // the stop flag flipped while waiting
+  kIdleTimeout,  // idle_timeout_ms elapsed with no data
+};
+
+/// Blocks until `fd` is readable, `stop` becomes true, or `idle_timeout_ms`
+/// elapses (<= 0 = wait forever). Polls in short slices so a stop flag is
+/// honored promptly even without a timeout.
+Waited wait_readable(int fd, long idle_timeout_ms,
+                     const std::atomic<bool>* stop);
+
+/// Reads exactly `len` bytes. Returns false on clean EOF before the first
+/// byte; throws IoError on mid-transfer EOF, socket errors, or deadline
+/// expiry.
+bool read_exact(int fd, void* buf, std::size_t len,
+                const util::Deadline& deadline);
+
+/// Writes all `len` bytes (short writes retried). Throws IoError on socket
+/// errors or deadline expiry.
+void write_all(int fd, const void* buf, std::size_t len,
+               const util::Deadline& deadline);
+
+/// Reads one [u32 len][payload] frame into `payload`. Returns false on
+/// clean EOF between frames; throws ParseError on an out-of-range length
+/// and IoError on timeout/socket failure.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload,
+                const util::Deadline& deadline);
+
+/// Writes one already-encoded frame (length prefix included).
+void write_frame(int fd, const std::vector<std::uint8_t>& frame,
+                 const util::Deadline& deadline);
+
+/// The endpoint spelling shared by Server and Client:
+///   "unix:/tmp/sbx.sock"  UNIX stream socket
+///   "tcp:8725"            loopback TCP
+///   "tcp:HOST:8725"       explicit host
+struct ParsedEndpoint {
+  bool is_unix = false;
+  std::string path;  // unix
+  std::string host;  // tcp (empty = loopback)
+  std::uint16_t port = 0;
+};
+
+ParsedEndpoint parse_endpoint(const std::string& endpoint);
+
+}  // namespace sbx::serve::io

@@ -18,13 +18,19 @@ using ShardPlan = std::vector<std::vector<std::size_t>>;
 
 }  // namespace
 
-ServeFrontend::ServeFrontend(spambayes::Filter base, FrontendConfig config)
-    : base_(std::move(base)) {
+ServeFrontend::ServeFrontend(spambayes::Filter base, FrontendConfig config,
+                             std::unique_ptr<Durability> durability)
+    : base_(std::move(base)), durability_(std::move(durability)) {
   if (config.shard_count == 0) {
     throw InvalidArgument("ServeFrontend: shard_count must be greater than 0");
   }
   if (config.user_count == 0) {
     throw InvalidArgument("ServeFrontend: user_count must be greater than 0");
+  }
+  if (durability_ != nullptr &&
+      durability_->shard_count() != config.shard_count) {
+    throw InvalidArgument(
+        "ServeFrontend: durability shard count does not match config");
   }
   // Route every user id up front: shard by splitmix64 hash, then assign
   // dense local slots per shard so each ModelShard only allocates the
@@ -41,8 +47,17 @@ ServeFrontend::ServeFrontend(spambayes::Filter base, FrontendConfig config)
     // shard array stays dense and addressable.
     const std::size_t owned = next_local[s] > 0 ? next_local[s] : 1;
     shards_.push_back(std::make_unique<ModelShard>(owned));
+    shards_.back()->configure_dedup(config.dedup_window);
+    if (durability_ != nullptr) {
+      shards_.back()->attach_durability(durability_.get(), s);
+    }
+  }
+  for (std::uint64_t uid = 0; uid < config.user_count; ++uid) {
+    shards_[route_[uid].shard]->set_uid_of_local(route_[uid].local, uid);
   }
 }
+
+ServeFrontend::~ServeFrontend() = default;
 
 ServeFrontend::RouteEntry ServeFrontend::route(std::uint64_t user_id) const {
   return route_checked(user_id);
@@ -98,32 +113,67 @@ ClassifyBatchResponse ServeFrontend::classify_batch(
   return response;
 }
 
-TrainResponse ServeFrontend::train(const TrainRequest& request) {
-  if (request.copies == 0) {
-    throw InvalidArgument("serve: train copies must be greater than 0");
+MutationResult ServeFrontend::apply(std::uint8_t op, std::uint64_t user_id,
+                                    std::uint64_t request_id, bool as_spam,
+                                    std::uint32_t copies,
+                                    const std::string& message) {
+  if (copies == 0) {
+    throw InvalidArgument("serve: mutation copies must be greater than 0");
   }
-  const RouteEntry at = route_checked(request.user_id);
-  ModelShard& shard = *shards_[at.shard];
+  const RouteEntry at = route_checked(user_id);
   const spambayes::TokenIdSet ids =
-      base_.message_token_ids(email::parse_message(request.message));
-  shard.apply_train(at.local, ids, request.as_spam, request.copies);
-  const OverlaySnapshot now = shard.overlay(at.local);
+      base_.message_token_ids(email::parse_message(message));
+  MutationRequest req;
+  req.op = op;
+  req.user_id = user_id;
+  req.request_id = request_id;
+  req.as_spam = as_spam;
+  req.copies = copies;
+  req.message = &message;
+  return shards_[at.shard]->apply_mutation(at.local, req, ids);
+}
+
+TrainResponse ServeFrontend::train(const TrainRequest& request) {
+  const MutationResult r =
+      apply(kWalOpTrain, request.user_id, request.request_id, request.as_spam,
+            request.copies, request.message);
   train_requests_.fetch_add(1, std::memory_order_relaxed);
-  return {now->generation(), now->spam_count(), now->ham_count()};
+  return {r.generation, r.spam, r.ham};
 }
 
 UntrainResponse ServeFrontend::untrain(const UntrainRequest& request) {
-  if (request.copies == 0) {
-    throw InvalidArgument("serve: untrain copies must be greater than 0");
-  }
-  const RouteEntry at = route_checked(request.user_id);
-  ModelShard& shard = *shards_[at.shard];
-  const spambayes::TokenIdSet ids =
-      base_.message_token_ids(email::parse_message(request.message));
-  shard.apply_untrain(at.local, ids, request.as_spam, request.copies);
-  const OverlaySnapshot now = shard.overlay(at.local);
+  const MutationResult r = apply(kWalOpUntrain, request.user_id,
+                                 request.request_id, request.as_spam,
+                                 request.copies, request.message);
   untrain_requests_.fetch_add(1, std::memory_order_relaxed);
-  return {now->generation(), now->spam_count(), now->ham_count()};
+  return {r.generation, r.spam, r.ham};
+}
+
+void ServeFrontend::sync_durability() {
+  if (durability_ != nullptr) durability_->sync_all();
+}
+
+void ServeFrontend::replay_install_user(std::uint64_t uid,
+                                        OverlaySnapshot overlay,
+                                        std::vector<DedupEntry> dedup) {
+  const RouteEntry at = route_checked(uid);
+  shards_[at.shard]->replay_install(at.local, std::move(overlay),
+                                    std::move(dedup));
+}
+
+void ServeFrontend::replay_wal_record(const WalRecord& record) {
+  const RouteEntry at = route_checked(record.user_id);
+  const spambayes::TokenIdSet ids =
+      base_.message_token_ids(email::parse_message(record.message));
+  MutationRequest req;
+  req.op = record.op;
+  req.user_id = record.user_id;
+  req.request_id = record.request_id;
+  req.as_spam = record.as_spam;
+  req.copies = record.copies;
+  req.message = &record.message;
+  req.seqno = record.seqno;
+  shards_[at.shard]->replay_mutation(at.local, req, ids);
 }
 
 StatsResponse ServeFrontend::stats() const {
@@ -134,6 +184,7 @@ StatsResponse ServeFrontend::stats() const {
     const ShardStats s = shard->stats();
     out.overlay_users += s.overlay_users;
     out.classified_messages += s.classified_messages;
+    out.deduped_mutations += s.deduped;
   }
   out.classify_requests = classify_requests_.load(std::memory_order_relaxed);
   out.train_requests = train_requests_.load(std::memory_order_relaxed);
@@ -141,6 +192,24 @@ StatsResponse ServeFrontend::stats() const {
   out.errors = errors_.load(std::memory_order_relaxed);
   out.base_spam_count = base_.database().spam_count();
   out.base_ham_count = base_.database().ham_count();
+  out.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  if (durability_ != nullptr) {
+    out.wal_records = durability_->total_records();
+    out.wal_bytes = durability_->total_bytes();
+    out.wal_snapshots = durability_->snapshots_taken();
+  }
+  out.recovery_replayed_records = recovery_stats_.replayed_records;
+  out.recovery_torn_dropped = recovery_stats_.torn_dropped;
+  out.recovery_ms = recovery_stats_.duration_ms;
+  out.recovery_snapshot_users = recovery_stats_.snapshot_users;
+  if (const ServerCounters* counters =
+          server_counters_.load(std::memory_order_acquire)) {
+    out.shed_connections = counters->shed.load(std::memory_order_relaxed);
+    out.active_connections = counters->active.load(std::memory_order_relaxed);
+  }
   return out;
 }
 

@@ -18,16 +18,26 @@
 //    sees the same doubles as a merged database would;
 //  * one classify batch reads one overlay snapshot: mutations that land
 //    mid-batch affect later requests, never a half-scored batch.
+//
+// Durability (PR 7): constructed with a Durability, every Train/Untrain is
+// WAL-logged before it publishes, and recover() (recovery.h) rebuilds the
+// frontend from snapshot + log to a state bit-identical to an
+// uninterrupted run. Without one, the frontend is the same in-memory
+// structure as before — that is what sbx_loadgen's verification mirror
+// embeds.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "serve/protocol.h"
+#include "serve/recovery.h"
 #include "serve/shard.h"
+#include "serve/wal.h"
 #include "spambayes/filter.h"
 
 namespace sbx::serve {
@@ -35,14 +45,27 @@ namespace sbx::serve {
 struct FrontendConfig {
   std::size_t shard_count = 4;
   std::size_t user_count = 64;
+  /// Request-id dedup window per user (0 disables idempotent retries).
+  std::size_t dedup_window = 64;
+};
+
+/// Connection-level counters owned by the socket server but reported
+/// through the frontend's stats endpoint. Atomics, so the stats path reads
+/// them without touching server locks.
+struct ServerCounters {
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> active{0};
 };
 
 class ServeFrontend {
  public:
   /// Takes ownership of the shared base filter (immutable from here on)
-  /// and builds the shard/user routing table. Throws InvalidArgument on a
-  /// zero shard or user count.
-  ServeFrontend(spambayes::Filter base, FrontendConfig config);
+  /// and builds the shard/user routing table. With a Durability, the
+  /// shards log every mutation to their WAL before publishing. Throws
+  /// InvalidArgument on a zero shard or user count.
+  ServeFrontend(spambayes::Filter base, FrontendConfig config,
+                std::unique_ptr<Durability> durability = nullptr);
+  ~ServeFrontend();
 
   ServeFrontend(const ServeFrontend&) = delete;
   ServeFrontend& operator=(const ServeFrontend&) = delete;
@@ -76,12 +99,49 @@ class ServeFrontend {
   };
   RouteEntry route(std::uint64_t user_id) const;
 
+  // --- Durability / recovery wiring ---------------------------------------
+
+  /// Null when running in-memory only.
+  Durability* durability() { return durability_.get(); }
+
+  /// Final WAL flush (graceful drain).
+  void sync_durability();
+
+  /// Recovery-only: installs one user's snapshot state (recovery.h's
+  /// recover() is the caller). Throws InvalidArgument for an unknown uid.
+  void replay_install_user(std::uint64_t uid, OverlaySnapshot overlay,
+                           std::vector<DedupEntry> dedup);
+
+  /// Recovery-only: re-applies one logged mutation (tokenizing the logged
+  /// raw text through the same pipeline the live request took) without
+  /// re-logging it.
+  void replay_wal_record(const WalRecord& record);
+
+  /// Surfaces recovery telemetry through stats().
+  void set_recovery_stats(const RecoveryStats& stats) {
+    recovery_stats_ = stats;
+  }
+
+  /// Points stats() at the socket server's connection counters (the server
+  /// detaches on destruction).
+  void attach_server_counters(const ServerCounters* counters) {
+    server_counters_.store(counters, std::memory_order_release);
+  }
+
  private:
   const RouteEntry& route_checked(std::uint64_t user_id) const;
+  MutationResult apply(std::uint8_t op, std::uint64_t user_id,
+                       std::uint64_t request_id, bool as_spam,
+                       std::uint32_t copies, const std::string& message);
 
   spambayes::Filter base_;
+  std::unique_ptr<Durability> durability_;
   std::vector<std::unique_ptr<ModelShard>> shards_;
   std::vector<RouteEntry> route_;  // indexed by user id
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  RecoveryStats recovery_stats_;
+  std::atomic<const ServerCounters*> server_counters_{nullptr};
   std::atomic<std::uint64_t> classify_requests_{0};
   std::atomic<std::uint64_t> train_requests_{0};
   std::atomic<std::uint64_t> untrain_requests_{0};

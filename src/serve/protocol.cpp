@@ -1,98 +1,17 @@
 #include "serve/protocol.h"
 
-#include <cstring>
 #include <string>
 
+#include "serve/wire.h"
 #include "util/error.h"
 
 namespace sbx::serve {
 namespace {
 
-// --- Little-endian writer --------------------------------------------------
+using wire::Reader;
+using wire::Writer;
 
-class Writer {
- public:
-  void u8(std::uint8_t v) { out_.push_back(v); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void f64(double v) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v));
-    std::memcpy(&bits, &v, sizeof(bits));
-    u64(bits);
-  }
-  void str(const std::string& s) {
-    if (s.size() > kMaxFrameBytes) {
-      throw InvalidArgument("serve protocol: string exceeds frame limit");
-    }
-    u32(static_cast<std::uint32_t>(s.size()));
-    out_.insert(out_.end(), s.begin(), s.end());
-  }
-
-  std::vector<std::uint8_t> take() { return std::move(out_); }
-
- private:
-  std::vector<std::uint8_t> out_;
-};
-
-// --- Little-endian reader --------------------------------------------------
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return data_[pos_++];
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
-    return v;
-  }
-  double f64() {
-    const std::uint64_t bits = u64();
-    double v = 0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-  std::string str() {
-    const std::uint32_t len = u32();
-    need(len);
-    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
-    pos_ += len;
-    return s;
-  }
-  bool done() const { return pos_ == data_.size(); }
-  void expect_done() const {
-    if (!done()) {
-      throw ParseError("serve protocol: " +
-                       std::to_string(data_.size() - pos_) +
-                       " trailing bytes after message body");
-    }
-  }
-
- private:
-  void need(std::size_t n) const {
-    if (data_.size() - pos_ < n) {
-      throw ParseError("serve protocol: truncated message body");
-    }
-  }
-
-  std::span<const std::uint8_t> data_;
-  std::size_t pos_ = 0;
-};
+Writer body_writer() { return Writer(kMaxFrameBytes); }
 
 // --- Body codecs -----------------------------------------------------------
 
@@ -100,6 +19,7 @@ class Reader {
 template <typename T>
 void encode_feedback_body(Writer& w, const T& r) {
   w.u64(r.user_id);
+  w.u64(r.request_id);
   w.u8(r.as_spam ? 1 : 0);
   w.u32(r.copies);
   w.str(r.message);
@@ -109,6 +29,7 @@ template <typename T>
 T decode_feedback_body(Reader& r) {
   T out;
   out.user_id = r.u64();
+  out.request_id = r.u64();
   out.as_spam = r.u8() != 0;
   out.copies = r.u32();
   out.message = r.str();
@@ -160,7 +81,7 @@ MsgType read_header(Reader& r) {
 }  // namespace
 
 std::vector<std::uint8_t> encode_frame(const Request& request) {
-  Writer w;
+  Writer w = body_writer();
   MsgType type;
   if (const auto* c = std::get_if<ClassifyBatchRequest>(&request)) {
     type = MsgType::kClassifyBatchRequest;
@@ -185,7 +106,7 @@ std::vector<std::uint8_t> encode_frame(const Request& request) {
 }
 
 std::vector<std::uint8_t> encode_frame(const Response& response) {
-  Writer w;
+  Writer w = body_writer();
   MsgType type;
   if (const auto* c = std::get_if<ClassifyBatchResponse>(&response)) {
     type = MsgType::kClassifyBatchResponse;
@@ -212,11 +133,24 @@ std::vector<std::uint8_t> encode_frame(const Response& response) {
     w.u64(s->errors);
     w.u64(s->base_spam_count);
     w.u64(s->base_ham_count);
+    w.u64(s->uptime_ms);
+    w.u64(s->wal_records);
+    w.u64(s->wal_bytes);
+    w.u64(s->wal_snapshots);
+    w.u64(s->recovery_replayed_records);
+    w.u64(s->recovery_torn_dropped);
+    w.u64(s->recovery_ms);
+    w.u64(s->recovery_snapshot_users);
+    w.u64(s->deduped_mutations);
+    w.u64(s->shed_connections);
+    w.u64(s->active_connections);
   } else if (std::holds_alternative<ShutdownResponse>(response)) {
     type = MsgType::kShutdownResponse;
   } else {
     type = MsgType::kErrorResponse;
-    w.str(std::get<ErrorResponse>(response).message);
+    const auto& e = std::get<ErrorResponse>(response);
+    w.u8(e.code);
+    w.str(e.message);
   }
   return finish_frame(type, std::move(w));
 }
@@ -230,6 +164,12 @@ Request decode_request(std::span<const std::uint8_t> payload) {
       ClassifyBatchRequest req;
       req.user_id = r.u64();
       const std::uint32_t count = r.u32();
+      // Each message costs at least its 4-byte length prefix, so a count
+      // the remaining bytes cannot hold is corrupt — reject it before the
+      // reserve, not via bad_alloc.
+      if (count > r.remaining() / 4) {
+        throw ParseError("serve protocol: message count exceeds frame size");
+      }
       req.messages.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) req.messages.push_back(r.str());
       out = std::move(req);
@@ -263,6 +203,9 @@ Response decode_response(std::span<const std::uint8_t> payload) {
     case MsgType::kClassifyBatchResponse: {
       ClassifyBatchResponse resp;
       const std::uint32_t count = r.u32();
+      if (count > r.remaining() / 9) {  // f64 score + u8 verdict
+        throw ParseError("serve protocol: result count exceeds frame size");
+      }
       resp.results.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         ClassifyResult cr;
@@ -291,6 +234,17 @@ Response decode_response(std::span<const std::uint8_t> payload) {
       s.errors = r.u64();
       s.base_spam_count = r.u64();
       s.base_ham_count = r.u64();
+      s.uptime_ms = r.u64();
+      s.wal_records = r.u64();
+      s.wal_bytes = r.u64();
+      s.wal_snapshots = r.u64();
+      s.recovery_replayed_records = r.u64();
+      s.recovery_torn_dropped = r.u64();
+      s.recovery_ms = r.u64();
+      s.recovery_snapshot_users = r.u64();
+      s.deduped_mutations = r.u64();
+      s.shed_connections = r.u64();
+      s.active_connections = r.u64();
       out = s;
       break;
     }
@@ -299,6 +253,7 @@ Response decode_response(std::span<const std::uint8_t> payload) {
       break;
     case MsgType::kErrorResponse: {
       ErrorResponse e;
+      e.code = r.u8();
       e.message = r.str();
       out = std::move(e);
       break;

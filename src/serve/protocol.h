@@ -10,24 +10,32 @@
 // Wire format (all integers little-endian):
 //
 //   frame    := u32 payload_len, payload            (len counts the payload)
-//   payload  := u8 version (=1), u8 msg_type, body
+//   payload  := u8 version (=2), u8 msg_type, body
 //   string   := u32 byte_len, bytes                 (raw UTF-8/RFC2822 text)
 //
-// Message bodies:
+// Message bodies (v2):
 //
 //   ClassifyBatchRequest  u64 user_id, u32 count, count x string
-//   TrainRequest          u64 user_id, u8 as_spam, u32 copies, string msg
+//   TrainRequest          u64 user_id, u64 request_id, u8 as_spam,
+//                         u32 copies, string msg
 //   UntrainRequest        same body as TrainRequest
 //   StatsRequest          (empty)
 //   ShutdownRequest       (empty)
 //   ClassifyBatchResponse u32 count, count x { f64 score, u8 verdict }
 //   TrainResponse         u64 overlay_generation, u32 spam, u32 ham
 //   UntrainResponse       same body as TrainResponse
-//   StatsResponse         10 x u64 (see struct order)
+//   StatsResponse         21 x u64 (see struct order)
 //   ShutdownResponse      (empty)
-//   ErrorResponse         string message
+//   ErrorResponse         u8 code, string message
 //
 // Verdict bytes: 0 = ham, 1 = unsure, 2 = spam.
+//
+// v2 over v1: Train/Untrain carry a client-generated request_id (0 = none)
+// that the server logs in its WAL and dedups against, making retries after
+// an ambiguous failure idempotent; ErrorResponse carries a machine-readable
+// code so clients can tell overload (retry elsewhere/later) from a request
+// that will never succeed; StatsResponse adds durability, recovery and
+// load-shedding telemetry.
 //
 // Decoding is strict: unknown version, unknown type, trailing bytes and
 // truncated bodies all throw sbx::ParseError (fail loudly, never guess).
@@ -43,7 +51,7 @@
 
 namespace sbx::serve {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Frames larger than this are rejected before allocation (a corrupt or
 /// hostile length prefix must not drive a multi-gigabyte resize).
@@ -63,6 +71,13 @@ enum class MsgType : std::uint8_t {
   kErrorResponse = 255,
 };
 
+/// Machine-readable failure class carried by ErrorResponse.
+enum class ErrorCode : std::uint8_t {
+  kGeneric = 0,       // request-level failure; retrying won't help
+  kOverloaded = 1,    // connection cap hit; retry after backoff
+  kShuttingDown = 2,  // server draining; reconnect elsewhere/later
+};
+
 // --- Requests --------------------------------------------------------------
 
 /// Classify `messages` (raw RFC2822 text) under `user_id`'s model. The
@@ -73,12 +88,15 @@ struct ClassifyBatchRequest {
 };
 
 /// Train `copies` identical copies of `message` as spam/ham feedback into
-/// the user's overlay.
+/// the user's overlay. A non-zero `request_id` makes the mutation
+/// idempotent: the server remembers recent ids per user and replays the
+/// recorded outcome instead of double-applying a retried request.
 struct TrainRequest {
   std::uint64_t user_id = 0;
   bool as_spam = true;
   std::uint32_t copies = 1;
   std::string message;
+  std::uint64_t request_id = 0;
 };
 
 /// Exactly reverses a TrainRequest with the same fields.
@@ -87,6 +105,7 @@ struct UntrainRequest {
   bool as_spam = true;
   std::uint32_t copies = 1;
   std::string message;
+  std::uint64_t request_id = 0;
 };
 
 struct StatsRequest {};
@@ -132,14 +151,28 @@ struct StatsResponse {
   std::uint64_t errors = 0;
   std::uint64_t base_spam_count = 0;
   std::uint64_t base_ham_count = 0;
+  // v2: durability / recovery / robustness telemetry.
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t wal_records = 0;          // appended since process start
+  std::uint64_t wal_bytes = 0;            // ditto
+  std::uint64_t wal_snapshots = 0;        // snapshot+truncate cycles
+  std::uint64_t recovery_replayed_records = 0;
+  std::uint64_t recovery_torn_dropped = 0;
+  std::uint64_t recovery_ms = 0;
+  std::uint64_t recovery_snapshot_users = 0;
+  std::uint64_t deduped_mutations = 0;    // retries absorbed by request_id
+  std::uint64_t shed_connections = 0;     // refused at the connection cap
+  std::uint64_t active_connections = 0;
 };
 
 struct ShutdownResponse {};
 
 /// Any request-level failure (unknown user, untrain of an untrained
-/// message, malformed message text). The connection stays usable.
+/// message, malformed message text). The connection stays usable unless
+/// `code` says otherwise.
 struct ErrorResponse {
   std::string message;
+  std::uint8_t code = 0;  // an ErrorCode value
 };
 
 using Request = std::variant<ClassifyBatchRequest, TrainRequest,

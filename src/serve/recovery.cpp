@@ -1,0 +1,350 @@
+#include "serve/recovery.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "serve/frontend.h"
+#include "spambayes/token_db.h"
+#include "util/error.h"
+
+namespace sbx::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+/// Writes `content` to `path` atomically and durably: tmp file + fsync +
+/// rename + parent-directory fsync. The rename is the commit point.
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("recovery: open " + tmp);
+  std::size_t sent = 0;
+  while (sent < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + sent, content.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("recovery: write " + tmp);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("recovery: fsync " + tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) < 0) {
+    throw_errno("recovery: rename " + tmp + " -> " + path);
+  }
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int dirfd = ::open(dir.empty() ? "." : dir.c_str(),
+                           O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);  // best effort: makes the rename itself durable
+    ::close(dirfd);
+  }
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Strict "key value..." line splitter for the text headers.
+std::istringstream line_fields(std::istream& in, const std::string& expect_key,
+                               const std::string& what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw ParseError(what + ": truncated (expected '" + expect_key + "' line)");
+  }
+  std::istringstream fields(line);
+  std::string key;
+  fields >> key;
+  if (key != expect_key) {
+    throw ParseError(what + ": expected '" + expect_key + "', got '" + line +
+                     "'");
+  }
+  return fields;
+}
+
+std::uint64_t read_u64_field(std::istringstream& fields,
+                             const std::string& what) {
+  std::uint64_t v = 0;
+  if (!(fields >> v)) throw ParseError(what + ": malformed numeric field");
+  return v;
+}
+
+}  // namespace
+
+// --- Paths -----------------------------------------------------------------
+
+std::string shard_dir(const std::string& data_dir, std::size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%04zu", shard);
+  return data_dir + "/" + buf;
+}
+
+std::string wal_path_in(const std::string& data_dir, std::size_t shard) {
+  return shard_dir(data_dir, shard) + "/wal.log";
+}
+
+std::string snapshot_path_in(const std::string& data_dir, std::size_t shard) {
+  return shard_dir(data_dir, shard) + "/snapshot.db";
+}
+
+// --- Manifest --------------------------------------------------------------
+
+void write_manifest(const std::string& data_dir, const Manifest& manifest) {
+  std::ostringstream out;
+  out << "SBXMANIFEST 1\n";
+  out << "users " << manifest.users << "\n";
+  out << "shards " << manifest.shards << "\n";
+  out << "base_size " << manifest.base_size << "\n";
+  out << "spam_fraction " << format_double(manifest.spam_fraction) << "\n";
+  out << "base_seed " << manifest.base_seed << "\n";
+  write_file_atomic(data_dir + "/MANIFEST", out.str());
+}
+
+std::optional<Manifest> read_manifest(const std::string& data_dir) {
+  const std::string path = data_dir + "/MANIFEST";
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  const std::string what = "manifest " + path;
+  std::string magic;
+  if (!std::getline(in, magic) || magic != "SBXMANIFEST 1") {
+    throw ParseError(what + ": bad magic");
+  }
+  Manifest m;
+  {
+    auto f = line_fields(in, "users", what);
+    m.users = read_u64_field(f, what);
+  }
+  {
+    auto f = line_fields(in, "shards", what);
+    m.shards = read_u64_field(f, what);
+  }
+  {
+    auto f = line_fields(in, "base_size", what);
+    m.base_size = read_u64_field(f, what);
+  }
+  {
+    auto f = line_fields(in, "spam_fraction", what);
+    if (!(f >> m.spam_fraction)) {
+      throw ParseError(what + ": malformed spam_fraction");
+    }
+  }
+  {
+    auto f = line_fields(in, "base_seed", what);
+    m.base_seed = read_u64_field(f, what);
+  }
+  return m;
+}
+
+// --- Shard snapshots -------------------------------------------------------
+
+void write_shard_snapshot(const std::string& path, std::uint64_t seqno,
+                          const std::vector<UserSnapshotState>& users) {
+  std::ostringstream out;
+  out << "SBXSNAP 1\n";
+  out << "seqno " << seqno << "\n";
+  out << "users " << users.size() << "\n";
+  for (const UserSnapshotState& u : users) {
+    out << "user " << u.uid << " " << u.dedup.size() << " "
+        << (u.overlay != nullptr ? 1 : 0) << "\n";
+    for (const DedupEntry& d : u.dedup) {
+      out << "dedup " << d.request_id << " "
+          << static_cast<unsigned>(d.op) << " " << d.spam << " " << d.ham
+          << "\n";
+    }
+    if (u.overlay != nullptr) {
+      // TokenDatabase::load reads to end-of-stream, so the embedded block
+      // needs an explicit byte count to know where this user's database
+      // ends and the next header line begins.
+      std::ostringstream db;
+      u.overlay->save(db);
+      const std::string bytes = db.str();
+      out << "dbbytes " << bytes.size() << "\n" << bytes << "\n";
+    }
+  }
+  write_file_atomic(path, out.str());
+}
+
+std::optional<ShardSnapshot> read_shard_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  const std::string what = "snapshot " + path;
+  std::string magic;
+  if (!std::getline(in, magic) || magic != "SBXSNAP 1") {
+    throw ParseError(what + ": bad magic");
+  }
+  ShardSnapshot snap;
+  {
+    auto f = line_fields(in, "seqno", what);
+    snap.seqno = read_u64_field(f, what);
+  }
+  std::uint64_t user_count = 0;
+  {
+    auto f = line_fields(in, "users", what);
+    user_count = read_u64_field(f, what);
+  }
+  snap.users.reserve(user_count);
+  for (std::uint64_t i = 0; i < user_count; ++i) {
+    UserSnapshotState u;
+    std::uint64_t dedup_count = 0;
+    std::uint64_t db_present = 0;
+    {
+      auto f = line_fields(in, "user", what);
+      u.uid = read_u64_field(f, what);
+      dedup_count = read_u64_field(f, what);
+      db_present = read_u64_field(f, what);
+    }
+    u.dedup.reserve(dedup_count);
+    for (std::uint64_t d = 0; d < dedup_count; ++d) {
+      auto f = line_fields(in, "dedup", what);
+      DedupEntry e;
+      e.request_id = read_u64_field(f, what);
+      e.op = static_cast<std::uint8_t>(read_u64_field(f, what));
+      e.spam = static_cast<std::uint32_t>(read_u64_field(f, what));
+      e.ham = static_cast<std::uint32_t>(read_u64_field(f, what));
+      u.dedup.push_back(e);
+    }
+    if (db_present != 0) {
+      std::uint64_t nbytes = 0;
+      {
+        auto f = line_fields(in, "dbbytes", what);
+        nbytes = read_u64_field(f, what);
+      }
+      std::string bytes(nbytes, '\0');
+      if (!in.read(bytes.data(), static_cast<std::streamsize>(nbytes))) {
+        throw ParseError(what + ": truncated database block");
+      }
+      if (in.get() != '\n') {
+        throw ParseError(what + ": database block not newline-terminated");
+      }
+      std::istringstream db(bytes);
+      u.overlay = std::make_shared<spambayes::TokenDatabase>(
+          spambayes::TokenDatabase::load(db));
+    }
+    snap.users.push_back(std::move(u));
+  }
+  return snap;
+}
+
+// --- Durability ------------------------------------------------------------
+
+Durability::Durability(DurabilityConfig config, std::size_t shard_count)
+    : config_(std::move(config)) {
+  if (config_.data_dir.empty()) {
+    throw InvalidArgument("durability: data_dir must not be empty");
+  }
+  if (shard_count == 0) {
+    throw InvalidArgument("durability: shard_count must be greater than 0");
+  }
+  std::error_code ec;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::string dir = shard_dir(config_.data_dir, s);
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      throw IoError("durability: mkdir " + dir + ": " + ec.message());
+    }
+  }
+  wals_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    wals_.push_back(std::make_unique<WalWriter>(
+        wal_path_in(config_.data_dir, s), config_.fsync,
+        config_.fsync_batch_every));
+  }
+}
+
+void Durability::note_recovered_seqno(std::uint64_t max_seen) {
+  std::uint64_t current = next_seqno_.load(std::memory_order_relaxed);
+  while (current <= max_seen &&
+         !next_seqno_.compare_exchange_weak(current, max_seen + 1,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+void Durability::sync_all() {
+  for (const auto& wal : wals_) wal->sync();
+}
+
+std::uint64_t Durability::total_records() const {
+  std::uint64_t total = 0;
+  for (const auto& wal : wals_) total += wal->records();
+  return total;
+}
+
+std::uint64_t Durability::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& wal : wals_) total += wal->bytes();
+  return total;
+}
+
+// --- Recovery --------------------------------------------------------------
+
+RecoveryStats recover(ServeFrontend& frontend, const std::string& data_dir,
+                      bool repair_torn_tail) {
+  const auto started = std::chrono::steady_clock::now();
+  RecoveryStats stats;
+  for (std::size_t s = 0; s < frontend.shard_count(); ++s) {
+    std::uint64_t snapshot_seqno = 0;
+    if (std::optional<ShardSnapshot> snap =
+            read_shard_snapshot(snapshot_path_in(data_dir, s))) {
+      snapshot_seqno = snap->seqno;
+      if (snap->seqno > stats.max_seqno) stats.max_seqno = snap->seqno;
+      for (UserSnapshotState& u : snap->users) {
+        frontend.replay_install_user(u.uid, std::move(u.overlay),
+                                     std::move(u.dedup));
+        ++stats.snapshot_users;
+      }
+    }
+    const std::string wal_path = wal_path_in(data_dir, s);
+    const WalReadStats rs = read_wal(wal_path, [&](const WalRecord& record) {
+      if (record.seqno > stats.max_seqno) stats.max_seqno = record.seqno;
+      if (record.seqno <= snapshot_seqno) return;  // folded into snapshot
+      frontend.replay_wal_record(record);
+      ++stats.replayed_records;
+    });
+    stats.torn_dropped += rs.dropped_torn + rs.dropped_corrupt;
+    stats.wal_bytes += rs.bytes_used;
+    if (repair_torn_tail && rs.bytes_used < rs.bytes_total) {
+      // Chop the torn tail off so future appends land where the scan
+      // stops — otherwise every record after the tear stays unreadable.
+      const int fd = ::open(wal_path.c_str(), O_WRONLY | O_CLOEXEC);
+      if (fd < 0) throw_errno("recovery: open " + wal_path);
+      if (::ftruncate(fd, static_cast<off_t>(rs.bytes_used)) < 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("recovery: truncate " + wal_path);
+      }
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+  stats.duration_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  return stats;
+}
+
+}  // namespace sbx::serve

@@ -1,0 +1,173 @@
+// sbx/serve/recovery.h
+//
+// Crash-safe persistence for the serving layer: the data-directory layout,
+// the per-shard overlay snapshots, the startup manifest, and the recovery
+// replay that rebuilds a ServeFrontend to the exact state an uninterrupted
+// run would hold.
+//
+// Data directory layout:
+//
+//   <data-dir>/MANIFEST            topology fingerprint (text)
+//   <data-dir>/shard-NNNN/wal.log  mutation log (wal.h framing)
+//   <data-dir>/shard-NNNN/snapshot.db
+//                                  last checkpoint of the shard's overlays
+//
+// Recovery invariant (the tentpole's correctness bar): overlay contents
+// after `recover()` are bit-identical to an uninterrupted process that
+// applied the same mutations — snapshots embed exact TokenDatabase::save()
+// bytes, and WAL replay re-tokenizes the logged raw message text through
+// the identical pipeline the live request took. (Overlay *generation*
+// stamps are process-local and differ across restarts by design; nothing
+// durable depends on them.)
+//
+// Snapshot atomicity: snapshots are written tmp → fsync → rename → fsync
+// parent dir, then the WAL is truncated. A crash between rename and
+// truncate is safe because the snapshot records the highest folded seqno
+// and replay skips WAL records at or below it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/shard.h"
+#include "serve/wal.h"
+
+namespace sbx::serve {
+
+class ServeFrontend;
+
+/// How the serving layer persists mutations.
+struct DurabilityConfig {
+  std::string data_dir;
+  FsyncMode fsync = FsyncMode::kBatch;
+  std::uint32_t fsync_batch_every = 64;
+  /// Snapshot a shard (and truncate its log) once this many records
+  /// accumulate since the last snapshot; 0 = never snapshot automatically.
+  std::uint64_t snapshot_every = 0;
+};
+
+// --- Paths -----------------------------------------------------------------
+
+std::string shard_dir(const std::string& data_dir, std::size_t shard);
+std::string wal_path_in(const std::string& data_dir, std::size_t shard);
+std::string snapshot_path_in(const std::string& data_dir, std::size_t shard);
+
+// --- Manifest --------------------------------------------------------------
+
+/// The topology fingerprint persisted next to the logs. Recovery only
+/// makes sense into an identically-shaped frontend (routing and the base
+/// model derive deterministically from these), so sbx_serve refuses to
+/// start when the manifest disagrees with its flags.
+struct Manifest {
+  std::uint64_t users = 0;
+  std::uint64_t shards = 0;
+  std::uint64_t base_size = 0;
+  double spam_fraction = 0.5;
+  std::uint64_t base_seed = 0;
+
+  bool operator==(const Manifest&) const = default;
+};
+
+void write_manifest(const std::string& data_dir, const Manifest& manifest);
+
+/// nullopt when no manifest exists; throws ParseError on a corrupt one.
+std::optional<Manifest> read_manifest(const std::string& data_dir);
+
+// --- Shard snapshots -------------------------------------------------------
+
+/// One user's durable state inside a shard snapshot.
+struct UserSnapshotState {
+  std::uint64_t uid = 0;
+  OverlaySnapshot overlay;          // null = user has no overlay
+  std::vector<DedupEntry> dedup;    // oldest first
+};
+
+struct ShardSnapshot {
+  std::uint64_t seqno = 0;  // highest seqno folded into this snapshot
+  std::vector<UserSnapshotState> users;
+};
+
+/// Atomically replaces the snapshot at `path` (tmp + fsync + rename +
+/// parent dir fsync). Users with a null overlay and no dedup entries are
+/// skipped.
+void write_shard_snapshot(const std::string& path, std::uint64_t seqno,
+                          const std::vector<UserSnapshotState>& users);
+
+/// nullopt when the file does not exist; throws ParseError on corruption
+/// (a damaged snapshot is unrecoverable state loss and must fail loudly,
+/// unlike a torn WAL tail which is expected after a crash).
+std::optional<ShardSnapshot> read_shard_snapshot(const std::string& path);
+
+// --- Durability (live write side) ------------------------------------------
+
+/// Owns the open WAL writers and the global mutation seqno counter for a
+/// serving process. Constructed once, attached to the frontend's shards.
+class Durability {
+ public:
+  /// Creates the data-dir layout and opens one WalWriter per shard.
+  Durability(DurabilityConfig config, std::size_t shard_count);
+
+  Durability(const Durability&) = delete;
+  Durability& operator=(const Durability&) = delete;
+
+  const DurabilityConfig& config() const { return config_; }
+  std::size_t shard_count() const { return wals_.size(); }
+  WalWriter& wal(std::size_t shard) { return *wals_.at(shard); }
+  std::string snapshot_path(std::size_t shard) const {
+    return snapshot_path_in(config_.data_dir, shard);
+  }
+  std::uint64_t snapshot_every() const { return config_.snapshot_every; }
+
+  /// Next global mutation seqno (strictly increasing across all shards).
+  std::uint64_t draw_seqno() {
+    return next_seqno_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Advances the seqno counter past everything recovery replayed.
+  void note_recovered_seqno(std::uint64_t max_seen);
+
+  /// Final flush (graceful shutdown / drain).
+  void sync_all();
+
+  std::uint64_t total_records() const;
+  std::uint64_t total_bytes() const;
+  std::uint64_t snapshots_taken() const {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+  void note_snapshot() {
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  DurabilityConfig config_;
+  std::vector<std::unique_ptr<WalWriter>> wals_;
+  std::atomic<std::uint64_t> next_seqno_{1};
+  std::atomic<std::uint64_t> snapshots_{0};
+};
+
+// --- Recovery --------------------------------------------------------------
+
+struct RecoveryStats {
+  std::uint64_t snapshot_users = 0;      // users restored from snapshots
+  std::uint64_t replayed_records = 0;    // WAL records re-applied
+  std::uint64_t torn_dropped = 0;        // torn/corrupt tail frames dropped
+  std::uint64_t wal_bytes = 0;           // valid WAL bytes consumed
+  std::uint64_t duration_ms = 0;
+  std::uint64_t max_seqno = 0;           // highest seqno observed
+};
+
+/// Rebuilds `frontend` from `data_dir`: per shard, installs the snapshot
+/// (if any), then replays WAL records with seqno above the snapshot's.
+/// With `repair_torn_tail` (the serving daemon), a dropped tail is also
+/// truncated off the log file so future appends stay readable; a
+/// read-only mirror (sbx_loadgen --verify-data-dir) leaves files alone.
+/// The frontend must be freshly constructed with the manifest's topology.
+RecoveryStats recover(ServeFrontend& frontend, const std::string& data_dir,
+                      bool repair_torn_tail = false);
+
+}  // namespace sbx::serve

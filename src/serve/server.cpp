@@ -1,17 +1,22 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
-#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "serve/framing.h"
+#include "util/backoff.h"
 #include "util/error.h"
 
 namespace sbx::serve {
@@ -21,238 +26,215 @@ namespace {
   throw IoError("serve: " + what + ": " + std::strerror(errno));
 }
 
-/// Reads exactly `len` bytes; returns false on clean EOF at a frame
-/// boundary (len consumed == 0), throws IoError on mid-read EOF/error.
-bool read_full(int fd, std::uint8_t* buf, std::size_t len) {
-  std::size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
-    if (n == 0) {
-      if (got == 0) return false;
-      throw IoError("serve: connection closed mid-frame");
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("recv");
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return true;
+void fill_unix_addr(sockaddr_un& addr, const std::string& path) {
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
 }
 
-void write_full(int fd, const std::uint8_t* buf, std::size_t len) {
-  std::size_t sent = 0;
-  while (sent < len) {
-    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("send");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-/// Reads one frame payload (length prefix stripped). False on clean EOF.
-bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
-  std::uint8_t len_bytes[4];
-  if (!read_full(fd, len_bytes, 4)) return false;
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(len_bytes[i]) << (8 * i);
-  if (len < 2 || len > kMaxFrameBytes) {
-    throw ParseError("serve protocol: bad frame length " + std::to_string(len));
-  }
-  payload.resize(len);
-  if (!read_full(fd, payload.data(), len)) {
-    throw IoError("serve: connection closed mid-frame");
-  }
-  return true;
-}
-
-struct ParsedEndpoint {
-  bool is_unix = false;
-  std::string path;  // unix
-  std::string host;  // tcp (empty = loopback)
-  std::uint16_t port = 0;
-};
-
-ParsedEndpoint parse_endpoint(const std::string& endpoint) {
-  ParsedEndpoint out;
-  if (endpoint.rfind("unix:", 0) == 0) {
-    out.is_unix = true;
-    out.path = endpoint.substr(5);
-    if (out.path.empty()) {
-      throw InvalidArgument("serve: empty unix socket path in '" + endpoint +
-                            "'");
-    }
-    if (out.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
-      throw InvalidArgument("serve: unix socket path too long: " + out.path);
-    }
-    return out;
-  }
-  if (endpoint.rfind("tcp:", 0) == 0) {
-    std::string rest = endpoint.substr(4);
-    const std::size_t colon = rest.rfind(':');
-    if (colon != std::string::npos) {
-      out.host = rest.substr(0, colon);
-      rest = rest.substr(colon + 1);
-    }
-    try {
-      const unsigned long port = std::stoul(rest);
-      if (port > 65535) throw std::out_of_range("port");
-      out.port = static_cast<std::uint16_t>(port);
-    } catch (const std::exception&) {
-      throw InvalidArgument("serve: bad tcp port in '" + endpoint + "'");
-    }
-    return out;
-  }
-  throw InvalidArgument(
-      "serve: endpoint must be unix:PATH or tcp:PORT, got '" + endpoint + "'");
+/// True when a stream socket file at `path` has a live listener behind it.
+bool unix_socket_alive(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  fill_unix_addr(addr, path);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  ::close(fd);
+  return rc == 0;
 }
 
 }  // namespace
 
-Server::Server(ServeFrontend& frontend, const std::string& endpoint)
-    : frontend_(frontend) {
-  const ParsedEndpoint ep = parse_endpoint(endpoint);
+Server::Server(ServeFrontend& frontend, const std::string& endpoint,
+               ServerConfig config)
+    : frontend_(frontend), config_(config) {
+  const io::ParsedEndpoint ep = io::parse_endpoint(endpoint);
   if (ep.is_unix) {
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) throw_errno("socket(AF_UNIX)");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
-    ::unlink(ep.path.c_str());
-    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof(addr)) < 0) {
-      throw_errno("bind(" + ep.path + ")");
-    }
-    unix_path_ = ep.path;
-    endpoint_ = "unix:" + ep.path;
+    bind_unix(ep.path);
   } else {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) throw_errno("socket(AF_INET)");
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
-    addr.sin_port = htons(ep.port);
-    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof(addr)) < 0) {
-      throw_errno("bind(tcp:" + std::to_string(ep.port) + ")");
-    }
-    sockaddr_in bound{};
-    socklen_t bound_len = sizeof(bound);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                      &bound_len) < 0) {
-      throw_errno("getsockname");
-    }
-    endpoint_ = "tcp:127.0.0.1:" + std::to_string(ntohs(bound.sin_port));
+    bind_tcp(ep.port);
   }
   if (::listen(listen_fd_, 64) < 0) throw_errno("listen");
+  if (::pipe2(drain_pipe_, O_CLOEXEC | O_NONBLOCK) < 0) throw_errno("pipe2");
+  frontend_.attach_server_counters(&counters_);
+}
+
+void Server::bind_unix(const std::string& path) {
+  // A socket file left behind by a crashed predecessor would make bind()
+  // fail with EADDRINUSE forever. Probe it: refused = stale, unlink and
+  // take over; accepted = a live server owns this endpoint, refuse to
+  // yank it out from under them.
+  struct stat st {};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      throw IoError("serve: " + path + " exists and is not a socket");
+    }
+    if (unix_socket_alive(path)) {
+      throw IoError("serve: endpoint unix:" + path +
+                    " is in use by a running server");
+    }
+    ::unlink(path.c_str());
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  fill_unix_addr(addr, path);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("bind(" + path + ")");
+  }
+  unix_path_ = path;
+  endpoint_ = "unix:" + path;
+}
+
+void Server::bind_tcp(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("bind(tcp:" + std::to_string(port) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    throw_errno("getsockname");
+  }
+  endpoint_ = "tcp:127.0.0.1:" + std::to_string(ntohs(bound.sin_port));
 }
 
 Server::~Server() {
-  stop();
+  request_drain();
+  frontend_.attach_server_counters(nullptr);
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
-  const std::lock_guard<std::mutex> lock(threads_mutex_);
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+  for (int fd : drain_pipe_) {
+    if (fd >= 0) ::close(fd);
   }
 }
 
 void Server::run() {
   while (!stopping_.load(std::memory_order_acquire)) {
+    struct pollfd pfds[2];
+    pfds[0] = {listen_fd_, POLLIN, 0};
+    pfds[1] = {drain_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(pfds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll(accept)");
+    }
+    if ((pfds[1].revents & POLLIN) != 0 ||
+        stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if ((pfds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      // stop() shuts the listening socket down; accept then fails and the
-      // loop exits cleanly.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
       if (stopping_.load(std::memory_order_acquire)) break;
       throw_errno("accept");
     }
+    if (config_.max_connections != 0 &&
+        counters_.active.load(std::memory_order_acquire) >=
+            config_.max_connections) {
+      shed_connection(fd);
+      continue;
+    }
+    counters_.active.fetch_add(1, std::memory_order_acq_rel);
     const std::lock_guard<std::mutex> lock(threads_mutex_);
     threads_.emplace_back([this, fd] { serve_connection(fd); });
   }
-  const std::lock_guard<std::mutex> lock(threads_mutex_);
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
+  // Drain: no new connections. The listening socket closes now so the
+  // endpoint disappears immediately; in-flight requests complete because
+  // connection threads only observe the stop flag between frames.
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+  // Everything a client was told is durable before run() returns.
+  frontend_.sync_durability();
 }
 
-void Server::stop() {
+void Server::request_drain() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // One write(2) to the self-pipe: the only async-signal-safe way to kick
+  // a poll()-based accept loop from a SIGTERM handler.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(drain_pipe_[1], &byte, 1);
+}
+
+void Server::shed_connection(int fd) {
+  counters_.shed.fetch_add(1, std::memory_order_relaxed);
+  try {
+    io::set_nonblocking(fd);
+    const auto frame = encode_frame(Response(ErrorResponse{
+        "serve: connection limit reached, try again later",
+        static_cast<std::uint8_t>(ErrorCode::kOverloaded)}));
+    // Short deadline: shedding must not tie up the accept loop.
+    io::write_frame(fd, frame, util::Deadline::after_ms(250));
+  } catch (const Error&) {
+    // Best effort — the peer learns from the close either way.
+  }
+  ::close(fd);
 }
 
 void Server::serve_connection(int fd) {
   std::vector<std::uint8_t> payload;
   try {
-    while (read_frame(fd, payload)) {
+    io::set_nonblocking(fd);
+    for (;;) {
+      const io::Waited w =
+          io::wait_readable(fd, config_.idle_timeout_ms, &stopping_);
+      if (w != io::Waited::kReadable) break;  // drain or idle timeout
+      const util::Deadline deadline =
+          util::Deadline::after_ms(config_.read_timeout_ms);
+      if (!io::read_frame(fd, payload, deadline)) break;  // clean EOF
       Request request;
       try {
         request = decode_request(payload);
       } catch (const ParseError& e) {
         // A framing violation is unrecoverable: answer and hang up.
         const auto frame = encode_frame(Response(ErrorResponse{e.what()}));
-        write_full(fd, frame.data(), frame.size());
+        io::write_frame(fd, frame, deadline);
         break;
       }
       const Response response = frontend_.dispatch(request);
       const auto frame = encode_frame(response);
-      write_full(fd, frame.data(), frame.size());
+      io::write_frame(fd, frame,
+                      util::Deadline::after_ms(config_.read_timeout_ms));
       if (std::holds_alternative<ShutdownRequest>(request)) {
-        stop();
+        request_drain();
         break;
       }
     }
   } catch (const Error&) {
-    // Peer vanished mid-frame; nothing to answer.
+    // Peer vanished or stalled past the deadline; nothing to answer.
   }
   ::close(fd);
-}
-
-Client::Client(const std::string& endpoint) {
-  const ParsedEndpoint ep = parse_endpoint(endpoint);
-  if (ep.is_unix) {
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0) throw_errno("socket(AF_UNIX)");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) < 0) {
-      throw_errno("connect(" + ep.path + ")");
-    }
-  } else {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) throw_errno("socket(AF_INET)");
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(ep.port);
-    const std::string host = ep.host.empty() ? "127.0.0.1" : ep.host;
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-      throw InvalidArgument("serve: bad tcp host '" + host + "'");
-    }
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) < 0) {
-      throw_errno("connect(tcp:" + host + ":" + std::to_string(ep.port) + ")");
-    }
-  }
-}
-
-Client::~Client() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-Response Client::call(const Request& request) {
-  const auto frame = encode_frame(request);
-  write_full(fd_, frame.data(), frame.size());
-  std::vector<std::uint8_t> payload;
-  if (!read_frame(fd_, payload)) {
-    throw IoError("serve: server closed the connection");
-  }
-  return decode_response(payload);
+  counters_.active.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 }  // namespace sbx::serve

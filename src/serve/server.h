@@ -8,10 +8,26 @@
 //   "tcp:8725"             TCP on 127.0.0.1:8725 (loopback only)
 //   "tcp:0"                TCP on an OS-assigned loopback port
 //
-// The server accepts connections until a ShutdownRequest arrives (the
-// response is sent before the accept loop stops). Each connection gets a
-// service thread; request-level failures become ErrorResponse frames and
-// the connection survives, while framing/protocol violations close it.
+// Each connection gets a service thread; request-level failures become
+// ErrorResponse frames and the connection survives, while framing/protocol
+// violations close it.
+//
+// Robustness contract (PR 7):
+//
+//  * all socket I/O is non-blocking + poll-driven (framing.h), so a peer
+//    that dribbles bytes or stalls mid-frame trips `read_timeout_ms`
+//    instead of wedging a thread forever;
+//  * `max_connections` caps concurrent connections — the overflow
+//    connection gets an ErrorResponse{kOverloaded} and an immediate
+//    close (load shedding, not queueing);
+//  * request_drain() is async-signal-safe (one write(2) to a self-pipe):
+//    the accept loop stops, in-flight requests finish, connection threads
+//    join, and the final WAL fsync runs before run() returns — the
+//    SIGTERM path of sbx_serve;
+//  * a stale unix socket file (a previous process killed without cleanup)
+//    is detected by a probe connect and unlinked; a *live* socket makes
+//    the constructor throw instead of yanking the running server's
+//    endpoint from under it.
 #pragma once
 
 #include <atomic>
@@ -26,11 +42,23 @@
 
 namespace sbx::serve {
 
+struct ServerConfig {
+  /// Concurrent connection cap; 0 = unlimited. The connection over the
+  /// cap is answered with ErrorResponse{kOverloaded} and closed.
+  std::size_t max_connections = 0;
+  /// Per-frame read deadline once a frame has started arriving (and the
+  /// response write deadline). <= 0 = no deadline.
+  long read_timeout_ms = 10'000;
+  /// How long a connection may sit idle between frames. <= 0 = forever.
+  long idle_timeout_ms = 0;
+};
+
 class Server {
  public:
   /// Binds and listens immediately (throws IoError on failure), but
   /// accepts nothing until run(). The frontend must outlive the server.
-  Server(ServeFrontend& frontend, const std::string& endpoint);
+  Server(ServeFrontend& frontend, const std::string& endpoint,
+         ServerConfig config = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -41,42 +69,36 @@ class Server {
   /// to.
   const std::string& endpoint() const { return endpoint_; }
 
-  /// Serves until a ShutdownRequest (or stop()) arrives, then joins all
-  /// connection threads.
+  /// Serves until a ShutdownRequest or request_drain()/stop() arrives,
+  /// finishes in-flight requests, joins connection threads, and flushes
+  /// the frontend's WAL.
   void run();
 
-  /// Asynchronously stops the accept loop (idempotent, thread-safe).
-  void stop();
+  /// Asynchronously initiates a graceful drain (idempotent, thread-safe,
+  /// async-signal-safe — callable from a SIGTERM handler).
+  void request_drain();
+
+  /// Synonym for request_drain(), kept for existing callers.
+  void stop() { request_drain(); }
+
+  const ServerCounters& counters() const { return counters_; }
 
  private:
+  void bind_unix(const std::string& path);
+  void bind_tcp(std::uint16_t port);
   void serve_connection(int fd);
+  void shed_connection(int fd);
 
   ServeFrontend& frontend_;
+  ServerConfig config_;
   std::string endpoint_;
-  std::string unix_path_;  // unlinked on destruction when non-empty
+  std::string unix_path_;  // unlinked on drain/destruction when non-empty
   int listen_fd_ = -1;
+  int drain_pipe_[2] = {-1, -1};  // self-pipe; [1] written by request_drain
   std::atomic<bool> stopping_{false};
+  ServerCounters counters_;
   std::mutex threads_mutex_;
   std::vector<std::thread> threads_;
-};
-
-/// Blocking client for the framed protocol (used by sbx_loadgen and the
-/// tests; handy for ad-hoc poking from other tools too).
-class Client {
- public:
-  /// Connects to an endpoint in the Server spelling ("unix:PATH",
-  /// "tcp:PORT" or "tcp:HOST:PORT"). Throws IoError on failure.
-  explicit Client(const std::string& endpoint);
-  ~Client();
-
-  Client(const Client&) = delete;
-  Client& operator=(const Client&) = delete;
-
-  /// One round-trip: encode, send, receive, decode.
-  Response call(const Request& request);
-
- private:
-  int fd_ = -1;
 };
 
 }  // namespace sbx::serve

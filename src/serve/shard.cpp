@@ -1,7 +1,10 @@
 #include "serve/shard.h"
 
 #include <string>
+#include <utility>
 
+#include "serve/recovery.h"
+#include "serve/wal.h"
 #include "util/error.h"
 
 namespace sbx::serve {
@@ -12,6 +15,26 @@ ModelShard::ModelShard(std::size_t user_count)
   if (user_count == 0) {
     throw InvalidArgument("ModelShard: user_count must be greater than 0");
   }
+}
+
+void ModelShard::configure_dedup(std::size_t dedup_window) {
+  dedup_window_ = dedup_window;
+  if (uid_of_local_.empty()) uid_of_local_.assign(user_count_, 0);
+  dedup_.assign(user_count_, {});
+}
+
+void ModelShard::attach_durability(Durability* durability,
+                                   std::size_t shard_index) {
+  durability_ = durability;
+  shard_index_ = shard_index;
+  if (uid_of_local_.empty()) uid_of_local_.assign(user_count_, 0);
+  if (dedup_.empty()) dedup_.assign(user_count_, {});
+}
+
+void ModelShard::set_uid_of_local(std::size_t local, std::uint64_t uid) {
+  user(local);  // range check
+  if (uid_of_local_.empty()) uid_of_local_.assign(user_count_, 0);
+  uid_of_local_[local] = uid;
 }
 
 UserModel& ModelShard::user(std::size_t local) {
@@ -31,9 +54,120 @@ OverlaySnapshot ModelShard::overlay(std::size_t local) const {
   return user(local).snapshot();
 }
 
+const DedupEntry* ModelShard::find_dedup(std::size_t local,
+                                         std::uint64_t request_id) const {
+  if (request_id == 0 || dedup_.empty()) return nullptr;
+  for (const DedupEntry& e : dedup_[local]) {
+    if (e.request_id == request_id) return &e;
+  }
+  return nullptr;
+}
+
+void ModelShard::remember_dedup(std::size_t local, DedupEntry entry) {
+  if (dedup_window_ == 0 || entry.request_id == 0) return;
+  std::deque<DedupEntry>& window = dedup_[local];
+  window.push_back(entry);
+  while (window.size() > dedup_window_) window.pop_front();
+}
+
+MutationResult ModelShard::apply_mutation(std::size_t local,
+                                          const MutationRequest& req,
+                                          const spambayes::TokenIdSet& ids) {
+  UserModel& model = user(local);
+  const std::lock_guard<std::mutex> lock(mutation_mutex_);
+
+  if (const DedupEntry* hit = find_dedup(local, req.request_id)) {
+    deduped_.fetch_add(1, std::memory_order_relaxed);
+    const OverlaySnapshot now = model.snapshot();
+    return {now ? now->generation() : 0, hit->spam, hit->ham, true};
+  }
+
+  // Prepare first: a mutation that cannot apply (bad untrain) must fail
+  // before anything reaches the log.
+  OverlaySnapshot next =
+      model.prepare(ids, req.as_spam, req.copies, req.op == kWalOpTrain);
+
+  if (durability_ != nullptr) {
+    WalRecord record;
+    record.op = req.op;
+    record.seqno = durability_->draw_seqno();
+    record.user_id = req.user_id;
+    record.request_id = req.request_id;
+    record.as_spam = req.as_spam;
+    record.copies = req.copies;
+    record.message = *req.message;
+    durability_->wal(shard_index_).append(record);
+    last_seqno_ = record.seqno;
+  }
+
+  const MutationResult result{next->generation(), next->spam_count(),
+                              next->ham_count(), false};
+  model.publish(std::move(next));
+  remember_dedup(local, DedupEntry{req.request_id, req.op, result.spam,
+                                   result.ham});
+  if (durability_ != nullptr) maybe_snapshot();
+  return result;
+}
+
+MutationResult ModelShard::replay_mutation(std::size_t local,
+                                           const MutationRequest& req,
+                                           const spambayes::TokenIdSet& ids) {
+  UserModel& model = user(local);
+  const std::lock_guard<std::mutex> lock(mutation_mutex_);
+  OverlaySnapshot next =
+      model.prepare(ids, req.as_spam, req.copies, req.op == kWalOpTrain);
+  const MutationResult result{next->generation(), next->spam_count(),
+                              next->ham_count(), false};
+  model.publish(std::move(next));
+  remember_dedup(local, DedupEntry{req.request_id, req.op, result.spam,
+                                   result.ham});
+  if (req.seqno > last_seqno_) last_seqno_ = req.seqno;
+  return result;
+}
+
+void ModelShard::replay_install(std::size_t local, OverlaySnapshot overlay,
+                                std::vector<DedupEntry> dedup) {
+  user(local);  // range check
+  const std::lock_guard<std::mutex> lock(mutation_mutex_);
+  users_[local].install(std::move(overlay));
+  if (!dedup_.empty()) {
+    std::deque<DedupEntry>& window = dedup_[local];
+    window.assign(dedup.begin(), dedup.end());
+    while (dedup_window_ != 0 && window.size() > dedup_window_) {
+      window.pop_front();
+    }
+  }
+}
+
+void ModelShard::maybe_snapshot() {
+  const std::uint64_t every = durability_->snapshot_every();
+  if (every == 0) return;
+  WalWriter& wal = durability_->wal(shard_index_);
+  if (wal.records_since_truncate() < every) return;
+
+  std::vector<UserSnapshotState> state;
+  state.reserve(user_count_);
+  for (std::size_t i = 0; i < user_count_; ++i) {
+    UserSnapshotState u;
+    u.uid = uid_of_local_[i];
+    u.overlay = users_[i].snapshot();
+    u.dedup.assign(dedup_[i].begin(), dedup_[i].end());
+    if (u.overlay != nullptr || !u.dedup.empty()) state.push_back(std::move(u));
+  }
+  write_shard_snapshot(durability_->snapshot_path(shard_index_), last_seqno_,
+                       state);
+  wal.truncate();
+  durability_->note_snapshot();
+}
+
 void ModelShard::apply_train(std::size_t local,
                              const spambayes::TokenIdSet& ids, bool as_spam,
                              std::uint32_t copies) {
+  if (durability_ != nullptr) {
+    throw InvalidArgument(
+        "ModelShard: apply_train bypasses the WAL; use apply_mutation on a "
+        "durable shard");
+  }
   UserModel& model = user(local);
   const std::lock_guard<std::mutex> lock(mutation_mutex_);
   model.train(ids, as_spam, copies);
@@ -42,6 +176,11 @@ void ModelShard::apply_train(std::size_t local,
 void ModelShard::apply_untrain(std::size_t local,
                                const spambayes::TokenIdSet& ids, bool as_spam,
                                std::uint32_t copies) {
+  if (durability_ != nullptr) {
+    throw InvalidArgument(
+        "ModelShard: apply_untrain bypasses the WAL; use apply_mutation on a "
+        "durable shard");
+  }
   UserModel& model = user(local);
   const std::lock_guard<std::mutex> lock(mutation_mutex_);
   model.untrain(ids, as_spam, copies);
@@ -60,6 +199,7 @@ ShardStats ModelShard::stats() const {
     out.classified_messages += model.classified();
     out.mutations += model.mutations();
   }
+  out.deduped = deduped_.load(std::memory_order_relaxed);
   return out;
 }
 

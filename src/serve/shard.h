@@ -14,16 +14,29 @@
 // The shard is the unit of mutation parallelism: with S shards, up to S
 // feedback streams commit concurrently while any number of classify
 // readers proceed untouched.
+//
+// Durability (PR 7): with a Durability attached, apply_mutation runs the
+// crash-safe sequence under the mutation lock — dedup check, prepare the
+// new overlay (may throw; nothing logged), append to the shard's WAL,
+// publish, record the dedup entry, maybe checkpoint. The WAL append sits
+// strictly between prepare and publish: a state no reader ever saw is
+// never logged, and a state any reader saw is always recoverable.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "serve/user_model.h"
 
 namespace sbx::serve {
+
+class Durability;
 
 /// Aggregate shard counters (relaxed reads; exact once mutations quiesce).
 struct ShardStats {
@@ -31,6 +44,36 @@ struct ShardStats {
   std::uint64_t overlay_users = 0;  // users with a non-empty overlay
   std::uint64_t classified_messages = 0;
   std::uint64_t mutations = 0;
+  std::uint64_t deduped = 0;  // retries absorbed by the request-id window
+};
+
+/// One remembered mutation outcome, keyed by client request id. Replaying
+/// the stored counts (instead of re-applying) is what makes Train/Untrain
+/// retries idempotent.
+struct DedupEntry {
+  std::uint64_t request_id = 0;
+  std::uint8_t op = 0;  // kWalOpTrain / kWalOpUntrain
+  std::uint32_t spam = 0;  // overlay counts right after the mutation
+  std::uint32_t ham = 0;
+};
+
+/// One mutation as the shard applies (and logs) it. `message` borrows the
+/// request's raw text — valid for the duration of the call only.
+struct MutationRequest {
+  std::uint8_t op = 0;  // kWalOpTrain / kWalOpUntrain
+  std::uint64_t user_id = 0;
+  std::uint64_t request_id = 0;  // 0 = no idempotency requested
+  bool as_spam = true;
+  std::uint32_t copies = 1;
+  const std::string* message = nullptr;
+  std::uint64_t seqno = 0;  // set only on replay (live path draws its own)
+};
+
+struct MutationResult {
+  std::uint64_t generation = 0;
+  std::uint32_t spam = 0;
+  std::uint32_t ham = 0;
+  bool deduped = false;
 };
 
 class ModelShard {
@@ -42,11 +85,48 @@ class ModelShard {
 
   std::size_t user_count() const { return user_count_; }
 
+  /// Sizes the per-user request-id dedup windows (0 disables dedup). A
+  /// WAL-less mirror configures dedup too, so it absorbs retried requests
+  /// exactly like the durable server it verifies against. Call before any
+  /// mutation.
+  void configure_dedup(std::size_t dedup_window);
+
+  /// Wires this shard to its WAL (durability->wal(shard_index)). Call
+  /// before any mutation.
+  void attach_durability(Durability* durability, std::size_t shard_index);
+
+  /// Records the global user id behind a local slot (snapshots persist
+  /// global ids; routing is rebuilt from the manifest on recovery).
+  void set_uid_of_local(std::size_t local, std::uint64_t uid);
+
   /// Lock-free read of user `local`'s published overlay (null = empty).
   /// Throws InvalidArgument for an out-of-range slot.
   OverlaySnapshot overlay(std::size_t local) const;
 
+  /// Applies one mutation under the shard mutation lock: dedup → prepare
+  /// → WAL append → publish → remember → maybe checkpoint. Throws
+  /// InvalidArgument for a bad mutation (e.g. untrain of an untrained
+  /// message; nothing is logged or published) and IoError when the WAL
+  /// cannot be written (ditto).
+  MutationResult apply_mutation(std::size_t local, const MutationRequest& req,
+                                const spambayes::TokenIdSet& ids);
+
+  /// Recovery path: applies a logged mutation without re-logging it (and
+  /// without checkpointing), and remembers its request id for post-restart
+  /// retry dedup. Throws if the logged mutation no longer applies — a
+  /// record was only ever logged after a successful prepare, so failure
+  /// here means corrupted state and must be loud.
+  MutationResult replay_mutation(std::size_t local, const MutationRequest& req,
+                                 const spambayes::TokenIdSet& ids);
+
+  /// Recovery path: installs a snapshot's overlay and dedup window
+  /// verbatim (no WAL, no counters).
+  void replay_install(std::size_t local, OverlaySnapshot overlay,
+                      std::vector<DedupEntry> dedup);
+
   /// Applies one training mutation under the shard mutation lock.
+  /// (Durability-free compatibility path; throws when a WAL is attached —
+  /// callers must go through apply_mutation so the mutation is logged.)
   void apply_train(std::size_t local, const spambayes::TokenIdSet& ids,
                    bool as_spam, std::uint32_t copies);
 
@@ -65,9 +145,26 @@ class ModelShard {
   UserModel& user(std::size_t local);
   const UserModel& user(std::size_t local) const;
 
+  /// Dedup window lookup (caller holds the mutation lock).
+  const DedupEntry* find_dedup(std::size_t local,
+                               std::uint64_t request_id) const;
+  void remember_dedup(std::size_t local, DedupEntry entry);
+
+  /// Checkpoint when enough records accumulated (caller holds the lock).
+  void maybe_snapshot();
+
   std::size_t user_count_;
   std::unique_ptr<UserModel[]> users_;
   std::mutex mutation_mutex_;
+
+  // Durability wiring (null = in-memory only, the pre-PR-7 behavior).
+  Durability* durability_ = nullptr;
+  std::size_t shard_index_ = 0;
+  std::size_t dedup_window_ = 0;
+  std::uint64_t last_seqno_ = 0;  // highest seqno applied or logged here
+  std::vector<std::uint64_t> uid_of_local_;
+  std::vector<std::deque<DedupEntry>> dedup_;  // per local slot, FIFO
+  std::atomic<std::uint64_t> deduped_{0};
 };
 
 }  // namespace sbx::serve

@@ -6,41 +6,49 @@
 
 namespace sbx::serve {
 
-void UserModel::train(const spambayes::TokenIdSet& ids, bool as_spam,
-                      std::uint32_t copies) {
+OverlaySnapshot UserModel::prepare(const spambayes::TokenIdSet& ids,
+                                   bool as_spam, std::uint32_t copies,
+                                   bool is_train) {
   const OverlaySnapshot current = snapshot();
+  if (!is_train && !current) {
+    throw InvalidArgument(
+        "untrain: user has no trained messages (empty overlay)");
+  }
   auto next = current
                   ? std::make_shared<spambayes::TokenDatabase>(*current)
                   : std::make_shared<spambayes::TokenDatabase>();
-  if (as_spam) {
-    next->train_spam_ids(ids, copies);
+  // TokenDatabase throws InvalidArgument when an untrained message is
+  // untrained; the unpublished copy is discarded and the published overlay
+  // stays as it was.
+  if (is_train) {
+    if (as_spam) {
+      next->train_spam_ids(ids, copies);
+    } else {
+      next->train_ham_ids(ids, copies);
+    }
   } else {
-    next->train_ham_ids(ids, copies);
+    if (as_spam) {
+      next->untrain_spam_ids(ids, copies);
+    } else {
+      next->untrain_ham_ids(ids, copies);
+    }
   }
-  overlay_.store(OverlaySnapshot(std::move(next)),
-                 std::memory_order_release);
+  return next;
+}
+
+void UserModel::publish(OverlaySnapshot next) {
+  overlay_.store(std::move(next), std::memory_order_release);
   mutations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UserModel::train(const spambayes::TokenIdSet& ids, bool as_spam,
+                      std::uint32_t copies) {
+  publish(prepare(ids, as_spam, copies, /*is_train=*/true));
 }
 
 void UserModel::untrain(const spambayes::TokenIdSet& ids, bool as_spam,
                         std::uint32_t copies) {
-  const OverlaySnapshot current = snapshot();
-  if (!current) {
-    throw InvalidArgument(
-        "untrain: user has no trained messages (empty overlay)");
-  }
-  auto next = std::make_shared<spambayes::TokenDatabase>(*current);
-  // TokenDatabase throws InvalidArgument when the message was never
-  // trained; the unpublished copy is discarded and the published overlay
-  // stays as it was.
-  if (as_spam) {
-    next->untrain_spam_ids(ids, copies);
-  } else {
-    next->untrain_ham_ids(ids, copies);
-  }
-  overlay_.store(OverlaySnapshot(std::move(next)),
-                 std::memory_order_release);
-  mutations_.fetch_add(1, std::memory_order_relaxed);
+  publish(prepare(ids, as_spam, copies, /*is_train=*/false));
 }
 
 }  // namespace sbx::serve

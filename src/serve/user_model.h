@@ -67,6 +67,24 @@ class UserModel {
   void untrain(const spambayes::TokenIdSet& ids, bool as_spam,
                std::uint32_t copies);
 
+  /// The prepare half of a mutation: builds (but does not publish) the
+  /// next overlay state. Splitting prepare from publish is what lets the
+  /// shard write-ahead-log the mutation in between — a prepare failure
+  /// (bad untrain) leaves both the log and the published overlay
+  /// untouched. Caller holds the shard mutation lock.
+  OverlaySnapshot prepare(const spambayes::TokenIdSet& ids, bool as_spam,
+                          std::uint32_t copies, bool is_train);
+
+  /// The publish half: release-stores a prepared overlay and counts the
+  /// mutation. Caller holds the shard mutation lock.
+  void publish(OverlaySnapshot next);
+
+  /// Recovery-only: installs an overlay verbatim (no mutation counting —
+  /// restored state is not new feedback).
+  void install(OverlaySnapshot snapshot) {
+    overlay_.store(std::move(snapshot), std::memory_order_release);
+  }
+
   /// Relaxed counters, exported through the stats endpoint.
   void record_classified(std::uint64_t messages) {
     classified_.fetch_add(messages, std::memory_order_relaxed);

@@ -1,0 +1,122 @@
+// sbx/serve/wire.h
+//
+// The little-endian byte codec shared by every framed format in the
+// serving layer: the socket protocol (protocol.cpp) and the write-ahead
+// log records (wal.cpp) encode through the same Writer/Reader, so "how a
+// u64 or a length-prefixed string looks in bytes" is defined exactly once.
+// Reader is strict: reading past the end of the buffer throws ParseError,
+// never reads out of bounds, and expect_done() rejects trailing bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace sbx::serve::wire {
+
+/// Appends little-endian scalars and length-prefixed strings to a byte
+/// buffer. `limit` guards string sizes (a corrupt in-memory length must
+/// not drive a multi-gigabyte buffer).
+class Writer {
+ public:
+  explicit Writer(std::uint32_t string_limit = 0xFFFFFFFFu)
+      : string_limit_(string_limit) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    if (s.size() > string_limit_) {
+      throw InvalidArgument("serve wire: string exceeds frame limit");
+    }
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  std::size_t size() const { return out_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::uint32_t string_limit_;
+  std::vector<std::uint8_t> out_;
+};
+
+/// Strict little-endian reader over a borrowed byte span.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  bool done() const { return pos_ == data_.size(); }
+  /// Bytes left to read — bounds any element-count a decoder trusts for
+  /// pre-allocation (a hostile count must not drive a huge reserve).
+  std::size_t remaining() const { return data_.size() - pos_; }
+  void expect_done() const {
+    if (!done()) {
+      throw ParseError("serve wire: " + std::to_string(data_.size() - pos_) +
+                       " trailing bytes after message body");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw ParseError("serve wire: truncated message body");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sbx::serve::wire

@@ -1,0 +1,47 @@
+#include "util/backoff.h"
+
+#include "util/error.h"
+
+namespace sbx::util {
+
+Deadline Deadline::after_ms(long ms) {
+  Deadline d;
+  if (ms <= 0) return d;  // unlimited
+  d.unlimited_ = false;
+  d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  return d;
+}
+
+bool Deadline::expired() const {
+  return !unlimited_ && std::chrono::steady_clock::now() >= at_;
+}
+
+int Deadline::remaining_ms() const {
+  // A bounded slice keeps poll() responsive to stop flags even for
+  // unlimited deadlines.
+  if (unlimited_) return 60'000;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      at_ - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60'000) return 60'000;
+  return static_cast<int>(left.count());
+}
+
+ExponentialBackoff::ExponentialBackoff(int base_ms, int cap_ms,
+                                       std::uint64_t seed)
+    : base_ms_(base_ms), cap_ms_(cap_ms), rng_(seed) {
+  if (base_ms <= 0 || cap_ms < base_ms) {
+    throw InvalidArgument("ExponentialBackoff: need 0 < base_ms <= cap_ms");
+  }
+}
+
+int ExponentialBackoff::next_delay_ms() {
+  // min(cap, base * 2^attempt) without overflow: stop doubling at the cap.
+  long ceiling = base_ms_;
+  for (int i = 0; i < attempts_ && ceiling < cap_ms_; ++i) ceiling *= 2;
+  if (ceiling > cap_ms_) ceiling = cap_ms_;
+  ++attempts_;
+  return static_cast<int>(rng_.uniform_int(1, ceiling));
+}
+
+}  // namespace sbx::util

@@ -1,0 +1,64 @@
+// sbx/util/backoff.h
+//
+// Monotonic-clock deadlines and deterministic exponential backoff — the
+// timing primitives behind the serving layer's failure handling. A
+// Deadline carries "this operation must finish by T" through a chain of
+// partial reads/writes (steady_clock, so wall-clock jumps never fire a
+// timeout early or late); ExponentialBackoff paces reconnect/retry
+// attempts with full jitter drawn from a seeded util::Rng, so a retry
+// schedule is reproducible under a fixed seed (loadgen determinism) while
+// still decorrelating real fleets.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace sbx::util {
+
+/// A point in monotonic time an operation must not run past. Deadlines are
+/// cheap values: derive one per operation, pass it down through every
+/// blocking step, and each step budgets `remaining_ms()` for its poll.
+class Deadline {
+ public:
+  /// A deadline `ms` milliseconds from now; ms <= 0 means unlimited.
+  static Deadline after_ms(long ms);
+  static Deadline unlimited() { return Deadline(); }
+
+  bool is_unlimited() const { return unlimited_; }
+  bool expired() const;
+
+  /// Milliseconds left, clamped to >= 0. Unlimited deadlines report a
+  /// large constant suitable for poll(2) slices.
+  int remaining_ms() const;
+
+ private:
+  Deadline() = default;
+
+  bool unlimited_ = true;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// Exponential backoff with full jitter: attempt k (0-based) sleeps a
+/// uniform draw from [1, min(cap, base * 2^k)] milliseconds. Deterministic
+/// in the seed.
+class ExponentialBackoff {
+ public:
+  /// Throws InvalidArgument unless 0 < base_ms <= cap_ms.
+  ExponentialBackoff(int base_ms, int cap_ms, std::uint64_t seed);
+
+  /// The next delay in milliseconds; advances the attempt counter.
+  int next_delay_ms();
+
+  int attempts() const { return attempts_; }
+  void reset() { attempts_ = 0; }
+
+ private:
+  int base_ms_;
+  int cap_ms_;
+  int attempts_ = 0;
+  Rng rng_;
+};
+
+}  // namespace sbx::util

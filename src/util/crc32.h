@@ -1,0 +1,20 @@
+// sbx/util/crc32.h
+//
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// framing the serving layer's write-ahead log records. A torn or
+// bit-flipped tail record must be *detected* and dropped during recovery,
+// never half-applied; CRC-32 over the record body is what draws that line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sbx::util {
+
+/// CRC-32 of `len` bytes starting at `data`, seeded with `seed` (pass the
+/// previous return value to checksum data in chunks). The default seed is
+/// the standard initial value; the returned value is the final (already
+/// xor-ed out) checksum.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace sbx::util

@@ -1,0 +1,253 @@
+// Fault-injection matrix: short writes, injected delays vs deadlines,
+// injected connection closes vs client retry, WAL integrity under short
+// writes, and a fork-based deterministic crash-after-WAL-append test.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/base_model.h"
+#include "serve/client.h"
+#include "serve/fault_injector.h"
+#include "serve/frontend.h"
+#include "serve/recovery.h"
+#include "serve/server.h"
+#include "serve/wal.h"
+#include "util/error.h"
+
+namespace sbx::serve {
+namespace {
+
+BaseModelConfig small_base() { return {/*base_size=*/200, 0.5, /*seed=*/5}; }
+
+/// The injector is process-global; every test disarms it on the way out so
+/// later tests in this binary see a clean slate.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) {
+    FaultInjector::instance().reset();
+    FaultInjector::instance().configure(spec);
+  }
+  ~FaultGuard() { FaultInjector::instance().reset(); }
+};
+
+std::string temp_sock(const std::string& tag) {
+  return testing::TempDir() + "sbx_fault_" + tag + "_" +
+         std::to_string(static_cast<unsigned>(::getpid())) + ".sock";
+}
+
+std::string make_message(int i) {
+  return "Subject: fault test " + std::to_string(i) +
+         "\n\nbody with some tokens to score " + std::to_string(i * 17);
+}
+
+TEST(FaultInjection, SpecParsingRejectsUnknownKeysAndBadValues) {
+  FaultInjector::instance().reset();
+  EXPECT_THROW(FaultInjector::instance().configure("made_up_key=1"),
+               ParseError);
+  EXPECT_THROW(FaultInjector::instance().configure("short_write_every=abc"),
+               ParseError);
+  EXPECT_THROW(FaultInjector::instance().configure("short_write_every"),
+               ParseError);
+  EXPECT_FALSE(FaultInjector::instance().enabled());
+  FaultInjector::instance().configure("short_write_every=3");
+  EXPECT_TRUE(FaultInjector::instance().enabled());
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(FaultInjector::instance().enabled());
+}
+
+TEST(FaultInjection, EveryWriteShortenedToOneByteStillRoundTrips) {
+  // Worst-case partial writes on BOTH sides of the socket: every write
+  // transfers one byte. Correctness must not depend on write() atomicity.
+  FaultGuard guard("short_write_every=1");
+
+  const std::string path = temp_sock("short");
+  ServeFrontend frontend(build_base_filter(small_base()), {2, 8});
+  Server server(frontend, "unix:" + path);
+  std::thread serving([&] { server.run(); });
+
+  ServeFrontend mirror(build_base_filter(small_base()), {2, 8});
+  {
+    Client client("unix:" + path);
+    TrainRequest t;
+    t.user_id = 1;
+    t.as_spam = true;
+    t.message = make_message(1);
+    const auto remote = client.call(Request(t));
+    const auto local = mirror.dispatch(Request(t));
+    EXPECT_EQ(std::get<TrainResponse>(remote).overlay_spam,
+              std::get<TrainResponse>(local).overlay_spam);
+
+    ClassifyBatchRequest c;
+    c.user_id = 1;
+    for (int i = 0; i < 4; ++i) c.messages.push_back(make_message(i));
+    const auto remote_scores =
+        std::get<ClassifyBatchResponse>(client.call(Request(c)));
+    const auto local_scores =
+        std::get<ClassifyBatchResponse>(mirror.dispatch(Request(c)));
+    ASSERT_EQ(remote_scores.results.size(), local_scores.results.size());
+    for (std::size_t i = 0; i < remote_scores.results.size(); ++i) {
+      EXPECT_EQ(remote_scores.results[i].score, local_scores.results[i].score);
+    }
+  }
+  server.request_drain();
+  serving.join();
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjection, InjectedReadDelayTripsTheClientDeadline) {
+  FaultGuard guard("delay_read_every=1,delay_ms=400");
+
+  const std::string path = temp_sock("delay");
+  ServeFrontend frontend(build_base_filter(small_base()), {2, 8});
+  Server server(frontend, "unix:" + path);
+  std::thread serving([&] { server.run(); });
+  {
+    ClientOptions options;
+    options.op_timeout_ms = 100;  // < injected delay
+    options.max_attempts = 1;
+    Client client("unix:" + path, options);
+    EXPECT_THROW(client.call(Request(StatsRequest{})), IoError);
+  }
+  FaultInjector::instance().reset();  // let the drain path run clean
+  server.request_drain();
+  serving.join();
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjection, InjectedConnectionCloseIsAbsorbedByRetry) {
+  // Write op 1 is the client's request; op 2 — the server's response — is
+  // replaced by a shutdown. The retry must reconnect and succeed.
+  FaultGuard guard("close_write_at=2");
+
+  const std::string path = temp_sock("close");
+  ServeFrontend frontend(build_base_filter(small_base()), {2, 8});
+  Server server(frontend, "unix:" + path);
+  std::thread serving([&] { server.run(); });
+  {
+    ClientOptions options;
+    options.max_attempts = 4;
+    options.backoff_base_ms = 1;
+    Client client("unix:" + path, options);
+    const Response r = client.call(Request(StatsRequest{}));
+    EXPECT_TRUE(std::holds_alternative<StatsResponse>(r));
+    EXPECT_GE(client.retries(), 1u);
+  }
+  server.request_drain();
+  serving.join();
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjection, WalSurvivesShortWritesByteForByte) {
+  const std::string dir = testing::TempDir() + "sbx_fault_wal_" +
+                          std::to_string(static_cast<unsigned>(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  WalRecord record;
+  record.seqno = 1;
+  record.user_id = 5;
+  record.message = make_message(9);
+
+  const std::string clean_path = dir + "/clean.log";
+  {
+    WalWriter writer(clean_path, FsyncMode::kNone, 0);
+    writer.append(record);
+  }
+  const std::string faulty_path = dir + "/faulty.log";
+  {
+    FaultGuard guard("short_write_every=1");
+    WalWriter writer(faulty_path, FsyncMode::kNone, 0);
+    writer.append(record);
+  }
+  // One-byte-at-a-time appends produce the identical log.
+  std::vector<WalRecord> got;
+  const auto stats =
+      read_wal(faulty_path, [&](const WalRecord& r) { got.push_back(r); });
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.bytes_total, std::filesystem::file_size(clean_path));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].message, record.message);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultInjection, CrashAfterNthWalRecordLosesExactlyTheRest) {
+  const std::string dir = testing::TempDir() + "sbx_fault_crash_" +
+                          std::to_string(static_cast<unsigned>(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: arm the crash, apply 6 mutations — _Exit(42) fires inside the
+    // 3rd append, after the record hit the log but before it publishes.
+    FaultInjector::instance().reset();
+    FaultInjector::instance().configure("crash_after_wal=3");
+    DurabilityConfig dc;
+    dc.data_dir = dir;
+    dc.fsync = FsyncMode::kNone;
+    ServeFrontend frontend(build_base_filter(small_base()),
+                           FrontendConfig{2, 8},
+                           std::make_unique<Durability>(dc, 2));
+    for (int i = 0; i < 6; ++i) {
+      TrainRequest t;
+      t.user_id = static_cast<std::uint64_t>(i) % 8;
+      t.as_spam = (i % 2) == 0;
+      t.message = make_message(i);
+      t.request_id = static_cast<std::uint64_t>(i) + 1;
+      frontend.train(t);
+    }
+    ::_exit(7);  // unreachable when the fault fires
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 42) << "crash injection did not fire";
+
+  // Exactly 3 records exist across the shard logs, and they are the FIRST
+  // 3 mutations in program order.
+  std::vector<WalRecord> all;
+  for (std::size_t s = 0; s < 2; ++s) {
+    read_wal(wal_path_in(dir, s),
+             [&](const WalRecord& r) { all.push_back(r); });
+  }
+  ASSERT_EQ(all.size(), 3u);
+  for (const WalRecord& r : all) {
+    EXPECT_GE(r.request_id, 1u);
+    EXPECT_LE(r.request_id, 3u);
+  }
+
+  // Recovery replays them; a reference frontend applying the same first 3
+  // mutations classifies bit-identically.
+  ServeFrontend recovered(build_base_filter(small_base()), {2, 8});
+  const RecoveryStats rs = recover(recovered, dir);
+  EXPECT_EQ(rs.replayed_records, 3u);
+
+  ServeFrontend reference(build_base_filter(small_base()), {2, 8});
+  for (int i = 0; i < 3; ++i) {
+    TrainRequest t;
+    t.user_id = static_cast<std::uint64_t>(i) % 8;
+    t.as_spam = (i % 2) == 0;
+    t.message = make_message(i);
+    reference.train(t);
+  }
+  for (std::uint64_t uid = 0; uid < 8; ++uid) {
+    ClassifyBatchRequest c;
+    c.user_id = uid;
+    for (int i = 0; i < 4; ++i) c.messages.push_back(make_message(100 + i));
+    const auto a = recovered.classify_batch(c);
+    const auto b = reference.classify_batch(c);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+      ASSERT_EQ(a.results[i].score, b.results[i].score) << "user " << uid;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sbx::serve

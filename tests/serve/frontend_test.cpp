@@ -13,6 +13,7 @@
 #include "email/rfc2822.h"
 #include "serve/base_model.h"
 #include "serve/frontend.h"
+#include "serve/client.h"
 #include "serve/server.h"
 #include "util/error.h"
 #include "util/random.h"

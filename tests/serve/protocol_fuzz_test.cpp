@@ -1,0 +1,175 @@
+// Strict-decode fuzzing: every truncation offset and every single-byte
+// flip of every message type must either decode cleanly or throw
+// ParseError — never crash, hang, or over-read (ASan enforces the latter).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/error.h"
+
+namespace sbx::serve {
+namespace {
+
+std::vector<std::uint8_t> payload_of(const std::vector<std::uint8_t>& frame) {
+  return {frame.begin() + 4, frame.end()};
+}
+
+std::vector<Request> sample_requests() {
+  ClassifyBatchRequest c;
+  c.user_id = 3;
+  c.messages = {"Subject: a\n\nbody", "", std::string(300, 'x')};
+
+  TrainRequest t;
+  t.user_id = 0xABCDEF0123456789ull;
+  t.as_spam = true;
+  t.copies = 7;
+  t.message = "Subject: t\n\ntrain me";
+  t.request_id = 0x1122334455667788ull;
+
+  UntrainRequest u;
+  u.user_id = 1;
+  u.as_spam = false;
+  u.copies = 1;
+  u.message = "m";
+  u.request_id = 9;
+
+  return {Request(c), Request(t), Request(u), Request(StatsRequest{}),
+          Request(ShutdownRequest{})};
+}
+
+std::vector<Response> sample_responses() {
+  ClassifyBatchResponse c;
+  c.results = {{0.987654321, 2}, {0.01, 0}, {0.5, 1}};
+
+  TrainResponse t;
+  t.overlay_generation = 42;
+  t.overlay_spam = 3;
+  t.overlay_ham = 1;
+
+  UntrainResponse u;
+  u.overlay_generation = 43;
+  u.overlay_spam = 2;
+  u.overlay_ham = 1;
+
+  StatsResponse s;
+  s.users = 64;
+  s.shards = 4;
+  s.wal_records = 100;
+  s.recovery_ms = 12;
+  s.shed_connections = 2;
+
+  ErrorResponse e;
+  e.message = "broken";
+  e.code = static_cast<std::uint8_t>(ErrorCode::kOverloaded);
+
+  return {Response(c), Response(t), Response(u), Response(s),
+          Response(ShutdownResponse{}), Response(e)};
+}
+
+/// Decoding any mangled payload must end in a value or a ParseError —
+/// nothing else escapes, nothing crashes.
+template <typename DecodeFn>
+void expect_contained(const std::vector<std::uint8_t>& payload,
+                      const DecodeFn& decode, const std::string& what) {
+  try {
+    decode(payload);
+  } catch (const ParseError&) {
+    // expected for most mutations
+  } catch (const std::exception& e) {
+    FAIL() << what << ": escaped non-ParseError exception: " << e.what();
+  }
+}
+
+TEST(ProtocolFuzz, RequestsRejectEveryTruncationOffset) {
+  for (const Request& request : sample_requests()) {
+    const auto payload = payload_of(encode_frame(request));
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      const std::vector<std::uint8_t> cut(payload.begin(),
+                                          payload.begin() + len);
+      EXPECT_THROW(decode_request(cut), ParseError)
+          << "type " << request.index() << " truncated to " << len << "/"
+          << payload.size() << " bytes decoded anyway";
+    }
+    // Sanity: the untruncated payload still decodes.
+    EXPECT_EQ(decode_request(payload).index(), request.index());
+  }
+}
+
+TEST(ProtocolFuzz, ResponsesRejectEveryTruncationOffset) {
+  for (const Response& response : sample_responses()) {
+    const auto payload = payload_of(encode_frame(response));
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      const std::vector<std::uint8_t> cut(payload.begin(),
+                                          payload.begin() + len);
+      EXPECT_THROW(decode_response(cut), ParseError)
+          << "type " << response.index() << " truncated to " << len << " bytes";
+    }
+    EXPECT_EQ(decode_response(payload).index(), response.index());
+  }
+}
+
+TEST(ProtocolFuzz, RequestsSurviveEverySingleByteFlip) {
+  for (const Request& request : sample_requests()) {
+    const auto payload = payload_of(encode_frame(request));
+    for (std::size_t at = 0; at < payload.size(); ++at) {
+      for (const std::uint8_t mask : {0x01, 0x80, 0xFF}) {
+        auto bent = payload;
+        bent[at] = static_cast<std::uint8_t>(bent[at] ^ mask);
+        expect_contained(
+            bent, [](const std::vector<std::uint8_t>& p) { decode_request(p); },
+            "request type " + std::to_string(request.index()) + " flip at " +
+                std::to_string(at));
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, ResponsesSurviveEverySingleByteFlip) {
+  for (const Response& response : sample_responses()) {
+    const auto payload = payload_of(encode_frame(response));
+    for (std::size_t at = 0; at < payload.size(); ++at) {
+      for (const std::uint8_t mask : {0x01, 0x80, 0xFF}) {
+        auto bent = payload;
+        bent[at] = static_cast<std::uint8_t>(bent[at] ^ mask);
+        expect_contained(
+            bent,
+            [](const std::vector<std::uint8_t>& p) { decode_response(p); },
+            "response type " + std::to_string(response.index()) + " flip at " +
+                std::to_string(at));
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, TrailingGarbageIsRejected) {
+  for (const Request& request : sample_requests()) {
+    auto payload = payload_of(encode_frame(request));
+    payload.push_back(0);
+    EXPECT_THROW(decode_request(payload), ParseError)
+        << "request type " << request.index() << " accepted a trailing byte";
+  }
+  for (const Response& response : sample_responses()) {
+    auto payload = payload_of(encode_frame(response));
+    payload.push_back(0xFF);
+    EXPECT_THROW(decode_response(payload), ParseError)
+        << "response type " << response.index() << " accepted a trailing byte";
+  }
+}
+
+TEST(ProtocolFuzz, WrongVersionAndUnknownTypeAreRejected) {
+  auto payload = payload_of(encode_frame(Request(StatsRequest{})));
+  auto wrong_version = payload;
+  wrong_version[0] = kProtocolVersion + 1;
+  EXPECT_THROW(decode_request(wrong_version), ParseError);
+
+  auto unknown_type = payload;
+  unknown_type[1] = 0x7E;
+  EXPECT_THROW(decode_request(unknown_type), ParseError);
+  EXPECT_THROW(decode_response(unknown_type), ParseError);
+}
+
+}  // namespace
+}  // namespace sbx::serve

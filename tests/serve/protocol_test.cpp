@@ -98,6 +98,70 @@ TEST(Protocol, ResponsesRoundTripWithScoreBitsIntact) {
             "boom");
 }
 
+TEST(Protocol, V2RequestIdsAndErrorCodesRoundTrip) {
+  TrainRequest t;
+  t.user_id = 7;
+  t.message = "m";
+  t.request_id = 0xFEEDFACE12345678ull;
+  EXPECT_EQ(std::get<TrainRequest>(
+                decode_request(payload_of(encode_frame(Request(t)))))
+                .request_id,
+            t.request_id);
+  // Default (no id) is preserved as 0 = "not idempotent".
+  t.request_id = 0;
+  EXPECT_EQ(std::get<TrainRequest>(
+                decode_request(payload_of(encode_frame(Request(t)))))
+                .request_id,
+            0u);
+
+  UntrainRequest u;
+  u.user_id = 7;
+  u.message = "m";
+  u.request_id = 99;
+  EXPECT_EQ(std::get<UntrainRequest>(
+                decode_request(payload_of(encode_frame(Request(u)))))
+                .request_id,
+            99u);
+
+  ErrorResponse e{"slow down"};
+  e.code = static_cast<std::uint8_t>(ErrorCode::kOverloaded);
+  const auto eback = std::get<ErrorResponse>(
+      decode_response(payload_of(encode_frame(Response(e)))));
+  EXPECT_EQ(eback.message, "slow down");
+  EXPECT_EQ(eback.code, static_cast<std::uint8_t>(ErrorCode::kOverloaded));
+  // Aggregate-init without a code still means kGeneric.
+  EXPECT_EQ(ErrorResponse{"boom"}.code,
+            static_cast<std::uint8_t>(ErrorCode::kGeneric));
+}
+
+TEST(Protocol, V2StatsTelemetryRoundTrips) {
+  StatsResponse s;
+  s.uptime_ms = 1;
+  s.wal_records = 2;
+  s.wal_bytes = 3;
+  s.wal_snapshots = 4;
+  s.recovery_replayed_records = 5;
+  s.recovery_torn_dropped = 6;
+  s.recovery_ms = 7;
+  s.recovery_snapshot_users = 8;
+  s.deduped_mutations = 9;
+  s.shed_connections = 10;
+  s.active_connections = 11;
+  const auto back = std::get<StatsResponse>(
+      decode_response(payload_of(encode_frame(Response(s)))));
+  EXPECT_EQ(back.uptime_ms, 1u);
+  EXPECT_EQ(back.wal_records, 2u);
+  EXPECT_EQ(back.wal_bytes, 3u);
+  EXPECT_EQ(back.wal_snapshots, 4u);
+  EXPECT_EQ(back.recovery_replayed_records, 5u);
+  EXPECT_EQ(back.recovery_torn_dropped, 6u);
+  EXPECT_EQ(back.recovery_ms, 7u);
+  EXPECT_EQ(back.recovery_snapshot_users, 8u);
+  EXPECT_EQ(back.deduped_mutations, 9u);
+  EXPECT_EQ(back.shed_connections, 10u);
+  EXPECT_EQ(back.active_connections, 11u);
+}
+
 TEST(Protocol, RejectsWrongVersion) {
   auto payload = payload_of(encode_frame(Request(StatsRequest{})));
   payload[0] = kProtocolVersion + 1;

@@ -13,6 +13,13 @@ all bench_hotpath metrics are higher-is-better throughputs or speedup
 ratios). Improvements are reported but never fail the check. Exits non-zero
 on any regression beyond the threshold or any missing metric.
 
+--metrics NAME[,NAME...] restricts the comparison to a subset of the
+baseline's metrics. This lets one tracked baseline file (BENCH_serve.json)
+serve several CI jobs that each produce only their slice of the metrics —
+serve-smoke gates the plain-serving numbers, crash-recovery-smoke the
+wal_-prefixed ones — without each job failing on the other's "missing"
+metrics.
+
 ResultDoc mode — validates the schema of eval::ResultDoc JSON files (as
 written by `sbx_experiments run/sweep --out-dir`):
 
@@ -33,6 +40,16 @@ def check_baseline(args) -> int:
         baseline = json.load(f)["metrics"]
     with open(args.current) as f:
         current = json.load(f)["metrics"]
+
+    if args.metrics:
+        wanted = [name.strip() for name in args.metrics.split(",")
+                  if name.strip()]
+        missing = [name for name in wanted if name not in baseline]
+        if missing:
+            print(f"--metrics names not in baseline: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 1
+        baseline = {name: baseline[name] for name in wanted}
 
     failures = []
     width = max(len(name) for name in baseline)
@@ -175,6 +192,9 @@ def main() -> int:
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional drop per metric "
                              "(default 0.25)")
+    parser.add_argument("--metrics", default="",
+                        help="comma-separated subset of baseline metrics "
+                             "to compare (default: all)")
     return check_baseline(parser.parse_args())
 
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# sbx_chaos.sh — kill -9 crash-recovery harness for sbx_serve.
+#
+# Phase 1: start a WAL-enabled server, drive a train-heavy workload, and
+# kill -9 the server mid-run (no drain, no final fsync — the worst case).
+# Phase 2: restart the server from the same --data-dir and run a verifying
+# workload whose mirror replays the same snapshot+WAL. Zero mismatches
+# proves the recovered state is bit-identical to what the WAL captured;
+# the run fails if recovery replayed nothing (the crash window missed).
+#
+# Usage: sbx_chaos.sh BUILD_DIR [JSON_OUT]
+#   BUILD_DIR  cmake build tree containing tools/sbx_serve + tools/sbx_loadgen
+#   JSON_OUT   optional BENCH-shaped output from the verify phase
+#              (metrics are prefixed wal_ to keep them distinct from the
+#              non-durable serve-smoke numbers)
+
+set -u -o pipefail
+
+BUILD_DIR=${1:?usage: sbx_chaos.sh BUILD_DIR [JSON_OUT]}
+JSON_OUT=${2:-}
+SERVE="$BUILD_DIR/tools/sbx_serve"
+LOADGEN="$BUILD_DIR/tools/sbx_loadgen"
+
+WORK=$(mktemp -d /tmp/sbx_chaos.XXXXXX)
+DATA="$WORK/data"
+SOCK="unix:$WORK/serve.sock"
+SERVER_PID=
+trap 'kill -9 $SERVER_PID 2>/dev/null; rm -rf "$WORK"' EXIT
+
+fail() { echo "sbx_chaos: FAIL: $*" >&2; exit 1; }
+
+start_server() {
+  local log=$1
+  "$SERVE" --listen="$SOCK" --users=32 --shards=4 --base-size=600 \
+           --data-dir="$DATA" --fsync=batch --fsync-batch=16 \
+           --snapshot-every=64 >"$log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$log" 2>/dev/null && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  cat "$log" >&2
+  fail "server did not come up"
+}
+
+echo "sbx_chaos: phase 1 — load, then kill -9 mid-run"
+start_server "$WORK/server1.log"
+
+# Train-heavy and single-attempt: the abrupt kill must surface as loadgen
+# errors, not hide behind retries.
+"$LOADGEN" --connect="$SOCK" --users=32 --connections=4 --requests=5000 \
+           --batch=4 --train-every=2 --seed=11 --base-size=600 \
+           --attempts=1 >"$WORK/loadgen1.log" 2>&1 &
+LOADGEN_PID=$!
+
+sleep 1
+kill -9 "$SERVER_PID" || fail "server already dead before the kill"
+echo "sbx_chaos: killed server pid $SERVER_PID (SIGKILL)"
+wait "$LOADGEN_PID" && fail "loadgen survived the server kill unscathed"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=
+
+[ -f "$DATA/MANIFEST" ] || fail "no manifest written"
+WAL_BYTES=$(cat "$DATA"/shard-*/wal.log 2>/dev/null | wc -c)
+[ "$WAL_BYTES" -gt 0 ] || fail "WAL is empty — nothing was logged before the kill"
+echo "sbx_chaos: $WAL_BYTES WAL bytes survive the crash"
+
+echo "sbx_chaos: phase 2 — restart from $DATA and verify bit-identity"
+start_server "$WORK/server2.log"
+grep "recovered" "$WORK/server2.log"
+grep -Eq "replayed [1-9][0-9]* wal records" "$WORK/server2.log" ||
+  grep -Eq "recovered [1-9][0-9]* snapshot users" "$WORK/server2.log" ||
+  fail "recovery replayed nothing — the crash window missed all mutations"
+
+VERIFY_ARGS=(--connect="$SOCK" --connections=4 --requests=200 --batch=4
+             --train-every=3 --seed=23 --verify-data-dir="$DATA"
+             --attempts=3 --stats --shutdown)
+[ -n "$JSON_OUT" ] && VERIFY_ARGS+=(--json="$JSON_OUT" --json-metric-prefix=wal_)
+"$LOADGEN" "${VERIFY_ARGS[@]}" | tee "$WORK/loadgen2.log"
+RC=${PIPESTATUS[0]}
+[ "$RC" -eq 0 ] || fail "verify loadgen exited $RC"
+grep -q "verify: 0 mismatches" "$WORK/loadgen2.log" ||
+  fail "recovered state is NOT bit-identical"
+
+wait "$SERVER_PID" || fail "server did not drain cleanly after shutdown"
+SERVER_PID=
+echo "sbx_chaos: PASS — recovered state bit-identical after kill -9"

@@ -18,6 +18,20 @@
 // request into a local ServeFrontend from the same thread, and compares
 // response score bits — a single ULP of drift between the daemon path and
 // the in-process path counts as a mismatch and fails the run.
+//
+// Crash-recovery verification: --verify-data-dir=DIR reads the server's
+// manifest from DIR (so topology flags need not be repeated), replays its
+// snapshot + WAL into the mirror before the run starts, and then verifies
+// as usual. Combined with a fresh --seed this proves a restarted server
+// recovered to the exact pre-crash state: any lost or double-applied
+// mutation shifts the recovered counts and flips score bits.
+//
+// Robustness knobs: every request runs under --op-timeout-ms and is
+// retried up to --attempts times with exponential backoff + jitter on
+// connection failures and overloaded/shutting-down responses. Train
+// requests carry deterministic request ids, so a retry that races a
+// server-side apply is absorbed by the server's dedup window instead of
+// double-training — bit-identity survives retries.
 
 #include <algorithm>
 #include <atomic>
@@ -34,8 +48,9 @@
 #include "corpus/generator.h"
 #include "email/rfc2822.h"
 #include "serve/base_model.h"
+#include "serve/client.h"
 #include "serve/frontend.h"
-#include "serve/server.h"
+#include "serve/recovery.h"
 #include "util/config.h"
 #include "util/error.h"
 #include "util/random.h"
@@ -47,6 +62,7 @@ using sbx::serve::ClassifyBatchResponse;
 using sbx::serve::ErrorResponse;
 using sbx::serve::Request;
 using sbx::serve::Response;
+using sbx::serve::StatsResponse;
 using sbx::serve::TrainRequest;
 using sbx::serve::TrainResponse;
 
@@ -59,8 +75,13 @@ struct Flags {
   std::size_t train_every = 10;  // every Nth request trains (0 = never)
   std::uint64_t seed = 7;
   std::string json_path;
+  std::string json_metric_prefix;  // e.g. "wal_" for the chaos harness
   bool verify = false;
   bool shutdown = false;
+  bool stats = false;
+  std::string verify_data_dir;  // replay server WAL into the mirror first
+  long op_timeout_ms = 10'000;
+  int attempts = 3;
   sbx::serve::BaseModelConfig base;  // must match the server under --verify
 };
 
@@ -69,13 +90,17 @@ int usage(std::FILE* to) {
       to,
       "usage: sbx_loadgen --connect=ENDPOINT [--users=N] [--connections=C]\n"
       "                   [--requests=R] [--batch=B] [--train-every=K]\n"
-      "                   [--seed=N] [--json=PATH] [--verify] [--shutdown]\n"
+      "                   [--seed=N] [--json=PATH] [--json-metric-prefix=S]\n"
+      "                   [--verify] [--verify-data-dir=DIR] [--stats]\n"
+      "                   [--shutdown] [--op-timeout-ms=MS] [--attempts=N]\n"
       "                   [--base-size=N] [--spam-fraction=F] [--base-seed=N]\n"
       "\n"
       "Drives a deterministic classify/train workload against sbx_serve and\n"
       "reports msgs/sec and p50/p99 latency. --verify mirrors every request\n"
       "into an identical in-process frontend and fails on any score-bit\n"
-      "mismatch. --shutdown stops the server when done.\n");
+      "mismatch; --verify-data-dir pre-seeds that mirror by replaying the\n"
+      "server's snapshot+WAL (crash-recovery check). --shutdown stops the\n"
+      "server when done; --stats prints its counters first.\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -100,12 +125,26 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
       flags.train_every = parse_uint(arg.substr(14), "--train-every");
     } else if (arg.rfind("--seed=", 0) == 0) {
       flags.seed = parse_uint(arg.substr(7), "--seed");
-    } else if (arg.rfind("--json=", 0) == 0) {
+    } else if (arg.rfind("--json=", 0) == 0 &&
+               arg.rfind("--json-metric-prefix=", 0) != 0) {
       flags.json_path = arg.substr(7);
+    } else if (arg.rfind("--json-metric-prefix=", 0) == 0) {
+      flags.json_metric_prefix = arg.substr(21);
     } else if (arg == "--verify") {
       flags.verify = true;
+    } else if (arg.rfind("--verify-data-dir=", 0) == 0) {
+      flags.verify = true;
+      flags.verify_data_dir = arg.substr(18);
     } else if (arg == "--shutdown") {
       flags.shutdown = true;
+    } else if (arg == "--stats") {
+      flags.stats = true;
+    } else if (arg.rfind("--op-timeout-ms=", 0) == 0) {
+      flags.op_timeout_ms =
+          static_cast<long>(parse_uint(arg.substr(16), "--op-timeout-ms"));
+    } else if (arg.rfind("--attempts=", 0) == 0) {
+      flags.attempts =
+          static_cast<int>(parse_uint(arg.substr(11), "--attempts"));
     } else if (arg.rfind("--base-size=", 0) == 0) {
       flags.base.base_size = parse_uint(arg.substr(12), "--base-size");
     } else if (arg.rfind("--spam-fraction=", 0) == 0) {
@@ -128,6 +167,10 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
                  "greater than 0\n\n");
     return false;
   }
+  if (flags.attempts < 1) {
+    std::fprintf(stderr, "sbx_loadgen: --attempts must be at least 1\n\n");
+    return false;
+  }
   return true;
 }
 
@@ -138,6 +181,7 @@ struct ConnectionResult {
   std::uint64_t train_requests = 0;
   std::uint64_t errors = 0;
   std::uint64_t mismatches = 0;  // --verify score-bit diffs
+  std::uint64_t retries = 0;     // client-level reconnect/backoff retries
 };
 
 /// Bitwise score comparison between the daemon's response and the mirror's.
@@ -176,8 +220,20 @@ void run_connection(const Flags& flags, std::size_t conn_index,
                     const sbx::corpus::TrecLikeGenerator& generator,
                     sbx::serve::ServeFrontend* mirror,
                     ConnectionResult& out) {
-  sbx::serve::Client client(flags.connect);
+  sbx::serve::ClientOptions copts;
+  copts.op_timeout_ms = flags.op_timeout_ms;
+  copts.max_attempts = flags.attempts;
+  copts.jitter_seed = flags.seed ^ (conn_index + 1);
+  sbx::serve::Client client(flags.connect, copts);
   sbx::util::Rng rng = sbx::util::Rng(flags.seed).fork(conn_index);
+  // Deterministic per-connection request-id stream. The seed is scrambled
+  // first: splitmix64 walks states in increments of a fixed constant, so
+  // unscrambled seeds would alias each other's id streams and different
+  // runs against one data-dir would falsely dedup. Odd ids only: 0 means
+  // "no dedup".
+  std::uint64_t seed_state = flags.seed + 1;
+  std::uint64_t id_state = sbx::util::splitmix64(seed_state) ^
+                           ((conn_index + 1) * 0xBF58476D1CE4E5B9ull);
 
   // The users this connection owns: u % connections == conn_index. Every
   // request for one of them flows through this thread, so per-user order
@@ -203,6 +259,7 @@ void run_connection(const Flags& flags, std::size_t conn_index,
       t.message = sbx::email::render_message(
           t.as_spam ? generator.generate_spam(rng)
                     : generator.generate_ham(rng));
+      t.request_id = sbx::util::splitmix64(id_state) | 1;
       request = std::move(t);
     } else {
       ClassifyBatchRequest c;
@@ -218,7 +275,16 @@ void run_connection(const Flags& flags, std::size_t conn_index,
     }
 
     const auto start = std::chrono::steady_clock::now();
-    const Response response = client.call(request);
+    Response response;
+    try {
+      response = client.call(request);
+    } catch (const sbx::Error&) {
+      // Retries exhausted (or a protocol violation). The server may or may
+      // not have applied a failed train, so the mirror is skipped too; the
+      // nonzero error count fails the run regardless.
+      ++out.errors;
+      continue;
+    }
     const auto stop = std::chrono::steady_clock::now();
     out.latencies_ms.push_back(
         std::chrono::duration<double, std::milli>(stop - start).count());
@@ -234,6 +300,7 @@ void run_connection(const Flags& flags, std::size_t conn_index,
       out.mismatches += count_mismatches(response, mirror->dispatch(request));
     }
   }
+  out.retries = client.retries();
 }
 
 double percentile(std::vector<double>& sorted, double p) {
@@ -245,6 +312,41 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/// Builds the --verify mirror. With --verify-data-dir the topology comes
+/// from the server's manifest and the mirror is pre-seeded by replaying the
+/// server's snapshot+WAL, so the run verifies recovered state.
+std::unique_ptr<sbx::serve::ServeFrontend> build_mirror(Flags& flags) {
+  sbx::serve::FrontendConfig fc;
+  fc.user_count = flags.users;
+  sbx::serve::BaseModelConfig base = flags.base;
+  if (!flags.verify_data_dir.empty()) {
+    const auto manifest = sbx::serve::read_manifest(flags.verify_data_dir);
+    if (!manifest) {
+      throw sbx::IoError("sbx_loadgen: no manifest in --verify-data-dir " +
+                         flags.verify_data_dir);
+    }
+    fc.user_count = manifest->users;
+    fc.shard_count = manifest->shards;
+    base.base_size = manifest->base_size;
+    base.spam_fraction = manifest->spam_fraction;
+    base.seed = manifest->base_seed;
+    flags.users = manifest->users;  // workload must target real users
+  }
+  auto mirror = std::make_unique<sbx::serve::ServeFrontend>(
+      sbx::serve::build_base_filter(base), fc);
+  if (!flags.verify_data_dir.empty()) {
+    // Read-only replay: never repair the server's WAL files from here.
+    const auto rs = sbx::serve::recover(*mirror, flags.verify_data_dir,
+                                        /*repair_torn_tail=*/false);
+    std::printf("sbx_loadgen: mirror replayed %llu snapshot users + %llu wal "
+                "records from %s\n",
+                static_cast<unsigned long long>(rs.snapshot_users),
+                static_cast<unsigned long long>(rs.replayed_records),
+                flags.verify_data_dir.c_str());
+  }
+  return mirror;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,17 +355,12 @@ int main(int argc, char** argv) {
   try {
     const sbx::corpus::TrecLikeGenerator generator;
 
-    // --verify: the in-process twin. Same base triple as the daemon, same
-    // user/shard topology is irrelevant for bit-identity (routing never
-    // changes scores), so default shards are fine as long as user_count
-    // matches.
+    // --verify: the in-process twin. Same base triple as the daemon; shard
+    // topology is irrelevant for bit-identity (routing never changes
+    // scores) except under --verify-data-dir, where the manifest supplies
+    // everything anyway.
     std::unique_ptr<sbx::serve::ServeFrontend> mirror;
-    if (flags.verify) {
-      sbx::serve::FrontendConfig fc;
-      fc.user_count = flags.users;
-      mirror = std::make_unique<sbx::serve::ServeFrontend>(
-          sbx::serve::build_base_filter(flags.base), fc);
-    }
+    if (flags.verify) mirror = build_mirror(flags);
 
     std::vector<ConnectionResult> results(flags.connections);
     const auto wall_start = std::chrono::steady_clock::now();
@@ -284,6 +381,7 @@ int main(int argc, char** argv) {
 
     std::vector<double> latencies;
     std::uint64_t classified = 0, trains = 0, errors = 0, mismatches = 0;
+    std::uint64_t retried = 0;
     for (const ConnectionResult& r : results) {
       latencies.insert(latencies.end(), r.latencies_ms.begin(),
                        r.latencies_ms.end());
@@ -291,6 +389,7 @@ int main(int argc, char** argv) {
       trains += r.train_requests;
       errors += r.errors;
       mismatches += r.mismatches;
+      retried += r.retries;
     }
     std::sort(latencies.begin(), latencies.end());
     const double p50 = percentile(latencies, 0.50);
@@ -301,11 +400,12 @@ int main(int argc, char** argv) {
         elapsed_sec > 0 ? static_cast<double>(latencies.size()) / elapsed_sec
                         : 0;
 
-    std::printf("sbx_loadgen: %llu msgs classified, %llu trains, %llu errors "
-                "in %.2fs over %zu connections\n",
+    std::printf("sbx_loadgen: %llu msgs classified, %llu trains, %llu errors, "
+                "%llu retries in %.2fs over %zu connections\n",
                 static_cast<unsigned long long>(classified),
                 static_cast<unsigned long long>(trains),
-                static_cast<unsigned long long>(errors), elapsed_sec,
+                static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(retried), elapsed_sec,
                 flags.connections);
     std::printf("sbx_loadgen: %.1f msgs/sec, %.1f reqs/sec, p50 %.3f ms, "
                 "p99 %.3f ms\n",
@@ -315,9 +415,40 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(mismatches));
     }
 
-    if (flags.shutdown) {
-      sbx::serve::Client control(flags.connect);
-      control.call(Request(sbx::serve::ShutdownRequest{}));
+    // Recovery telemetry for the chaos harness: replayed records / replay
+    // seconds, taken from the server's own counters.
+    std::optional<StatsResponse> server_stats;
+    if (flags.stats || flags.shutdown) {
+      sbx::serve::ClientOptions copts;
+      copts.op_timeout_ms = flags.op_timeout_ms;
+      copts.max_attempts = flags.attempts;
+      copts.jitter_seed = flags.seed ^ 0xC0FFEE;
+      sbx::serve::Client control(flags.connect, copts);
+      if (flags.stats) {
+        const Response r = control.call(Request(sbx::serve::StatsRequest{}));
+        if (const auto* s = std::get_if<StatsResponse>(&r)) {
+          server_stats = *s;
+          std::printf(
+              "sbx_loadgen: server stats: uptime %llu ms, wal %llu records / "
+              "%llu bytes / %llu snapshots, recovery %llu replayed + %llu "
+              "torn dropped in %llu ms (%llu snapshot users), %llu deduped, "
+              "%llu shed, %llu active\n",
+              static_cast<unsigned long long>(s->uptime_ms),
+              static_cast<unsigned long long>(s->wal_records),
+              static_cast<unsigned long long>(s->wal_bytes),
+              static_cast<unsigned long long>(s->wal_snapshots),
+              static_cast<unsigned long long>(s->recovery_replayed_records),
+              static_cast<unsigned long long>(s->recovery_torn_dropped),
+              static_cast<unsigned long long>(s->recovery_ms),
+              static_cast<unsigned long long>(s->recovery_snapshot_users),
+              static_cast<unsigned long long>(s->deduped_mutations),
+              static_cast<unsigned long long>(s->shed_connections),
+              static_cast<unsigned long long>(s->active_connections));
+        }
+      }
+      if (flags.shutdown) {
+        control.call(Request(sbx::serve::ShutdownRequest{}));
+      }
     }
 
     if (!flags.json_path.empty()) {
@@ -325,15 +456,27 @@ int main(int argc, char** argv) {
       if (f == nullptr) {
         throw sbx::IoError("sbx_loadgen: cannot write " + flags.json_path);
       }
+      const std::string& mp = flags.json_metric_prefix;
       // Latencies live under "info", not "metrics": check_bench.py treats
       // every metric as higher-is-better.
       std::fprintf(f,
                    "{\n"
                    "  \"schema\": 1,\n"
                    "  \"metrics\": {\n"
-                   "    \"classify_msgs_per_sec\": %.3f,\n"
-                   "    \"requests_per_sec\": %.3f\n"
-                   "  },\n"
+                   "    \"%sclassify_msgs_per_sec\": %.3f,\n"
+                   "    \"%srequests_per_sec\": %.3f",
+                   mp.c_str(), msgs_per_sec, mp.c_str(), reqs_per_sec);
+      if (server_stats && server_stats->recovery_replayed_records > 0 &&
+          server_stats->recovery_ms > 0) {
+        const double replay_per_sec =
+            static_cast<double>(server_stats->recovery_replayed_records) /
+            (static_cast<double>(server_stats->recovery_ms) / 1000.0);
+        std::fprintf(f,
+                     ",\n    \"%srecovery_replayed_records_per_sec\": %.3f",
+                     mp.c_str(), replay_per_sec);
+      }
+      std::fprintf(f,
+                   "\n  },\n"
                    "  \"info\": {\n"
                    "    \"p50_ms\": %.4f,\n"
                    "    \"p99_ms\": %.4f,\n"
@@ -345,15 +488,17 @@ int main(int argc, char** argv) {
                    "    \"classified_messages\": %llu,\n"
                    "    \"train_requests\": %llu,\n"
                    "    \"errors\": %llu,\n"
+                   "    \"retried_requests\": %llu,\n"
                    "    \"verify_mismatches\": %llu,\n"
                    "    \"elapsed_sec\": %.3f\n"
                    "  }\n"
                    "}\n",
-                   msgs_per_sec, reqs_per_sec, p50, p99, flags.connections,
-                   flags.users, flags.batch, flags.requests, flags.train_every,
+                   p50, p99, flags.connections, flags.users, flags.batch,
+                   flags.requests, flags.train_every,
                    static_cast<unsigned long long>(classified),
                    static_cast<unsigned long long>(trains),
                    static_cast<unsigned long long>(errors),
+                   static_cast<unsigned long long>(retried),
                    static_cast<unsigned long long>(mismatches), elapsed_sec);
       std::fclose(f);
       std::printf("sbx_loadgen: wrote %s\n", flags.json_path.c_str());

@@ -3,27 +3,48 @@
 // Builds a deterministic shared base filter (TREC-like corpus, seeded),
 // shards N user models over it as copy-on-write overlays, and serves the
 // framed classify/train/untrain/stats protocol on a UNIX or loopback TCP
-// socket until a shutdown request arrives.
+// socket until a shutdown request (or SIGTERM) arrives.
 //
 //   sbx_serve --listen=tcp:0 --users=64 --shards=4 --base-size=2000
 //             --spam-fraction=0.5 --seed=42
+//
+// Crash safety: with --data-dir the daemon write-ahead-logs every
+// train/untrain before it publishes (--fsync=none|batch|always picks the
+// disk-durability point; --snapshot-every=N checkpoints shard overlays and
+// truncates their logs). On startup it replays snapshot + log back to a
+// state bit-identical to an uninterrupted run — kill -9 the daemon at any
+// point and restart it from the same --data-dir to verify (tools/
+// sbx_chaos.sh automates exactly that). A MANIFEST file pins the topology
+// flags; restarting with different ones is refused instead of silently
+// misrouting recovered users.
 //
 // The resolved endpoint (real port for tcp:0) is printed on stdout before
 // serving starts, so scripts can wait for the line and connect:
 //
 //   sbx_serve: listening on tcp:127.0.0.1:40613 (64 users, 4 shards, ...)
 //
+// SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight
+// requests, fsync the logs, exit 0. SBX_FAULT=<spec> arms the fault
+// injector (see serve/fault_injector.h) for chaos testing.
+//
 // Drive it with sbx_loadgen, which also knows how to mirror every request
 // into an identical in-process frontend and verify score bits match.
 
+#include <signal.h>
+
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "serve/base_model.h"
+#include "serve/fault_injector.h"
 #include "serve/frontend.h"
+#include "serve/recovery.h"
 #include "serve/server.h"
 #include "util/config.h"
+#include "util/error.h"
 
 namespace {
 
@@ -31,17 +52,29 @@ struct Flags {
   std::string listen = "tcp:0";
   sbx::serve::FrontendConfig frontend;
   sbx::serve::BaseModelConfig base;
+  sbx::serve::ServerConfig server;
+  std::string data_dir;  // empty = in-memory only
+  sbx::serve::FsyncMode fsync = sbx::serve::FsyncMode::kBatch;
+  std::uint32_t fsync_batch = 64;
+  std::uint64_t snapshot_every = 0;
 };
 
 int usage(std::FILE* to) {
-  std::fprintf(to,
-               "usage: sbx_serve [--listen=unix:PATH|tcp:PORT] [--users=N]\n"
-               "                 [--shards=N] [--base-size=N]\n"
-               "                 [--spam-fraction=F] [--seed=N]\n"
-               "\n"
-               "Serves the sbx classify/train/untrain/stats protocol until a\n"
-               "shutdown request arrives. tcp:0 picks a free loopback port\n"
-               "and prints it.\n");
+  std::fprintf(
+      to,
+      "usage: sbx_serve [--listen=unix:PATH|tcp:PORT] [--users=N]\n"
+      "                 [--shards=N] [--base-size=N]\n"
+      "                 [--spam-fraction=F] [--seed=N]\n"
+      "                 [--data-dir=PATH] [--fsync=none|batch|always]\n"
+      "                 [--fsync-batch=N] [--snapshot-every=N]\n"
+      "                 [--dedup-window=N] [--max-connections=N]\n"
+      "                 [--read-timeout-ms=MS] [--idle-timeout-ms=MS]\n"
+      "\n"
+      "Serves the sbx classify/train/untrain/stats protocol until a\n"
+      "shutdown request or SIGTERM arrives. tcp:0 picks a free loopback\n"
+      "port and prints it. --data-dir enables the mutation WAL and\n"
+      "crash recovery; restarting from the same directory replays the\n"
+      "log back to the pre-crash state.\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -65,6 +98,27 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
           parse_double(arg.substr(16), "--spam-fraction");
     } else if (arg.rfind("--seed=", 0) == 0) {
       flags.base.seed = parse_uint(arg.substr(7), "--seed");
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      flags.data_dir = arg.substr(11);
+    } else if (arg.rfind("--fsync=", 0) == 0) {
+      flags.fsync = sbx::serve::fsync_mode_from_string(arg.substr(8));
+    } else if (arg.rfind("--fsync-batch=", 0) == 0) {
+      flags.fsync_batch = static_cast<std::uint32_t>(
+          parse_uint(arg.substr(14), "--fsync-batch"));
+    } else if (arg.rfind("--snapshot-every=", 0) == 0) {
+      flags.snapshot_every = parse_uint(arg.substr(17), "--snapshot-every");
+    } else if (arg.rfind("--dedup-window=", 0) == 0) {
+      flags.frontend.dedup_window =
+          parse_uint(arg.substr(15), "--dedup-window");
+    } else if (arg.rfind("--max-connections=", 0) == 0) {
+      flags.server.max_connections =
+          parse_uint(arg.substr(18), "--max-connections");
+    } else if (arg.rfind("--read-timeout-ms=", 0) == 0) {
+      flags.server.read_timeout_ms = static_cast<long>(
+          parse_uint(arg.substr(18), "--read-timeout-ms"));
+    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      flags.server.idle_timeout_ms = static_cast<long>(
+          parse_uint(arg.substr(18), "--idle-timeout-ms"));
     } else {
       std::fprintf(stderr, "sbx_serve: unknown flag '%s'\n\n", arg.c_str());
       return false;
@@ -73,22 +127,92 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
   return true;
 }
 
+sbx::serve::Server* g_server = nullptr;
+
+void handle_drain_signal(int) {
+  // request_drain is async-signal-safe (one write to a self-pipe).
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+/// Refuses to recover into a differently-shaped process: routing and the
+/// base filter derive from these five values, so a mismatch would misroute
+/// every recovered overlay.
+void check_or_write_manifest(const Flags& flags) {
+  sbx::serve::Manifest expected;
+  expected.users = flags.frontend.user_count;
+  expected.shards = flags.frontend.shard_count;
+  expected.base_size = flags.base.base_size;
+  expected.spam_fraction = flags.base.spam_fraction;
+  expected.base_seed = flags.base.seed;
+  if (const auto found = sbx::serve::read_manifest(flags.data_dir)) {
+    if (!(*found == expected)) {
+      throw sbx::InvalidArgument(
+          "sbx_serve: --data-dir " + flags.data_dir +
+          " was created with a different topology (users/shards/base flags "
+          "must match the manifest)");
+    }
+    return;
+  }
+  sbx::serve::write_manifest(flags.data_dir, expected);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
   if (!parse_flags(argc, argv, flags)) return usage(stderr);
   try {
+    sbx::serve::FaultInjector::instance().configure_from_env();
+
+    std::unique_ptr<sbx::serve::Durability> durability;
+    if (!flags.data_dir.empty()) {
+      sbx::serve::DurabilityConfig dc;
+      dc.data_dir = flags.data_dir;
+      dc.fsync = flags.fsync;
+      dc.fsync_batch_every = flags.fsync_batch;
+      dc.snapshot_every = flags.snapshot_every;
+      durability = std::make_unique<sbx::serve::Durability>(
+          dc, flags.frontend.shard_count);
+      check_or_write_manifest(flags);
+    }
+
     sbx::serve::ServeFrontend frontend(
-        sbx::serve::build_base_filter(flags.base), flags.frontend);
-    sbx::serve::Server server(frontend, flags.listen);
+        sbx::serve::build_base_filter(flags.base), flags.frontend,
+        std::move(durability));
+
+    if (!flags.data_dir.empty()) {
+      const sbx::serve::RecoveryStats rs = sbx::serve::recover(
+          frontend, flags.data_dir, /*repair_torn_tail=*/true);
+      frontend.durability()->note_recovered_seqno(rs.max_seqno);
+      frontend.set_recovery_stats(rs);
+      std::printf(
+          "sbx_serve: recovered %llu snapshot users, replayed %llu wal "
+          "records (%llu torn/corrupt dropped) in %llu ms\n",
+          static_cast<unsigned long long>(rs.snapshot_users),
+          static_cast<unsigned long long>(rs.replayed_records),
+          static_cast<unsigned long long>(rs.torn_dropped),
+          static_cast<unsigned long long>(rs.duration_ms));
+    }
+
+    sbx::serve::Server server(frontend, flags.listen, flags.server);
+    g_server = &server;
+    struct sigaction sa {};
+    sa.sa_handler = handle_drain_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
     std::printf("sbx_serve: listening on %s (%zu users, %zu shards, base %zu "
-                "msgs, seed %llu)\n",
+                "msgs, seed %llu%s%s)\n",
                 server.endpoint().c_str(), frontend.user_count(),
                 frontend.shard_count(), flags.base.base_size,
-                static_cast<unsigned long long>(flags.base.seed));
+                static_cast<unsigned long long>(flags.base.seed),
+                flags.data_dir.empty() ? "" : ", wal fsync=",
+                flags.data_dir.empty()
+                    ? ""
+                    : sbx::serve::to_string(flags.fsync).c_str());
     std::fflush(stdout);
     server.run();
+    g_server = nullptr;
     std::printf("sbx_serve: shutdown\n");
     return 0;
   } catch (const std::exception& e) {
