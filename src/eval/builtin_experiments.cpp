@@ -42,6 +42,9 @@ using util::Table;
 template <typename... Args>
 std::string strf(const char* format, Args... args) {
   char buf[320];
+  // Audited: feeds human-readable report/note lines only, never the
+  // round-trip JSON/CSV values (eval/result_doc.cpp, eval/attack_axis.cpp).
+  // sbx-lint: allow(float-format): audited report-text helper, see above
   std::snprintf(buf, sizeof(buf), format, args...);
   return buf;
 }

@@ -40,16 +40,17 @@ RoniExperimentResult run_roni_experiment(const corpus::TrecLikeGenerator& gen,
   // --- non-attack spam queries: fresh spam emails, one assessment each ---
   {
     util::Rng query_rng = runner.fork(2);
-    std::vector<spambayes::TokenIdSet> queries;
-    queries.reserve(config.nonattack_queries);
+    std::vector<spambayes::TokenIdSet> spam_queries;
+    spam_queries.reserve(config.nonattack_queries);
     for (std::size_t i = 0; i < config.nonattack_queries; ++i) {
-      queries.push_back(spambayes::unique_token_ids(
+      spam_queries.push_back(spambayes::unique_token_ids(
           tokenizer.tokenize_ids(gen.generate_spam(query_rng))));
     }
     runner.map_reduce(
-        queries.size(), query_rng,
+        spam_queries.size(), query_rng,
         [&](std::size_t i, util::Rng& rng) {
-          const core::RoniAssessment a = defense.assess(queries[i], pool, rng);
+          const core::RoniAssessment a =
+              defense.assess(spam_queries[i], pool, rng);
           return AssessmentOutcome{a.mean_ham_as_ham_decrease, a.rejected};
         },
         [&](std::size_t, AssessmentOutcome o) {

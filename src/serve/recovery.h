@@ -144,6 +144,10 @@ class Durability {
   }
 
  private:
+  // No mutex here on purpose: config_ and wals_ are const after the
+  // constructor (the WalWriters themselves serialize their file state
+  // behind their own io mutex), and the counters are atomics. There is no
+  // member left for SBX_GUARDED_BY to protect.
   DurabilityConfig config_;
   std::vector<std::unique_ptr<WalWriter>> wals_;
   std::atomic<std::uint64_t> next_seqno_{1};

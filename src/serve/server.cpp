@@ -115,7 +115,7 @@ Server::~Server() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
   {
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    const util::MutexLock lock(threads_mutex_);
     for (std::thread& t : threads_) {
       if (t.joinable()) t.join();
     }
@@ -156,7 +156,7 @@ void Server::run() {
       continue;
     }
     counters_.active.fetch_add(1, std::memory_order_acq_rel);
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    const util::MutexLock lock(threads_mutex_);
     threads_.emplace_back([this, fd] { serve_connection(fd); });
   }
   // Drain: no new connections. The listening socket closes now so the
@@ -169,7 +169,7 @@ void Server::run() {
   }
   if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
   {
-    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    const util::MutexLock lock(threads_mutex_);
     for (std::thread& t : threads_) {
       if (t.joinable()) t.join();
     }

@@ -32,13 +32,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/frontend.h"
 #include "serve/protocol.h"
+#include "util/thread_annotations.h"
 
 namespace sbx::serve {
 
@@ -72,7 +72,7 @@ class Server {
   /// Serves until a ShutdownRequest or request_drain()/stop() arrives,
   /// finishes in-flight requests, joins connection threads, and flushes
   /// the frontend's WAL.
-  void run();
+  void run() SBX_EXCLUDES(threads_mutex_);
 
   /// Asynchronously initiates a graceful drain (idempotent, thread-safe,
   /// async-signal-safe — callable from a SIGTERM handler).
@@ -97,8 +97,10 @@ class Server {
   int drain_pipe_[2] = {-1, -1};  // self-pipe; [1] written by request_drain
   std::atomic<bool> stopping_{false};
   ServerCounters counters_;
-  std::mutex threads_mutex_;
-  std::vector<std::thread> threads_;
+  // Connection table: the accept loop appends while the destructor (a
+  // different thread when run() lives on its own) joins.
+  util::Mutex threads_mutex_;
+  std::vector<std::thread> threads_ SBX_GUARDED_BY(threads_mutex_);
 };
 
 }  // namespace sbx::serve

@@ -18,6 +18,7 @@ ModelShard::ModelShard(std::size_t user_count)
 }
 
 void ModelShard::configure_dedup(std::size_t dedup_window) {
+  const util::MutexLock lock(mutation_mutex_);
   dedup_window_ = dedup_window;
   if (uid_of_local_.empty()) uid_of_local_.assign(user_count_, 0);
   dedup_.assign(user_count_, {});
@@ -25,6 +26,7 @@ void ModelShard::configure_dedup(std::size_t dedup_window) {
 
 void ModelShard::attach_durability(Durability* durability,
                                    std::size_t shard_index) {
+  const util::MutexLock lock(mutation_mutex_);
   durability_ = durability;
   shard_index_ = shard_index;
   if (uid_of_local_.empty()) uid_of_local_.assign(user_count_, 0);
@@ -33,6 +35,7 @@ void ModelShard::attach_durability(Durability* durability,
 
 void ModelShard::set_uid_of_local(std::size_t local, std::uint64_t uid) {
   user(local);  // range check
+  const util::MutexLock lock(mutation_mutex_);
   if (uid_of_local_.empty()) uid_of_local_.assign(user_count_, 0);
   uid_of_local_[local] = uid;
 }
@@ -74,7 +77,7 @@ MutationResult ModelShard::apply_mutation(std::size_t local,
                                           const MutationRequest& req,
                                           const spambayes::TokenIdSet& ids) {
   UserModel& model = user(local);
-  const std::lock_guard<std::mutex> lock(mutation_mutex_);
+  const util::MutexLock lock(mutation_mutex_);
 
   if (const DedupEntry* hit = find_dedup(local, req.request_id)) {
     deduped_.fetch_add(1, std::memory_order_relaxed);
@@ -84,8 +87,8 @@ MutationResult ModelShard::apply_mutation(std::size_t local,
 
   // Prepare first: a mutation that cannot apply (bad untrain) must fail
   // before anything reaches the log.
-  OverlaySnapshot next =
-      model.prepare(ids, req.as_spam, req.copies, req.op == kWalOpTrain);
+  OverlaySnapshot next = model.prepare(ids, req.as_spam, req.copies,
+                                       req.op == kWalOpTrain, mutation_mutex_);
 
   if (durability_ != nullptr) {
     WalRecord record;
@@ -102,7 +105,7 @@ MutationResult ModelShard::apply_mutation(std::size_t local,
 
   const MutationResult result{next->generation(), next->spam_count(),
                               next->ham_count(), false};
-  model.publish(std::move(next));
+  model.publish(std::move(next), mutation_mutex_);
   remember_dedup(local, DedupEntry{req.request_id, req.op, result.spam,
                                    result.ham});
   if (durability_ != nullptr) maybe_snapshot();
@@ -113,12 +116,12 @@ MutationResult ModelShard::replay_mutation(std::size_t local,
                                            const MutationRequest& req,
                                            const spambayes::TokenIdSet& ids) {
   UserModel& model = user(local);
-  const std::lock_guard<std::mutex> lock(mutation_mutex_);
-  OverlaySnapshot next =
-      model.prepare(ids, req.as_spam, req.copies, req.op == kWalOpTrain);
+  const util::MutexLock lock(mutation_mutex_);
+  OverlaySnapshot next = model.prepare(ids, req.as_spam, req.copies,
+                                       req.op == kWalOpTrain, mutation_mutex_);
   const MutationResult result{next->generation(), next->spam_count(),
                               next->ham_count(), false};
-  model.publish(std::move(next));
+  model.publish(std::move(next), mutation_mutex_);
   remember_dedup(local, DedupEntry{req.request_id, req.op, result.spam,
                                    result.ham});
   if (req.seqno > last_seqno_) last_seqno_ = req.seqno;
@@ -128,7 +131,7 @@ MutationResult ModelShard::replay_mutation(std::size_t local,
 void ModelShard::replay_install(std::size_t local, OverlaySnapshot overlay,
                                 std::vector<DedupEntry> dedup) {
   user(local);  // range check
-  const std::lock_guard<std::mutex> lock(mutation_mutex_);
+  const util::MutexLock lock(mutation_mutex_);
   users_[local].install(std::move(overlay));
   if (!dedup_.empty()) {
     std::deque<DedupEntry>& window = dedup_[local];
@@ -163,27 +166,29 @@ void ModelShard::maybe_snapshot() {
 void ModelShard::apply_train(std::size_t local,
                              const spambayes::TokenIdSet& ids, bool as_spam,
                              std::uint32_t copies) {
+  UserModel& model = user(local);
+  const util::MutexLock lock(mutation_mutex_);
+  // durability_ is read under the lock: attach_durability may race this
+  // call, and the WAL-bypass check must see the attached state.
   if (durability_ != nullptr) {
     throw InvalidArgument(
         "ModelShard: apply_train bypasses the WAL; use apply_mutation on a "
         "durable shard");
   }
-  UserModel& model = user(local);
-  const std::lock_guard<std::mutex> lock(mutation_mutex_);
-  model.train(ids, as_spam, copies);
+  model.train(ids, as_spam, copies, mutation_mutex_);
 }
 
 void ModelShard::apply_untrain(std::size_t local,
                                const spambayes::TokenIdSet& ids, bool as_spam,
                                std::uint32_t copies) {
+  UserModel& model = user(local);
+  const util::MutexLock lock(mutation_mutex_);
   if (durability_ != nullptr) {
     throw InvalidArgument(
         "ModelShard: apply_untrain bypasses the WAL; use apply_mutation on a "
         "durable shard");
   }
-  UserModel& model = user(local);
-  const std::lock_guard<std::mutex> lock(mutation_mutex_);
-  model.untrain(ids, as_spam, copies);
+  model.untrain(ids, as_spam, copies, mutation_mutex_);
 }
 
 void ModelShard::record_classified(std::size_t local, std::uint64_t messages) {

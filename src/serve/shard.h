@@ -28,11 +28,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/user_model.h"
+#include "util/thread_annotations.h"
 
 namespace sbx::serve {
 
@@ -87,17 +87,21 @@ class ModelShard {
 
   /// Sizes the per-user request-id dedup windows (0 disables dedup). A
   /// WAL-less mirror configures dedup too, so it absorbs retried requests
-  /// exactly like the durable server it verifies against. Call before any
-  /// mutation.
-  void configure_dedup(std::size_t dedup_window);
+  /// exactly like the durable server it verifies against. Taken under the
+  /// mutation lock, so a late reconfigure cannot tear a concurrent
+  /// mutation's dedup window out from under it.
+  void configure_dedup(std::size_t dedup_window)
+      SBX_EXCLUDES(mutation_mutex_);
 
-  /// Wires this shard to its WAL (durability->wal(shard_index)). Call
-  /// before any mutation.
-  void attach_durability(Durability* durability, std::size_t shard_index);
+  /// Wires this shard to its WAL (durability->wal(shard_index)). Taken
+  /// under the mutation lock (same reasoning as configure_dedup).
+  void attach_durability(Durability* durability, std::size_t shard_index)
+      SBX_EXCLUDES(mutation_mutex_);
 
   /// Records the global user id behind a local slot (snapshots persist
   /// global ids; routing is rebuilt from the manifest on recovery).
-  void set_uid_of_local(std::size_t local, std::uint64_t uid);
+  void set_uid_of_local(std::size_t local, std::uint64_t uid)
+      SBX_EXCLUDES(mutation_mutex_);
 
   /// Lock-free read of user `local`'s published overlay (null = empty).
   /// Throws InvalidArgument for an out-of-range slot.
@@ -109,7 +113,8 @@ class ModelShard {
   /// message; nothing is logged or published) and IoError when the WAL
   /// cannot be written (ditto).
   MutationResult apply_mutation(std::size_t local, const MutationRequest& req,
-                                const spambayes::TokenIdSet& ids);
+                                const spambayes::TokenIdSet& ids)
+      SBX_EXCLUDES(mutation_mutex_);
 
   /// Recovery path: applies a logged mutation without re-logging it (and
   /// without checkpointing), and remembers its request id for post-restart
@@ -117,24 +122,28 @@ class ModelShard {
   /// record was only ever logged after a successful prepare, so failure
   /// here means corrupted state and must be loud.
   MutationResult replay_mutation(std::size_t local, const MutationRequest& req,
-                                 const spambayes::TokenIdSet& ids);
+                                 const spambayes::TokenIdSet& ids)
+      SBX_EXCLUDES(mutation_mutex_);
 
   /// Recovery path: installs a snapshot's overlay and dedup window
   /// verbatim (no WAL, no counters).
   void replay_install(std::size_t local, OverlaySnapshot overlay,
-                      std::vector<DedupEntry> dedup);
+                      std::vector<DedupEntry> dedup)
+      SBX_EXCLUDES(mutation_mutex_);
 
   /// Applies one training mutation under the shard mutation lock.
   /// (Durability-free compatibility path; throws when a WAL is attached —
   /// callers must go through apply_mutation so the mutation is logged.)
   void apply_train(std::size_t local, const spambayes::TokenIdSet& ids,
-                   bool as_spam, std::uint32_t copies);
+                   bool as_spam, std::uint32_t copies)
+      SBX_EXCLUDES(mutation_mutex_);
 
   /// Applies one untraining mutation under the shard mutation lock.
   /// Throws InvalidArgument when the user's overlay does not contain the
   /// message (fail loudly instead of silently corrupting counts).
   void apply_untrain(std::size_t local, const spambayes::TokenIdSet& ids,
-                     bool as_spam, std::uint32_t copies);
+                     bool as_spam, std::uint32_t copies)
+      SBX_EXCLUDES(mutation_mutex_);
 
   /// Attributes `messages` classified messages to user `local`.
   void record_classified(std::size_t local, std::uint64_t messages);
@@ -146,24 +155,34 @@ class ModelShard {
   const UserModel& user(std::size_t local) const;
 
   /// Dedup window lookup (caller holds the mutation lock).
-  const DedupEntry* find_dedup(std::size_t local,
-                               std::uint64_t request_id) const;
-  void remember_dedup(std::size_t local, DedupEntry entry);
+  const DedupEntry* find_dedup(std::size_t local, std::uint64_t request_id)
+      const SBX_REQUIRES(mutation_mutex_);
+  void remember_dedup(std::size_t local, DedupEntry entry)
+      SBX_REQUIRES(mutation_mutex_);
 
   /// Checkpoint when enough records accumulated (caller holds the lock).
-  void maybe_snapshot();
+  void maybe_snapshot() SBX_REQUIRES(mutation_mutex_);
 
   std::size_t user_count_;
+  // UserModel slots are internally safe for lock-free reads; their
+  // mutation methods take mutation_mutex_ as a REQUIRES() capability
+  // parameter, so the single-writer half of the contract is checked at
+  // the UserModel boundary rather than by guarding the array.
   std::unique_ptr<UserModel[]> users_;
-  std::mutex mutation_mutex_;
+  mutable util::Mutex mutation_mutex_;
 
   // Durability wiring (null = in-memory only, the pre-PR-7 behavior).
-  Durability* durability_ = nullptr;
-  std::size_t shard_index_ = 0;
-  std::size_t dedup_window_ = 0;
-  std::uint64_t last_seqno_ = 0;  // highest seqno applied or logged here
-  std::vector<std::uint64_t> uid_of_local_;
-  std::vector<std::deque<DedupEntry>> dedup_;  // per local slot, FIFO
+  // Everything below changes only under the mutation lock — including
+  // the setup calls (configure_dedup / attach_durability), which used to
+  // rely on a prose "call before any mutation" contract.
+  Durability* durability_ SBX_GUARDED_BY(mutation_mutex_) = nullptr;
+  std::size_t shard_index_ SBX_GUARDED_BY(mutation_mutex_) = 0;
+  std::size_t dedup_window_ SBX_GUARDED_BY(mutation_mutex_) = 0;
+  // Highest seqno applied or logged here.
+  std::uint64_t last_seqno_ SBX_GUARDED_BY(mutation_mutex_) = 0;
+  std::vector<std::uint64_t> uid_of_local_ SBX_GUARDED_BY(mutation_mutex_);
+  // Per local slot, FIFO.
+  std::vector<std::deque<DedupEntry>> dedup_ SBX_GUARDED_BY(mutation_mutex_);
   std::atomic<std::uint64_t> deduped_{0};
 };
 

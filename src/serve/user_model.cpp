@@ -8,7 +8,8 @@ namespace sbx::serve {
 
 OverlaySnapshot UserModel::prepare(const spambayes::TokenIdSet& ids,
                                    bool as_spam, std::uint32_t copies,
-                                   bool is_train) {
+                                   bool is_train, util::Mutex& mu) {
+  (void)mu;  // capability parameter: consumed by SBX_REQUIRES(mu)
   const OverlaySnapshot current = snapshot();
   if (!is_train && !current) {
     throw InvalidArgument(
@@ -36,19 +37,20 @@ OverlaySnapshot UserModel::prepare(const spambayes::TokenIdSet& ids,
   return next;
 }
 
-void UserModel::publish(OverlaySnapshot next) {
+void UserModel::publish(OverlaySnapshot next, util::Mutex& mu) {
+  (void)mu;
   overlay_.store(std::move(next), std::memory_order_release);
   mutations_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void UserModel::train(const spambayes::TokenIdSet& ids, bool as_spam,
-                      std::uint32_t copies) {
-  publish(prepare(ids, as_spam, copies, /*is_train=*/true));
+                      std::uint32_t copies, util::Mutex& mu) {
+  publish(prepare(ids, as_spam, copies, /*is_train=*/true, mu), mu);
 }
 
 void UserModel::untrain(const spambayes::TokenIdSet& ids, bool as_spam,
-                        std::uint32_t copies) {
-  publish(prepare(ids, as_spam, copies, /*is_train=*/false));
+                        std::uint32_t copies, util::Mutex& mu) {
+  publish(prepare(ids, as_spam, copies, /*is_train=*/false, mu), mu);
 }
 
 }  // namespace sbx::serve

@@ -30,6 +30,7 @@
 
 #include "spambayes/interner.h"
 #include "spambayes/token_db.h"
+#include "util/thread_annotations.h"
 
 namespace sbx::serve {
 
@@ -54,30 +55,37 @@ class UserModel {
     return overlay_.load(std::memory_order_acquire);
   }
 
+  // Mutations take the owning shard's mutation mutex as an explicit
+  // capability parameter: "caller holds the shard mutation lock" is not a
+  // comment here, it is SBX_REQUIRES(mu) — a clang build refuses call
+  // sites that do not provably hold the lock they pass.
+
   /// Copy-on-write train: copies the current overlay (or starts an empty
   /// one), trains `copies` messages with token set `ids`, publishes the
-  /// copy (release). Caller holds the shard mutation lock.
+  /// copy (release). Caller holds `mu`, the shard mutation lock.
   void train(const spambayes::TokenIdSet& ids, bool as_spam,
-             std::uint32_t copies);
+             std::uint32_t copies, util::Mutex& mu) SBX_REQUIRES(mu);
 
   /// Copy-on-write untrain, exactly reversing a train with the same
   /// arguments. Throws sbx::InvalidArgument when the overlay does not
   /// contain the message (never trained, or already untrained) — the
-  /// published overlay is untouched in that case.
+  /// published overlay is untouched in that case. Caller holds `mu`, the
+  /// shard mutation lock.
   void untrain(const spambayes::TokenIdSet& ids, bool as_spam,
-               std::uint32_t copies);
+               std::uint32_t copies, util::Mutex& mu) SBX_REQUIRES(mu);
 
   /// The prepare half of a mutation: builds (but does not publish) the
   /// next overlay state. Splitting prepare from publish is what lets the
   /// shard write-ahead-log the mutation in between — a prepare failure
   /// (bad untrain) leaves both the log and the published overlay
-  /// untouched. Caller holds the shard mutation lock.
+  /// untouched. Caller holds `mu`, the shard mutation lock.
   OverlaySnapshot prepare(const spambayes::TokenIdSet& ids, bool as_spam,
-                          std::uint32_t copies, bool is_train);
+                          std::uint32_t copies, bool is_train,
+                          util::Mutex& mu) SBX_REQUIRES(mu);
 
   /// The publish half: release-stores a prepared overlay and counts the
-  /// mutation. Caller holds the shard mutation lock.
-  void publish(OverlaySnapshot next);
+  /// mutation. Caller holds `mu`, the shard mutation lock.
+  void publish(OverlaySnapshot next, util::Mutex& mu) SBX_REQUIRES(mu);
 
   /// Recovery-only: installs an overlay verbatim (no mutation counting —
   /// restored state is not new feedback).

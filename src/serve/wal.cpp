@@ -106,6 +106,7 @@ void WalWriter::append(const WalRecord& record) {
   std::vector<std::uint8_t> out = std::move(frame).take();
   out.insert(out.end(), body.begin(), body.end());
 
+  const util::MutexLock lock(io_mutex_);
   write_file_all(fd_, out.data(), out.size(), path_);
   records_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(out.size(), std::memory_order_relaxed);
@@ -129,11 +130,13 @@ void WalWriter::append(const WalRecord& record) {
 
 void WalWriter::sync() {
   if (mode_ == FsyncMode::kNone) return;
+  const util::MutexLock lock(io_mutex_);
   fsync_or_throw(fd_, path_);
   unsynced_ = 0;
 }
 
 void WalWriter::truncate() {
+  const util::MutexLock lock(io_mutex_);
   if (::ftruncate(fd_, 0) < 0) throw_errno("wal: truncate " + path_);
   fsync_or_throw(fd_, path_);
   unsynced_ = 0;

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace sbx::serve {
 
 inline constexpr std::uint8_t kWalFormatVersion = 1;
@@ -57,9 +59,11 @@ struct WalRecord {
   std::string message;
 };
 
-/// Append-only writer over one shard's log file. Appends are NOT
-/// internally serialized — the owning ModelShard calls append under its
-/// mutation mutex. Counter reads are safe from any thread.
+/// Append-only writer over one shard's log file. The owning ModelShard
+/// already serializes append/truncate under its mutation mutex, but sync()
+/// may arrive from a different thread (the server's final drain flush), so
+/// the file offset and fsync-batch state are additionally serialized by an
+/// internal io mutex. Counter reads are safe from any thread.
 class WalWriter {
  public:
   WalWriter(std::string path, FsyncMode mode, std::uint32_t batch_every);
@@ -71,13 +75,14 @@ class WalWriter {
   /// Encodes, CRC-frames and appends one record, then applies the fsync
   /// policy. Throws IoError on any write/fsync failure (a mutation that
   /// cannot be logged must not publish).
-  void append(const WalRecord& record);
+  void append(const WalRecord& record) SBX_EXCLUDES(io_mutex_);
 
   /// Flushes pending batched writes to disk (fsync; no-op for kNone).
-  void sync();
+  /// Safe to call concurrently with append — this is the drain path.
+  void sync() SBX_EXCLUDES(io_mutex_);
 
   /// Empties the log (after its records were folded into a snapshot).
-  void truncate();
+  void truncate() SBX_EXCLUDES(io_mutex_);
 
   const std::string& path() const { return path_; }
 
@@ -97,8 +102,10 @@ class WalWriter {
   std::string path_;
   FsyncMode mode_;
   std::uint32_t batch_every_;
-  int fd_ = -1;
-  std::uint32_t unsynced_ = 0;  // records since last fsync
+  int fd_ = -1;  // const after the constructor
+  util::Mutex io_mutex_;
+  // Records since last fsync.
+  std::uint32_t unsynced_ SBX_GUARDED_BY(io_mutex_) = 0;
   std::atomic<std::uint64_t> records_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> since_truncate_{0};

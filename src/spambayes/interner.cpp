@@ -73,7 +73,7 @@ TokenId TokenInterner::intern(std::string_view token) {
     return *id;
   }
 
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  const util::MutexLock lock(write_mutex_);
   Table* table = table_.load(std::memory_order_relaxed);
   if (const auto id = probe(*table, hash, token)) {
     return *id;  // raced with another inserter
@@ -119,7 +119,7 @@ std::optional<TokenId> TokenInterner::find(std::string_view token) const {
   }
   // A lock-free miss may race an in-flight insert; confirm under the writer
   // mutex against the newest table before reporting absence.
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  const util::MutexLock lock(write_mutex_);
   return probe(*table_.load(std::memory_order_relaxed), hash, token);
 }
 
@@ -131,7 +131,7 @@ std::string_view TokenInterner::spelling(TokenId id) const {
 }
 
 std::size_t TokenInterner::arena_bytes() const {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  const util::MutexLock lock(write_mutex_);
   return arena_total_;
 }
 

@@ -30,10 +30,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sbx::spambayes {
 
@@ -58,10 +59,11 @@ class TokenInterner {
 
   /// Returns the id for `token`, inserting it on first sight. The spelling
   /// is copied into the interner's arena; the caller's buffer may die.
-  TokenId intern(std::string_view token);
+  TokenId intern(std::string_view token) SBX_EXCLUDES(write_mutex_);
 
   /// Returns the id for `token` if it was ever interned; does not insert.
-  std::optional<TokenId> find(std::string_view token) const;
+  std::optional<TokenId> find(std::string_view token) const
+      SBX_EXCLUDES(write_mutex_);
 
   /// The spelling of an interned id. Lock-free; the returned view lives as
   /// long as the interner. Throws InvalidArgument for ids never returned by
@@ -72,7 +74,7 @@ class TokenInterner {
   std::size_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// Total arena bytes reserved for spellings (capacity, not live bytes).
-  std::size_t arena_bytes() const;
+  std::size_t arena_bytes() const SBX_EXCLUDES(write_mutex_);
 
  private:
   // id -> spelling chunks: 4096 entries each, up to 16.7M ids. Chunks are
@@ -111,19 +113,26 @@ class TokenInterner {
   std::optional<TokenId> probe(const Table& table, std::size_t hash,
                                std::string_view token) const;
 
-  /// Inserts an id into `table` at its hash position (writer mutex held).
+  /// Inserts an id into `table` at its hash position. Static and
+  /// annotation-free on purpose: it also runs against not-yet-published
+  /// grow tables that no thread can see.
   static void place(Table& table, std::size_t hash, TokenId id);
 
-  /// Copies `token` into the arena (writer mutex held).
-  std::string_view store(std::string_view token);
+  /// Copies `token` into the arena (writer mutex held — compiler-checked).
+  std::string_view store(std::string_view token) SBX_REQUIRES(write_mutex_);
 
+  // Lock-free read side: the current table pointer, the id -> spelling
+  // chunks and the published size are atomics with release/acquire
+  // pairing; they are deliberately NOT guarded by the writer mutex.
   std::atomic<Table*> table_;
-  mutable std::mutex write_mutex_;
-  std::vector<std::unique_ptr<Table>> tables_;  // all tables ever built
-  std::vector<std::unique_ptr<char[]>> arena_;
-  std::size_t arena_block_used_ = 0;  // bytes used in arena_.back()
-  std::size_t arena_block_size_ = 0;  // capacity of arena_.back()
-  std::size_t arena_total_ = 0;
+  mutable util::Mutex write_mutex_;
+  // Writer-side growth state: every table ever built (retired tables stay
+  // readable), the spelling arena and its fill cursor.
+  std::vector<std::unique_ptr<Table>> tables_ SBX_GUARDED_BY(write_mutex_);
+  std::vector<std::unique_ptr<char[]>> arena_ SBX_GUARDED_BY(write_mutex_);
+  std::size_t arena_block_used_ SBX_GUARDED_BY(write_mutex_) = 0;
+  std::size_t arena_block_size_ SBX_GUARDED_BY(write_mutex_) = 0;
+  std::size_t arena_total_ SBX_GUARDED_BY(write_mutex_) = 0;
   std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
   std::atomic<std::uint32_t> size_{0};
 };

@@ -21,9 +21,9 @@ std::size_t effective_threads(std::size_t threads) {
 /// Creation state of the process-wide pool. The pool itself lives in a
 /// static unique_ptr so workers are joined at exit.
 struct SharedPoolState {
-  std::mutex mutex;
-  std::unique_ptr<ThreadPool> pool;
-  std::size_t requested = 0;  // 0 = hardware concurrency
+  Mutex mutex;
+  std::unique_ptr<ThreadPool> pool SBX_GUARDED_BY(mutex);
+  std::size_t requested SBX_GUARDED_BY(mutex) = 0;  // 0 = hw concurrency
 };
 
 SharedPoolState& shared_state() {
@@ -43,7 +43,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -54,7 +54,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> fut = packaged.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push(std::move(packaged));
   }
   // notify_all, not notify_one: a single wakeup can be consumed by a
@@ -68,7 +68,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 bool ThreadPool::try_run_one() {
   std::packaged_task<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop();
@@ -79,25 +79,27 @@ bool ThreadPool::try_run_one() {
 }
 
 void ThreadPool::notify_task_done() {
-  { std::lock_guard<std::mutex> lock(mutex_); }
+  { const MutexLock lock(mutex_); }
   cv_.notify_all();
 }
 
 void ThreadPool::wait(std::vector<std::future<void>>& futures) {
   using std::chrono::seconds;
+  const auto ready = [](std::future<void>& f) {
+    return f.wait_for(seconds(0)) == std::future_status::ready;
+  };
   std::exception_ptr first_error;
   for (auto& f : futures) {
     for (;;) {
-      if (f.wait_for(seconds(0)) == std::future_status::ready) break;
+      if (ready(f)) break;
       // Help instead of blocking: the pending future's task is either
       // queued (we may run it ourselves) or running on another thread
       // (whose completion will notify cv_).
       if (try_run_one()) continue;
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this, &f] {
-        return !queue_.empty() ||
-               f.wait_for(seconds(0)) == std::future_status::ready;
-      });
+      MutexLock lock(mutex_);
+      // Explicit wait loop (not a predicate lambda: the thread safety
+      // analysis cannot see the lock inside a lambda body).
+      while (queue_.empty() && !ready(f)) cv_.wait(lock);
     }
     try {
       f.get();
@@ -110,7 +112,7 @@ void ThreadPool::wait(std::vector<std::future<void>>& futures) {
 
 ThreadPool& ThreadPool::shared() {
   SharedPoolState& state = shared_state();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  const MutexLock lock(state.mutex);
   if (!state.pool) {
     state.pool = std::make_unique<ThreadPool>(state.requested);
   }
@@ -119,7 +121,7 @@ ThreadPool& ThreadPool::shared() {
 
 void ThreadPool::configure_shared(std::size_t threads) {
   SharedPoolState& state = shared_state();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  const MutexLock lock(state.mutex);
   if (state.pool) {
     if (state.pool->thread_count() != effective_threads(threads)) {
       throw Error("ThreadPool::configure_shared: shared pool already "
@@ -137,8 +139,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();

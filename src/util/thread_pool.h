@@ -15,14 +15,14 @@
 // making progress) and a pool of size 1 degrades to inline execution.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sbx::util {
 
@@ -41,14 +41,14 @@ class ThreadPool {
 
   /// Enqueues a task; the returned future reports completion or rethrows
   /// the task's exception.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) SBX_EXCLUDES(mutex_);
 
   /// Waits until every future is ready, executing queued tasks on the
   /// calling thread while any is pending (run-inline-while-waiting). Safe
   /// to call from a worker of this same pool — this is what makes nested
   /// submit-and-wait (sweep trials that fan out folds) deadlock-free at any
   /// pool size. Rethrows the first future exception after all are ready.
-  void wait(std::vector<std::future<void>>& futures);
+  void wait(std::vector<std::future<void>>& futures) SBX_EXCLUDES(mutex_);
 
   std::size_t thread_count() const { return workers_.size(); }
 
@@ -66,23 +66,23 @@ class ThreadPool {
   static void configure_shared(std::size_t threads);
 
  private:
-  void worker_loop();
+  void worker_loop() SBX_EXCLUDES(mutex_);
 
   /// Pops and runs one queued task on the calling thread; false when the
   /// queue is empty.
-  bool try_run_one();
+  bool try_run_one() SBX_EXCLUDES(mutex_);
 
   /// Publishes task completion to wait()ers without losing wakeups: the
   /// fence acquires the queue mutex so a waiter is either before its
   /// predicate check (and sees the ready future) or already blocked (and
   /// receives the notification).
-  void notify_task_done();
+  void notify_task_done() SBX_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> queue_ SBX_GUARDED_BY(mutex_);
+  bool stopping_ SBX_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs body(i) for i in [0, n) across a transient pool and rethrows the

@@ -1,0 +1,32 @@
+# Runs one quick experiment and validates the ResultDoc JSON it writes
+# against the schema contract in tools/check_bench.py. Registered as the
+# sbx_resultdoc_schema ctest so serializer drift fails locally, not first
+# in the sweep-smoke CI job.
+#
+# Expects: EXPERIMENTS (sbx_experiments binary), PYTHON (python3),
+# CHECK_BENCH (tools/check_bench.py), OUT_DIR (scratch directory).
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+execute_process(
+  COMMAND "${EXPERIMENTS}" run ham-labeled --quick --seed=1
+          "--out-dir=${OUT_DIR}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR
+    "sbx_experiments run ham-labeled --quick failed (rc=${run_rc})")
+endif()
+
+file(GLOB result_jsons "${OUT_DIR}/*.json")
+if(NOT result_jsons)
+  message(FATAL_ERROR "no ResultDoc JSON written to ${OUT_DIR}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECK_BENCH}" validate-resultdoc ${result_jsons}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "validate-resultdoc failed (rc=${check_rc})")
+endif()

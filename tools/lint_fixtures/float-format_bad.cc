@@ -1,0 +1,14 @@
+// Fixture: ad-hoc float formatting outside the round-trip helpers.
+#include <charconv>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+void bad(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  sprintf(buf, "%g", value);
+  std::to_chars(buf, buf + sizeof(buf), value);
+  std::ostringstream os;
+  os << std::setprecision(17) << value;
+}

@@ -1,0 +1,12 @@
+// Fixture: integer formatting, mentions in comments, and an audited
+// helper with an allow-marker stay quiet.
+#include <cstdio>
+#include <string>
+
+// snprintf("%f") would be banned here — saying so in a comment is fine.
+std::string good(int value) {
+  char buf[32];
+  // sbx-lint: allow(float-format): audited helper, delegates to %d only
+  std::snprintf(buf, sizeof(buf), "%d", value);
+  return buf;
+}

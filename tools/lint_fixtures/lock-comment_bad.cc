@@ -1,0 +1,9 @@
+// Fixture: locking prose without the matching annotation must fire.
+class Widget {
+ public:
+  /// Rebalances the tree (caller holds the write lock).
+  void rebalance();
+
+  // Only safe while the mutex is held by the calling thread.
+  int unsafe_size() const;
+};

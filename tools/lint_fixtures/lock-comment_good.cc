@@ -1,0 +1,15 @@
+// Fixture: locking prose backed by SBX_REQUIRES stays quiet.
+#include "util/thread_annotations.h"
+
+class Widget {
+ public:
+  /// Rebalances the tree (caller holds the write lock).
+  void rebalance() SBX_REQUIRES(mutex_);
+
+  // Only safe while the mutex is held by the calling thread; the
+  // annotation on the declaration below is what enforces it.
+  int size_locked() const SBX_REQUIRES(mutex_);
+
+ private:
+  sbx::util::Mutex mutex_;
+};

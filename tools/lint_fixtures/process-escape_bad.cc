@@ -1,0 +1,13 @@
+// Fixture: process spawns and unsafe temp names must fire.
+#include <cstdio>
+#include <cstdlib>
+
+void bad() {
+  std::system("ls /tmp");
+  FILE* p = popen("date", "r");
+  char name[L_tmpnam];
+  tmpnam(name);
+  char tpl[] = "/tmp/sbxXXXXXX";
+  mktemp(tpl);
+  (void)p;
+}

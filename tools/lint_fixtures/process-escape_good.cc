@@ -1,0 +1,19 @@
+// Fixture: lookalike identifiers and sanctioned temp-file handling
+// stay quiet.
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+struct Filesystem {
+  int run(int);
+};
+
+int good(Filesystem& fs) {
+  // system() in a comment is fine, as is tmpnam or popen.
+  auto tick = std::chrono::steady_clock::now();
+  int ecosystem(int);            // identifier merely containing "system"
+  std::string subsystem = "io";  // ditto
+  int made = mkstemp_like();     // not mktemp(
+  (void)tick;
+  return fs.run(made) + static_cast<int>(subsystem.size());
+}

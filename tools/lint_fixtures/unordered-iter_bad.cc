@@ -1,0 +1,18 @@
+// Fixture: range-for over an unordered container must fire.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int bad() {
+  std::unordered_map<std::string, int> counts;
+  std::unordered_set<int> ids = {1, 2, 3};
+  int total = 0;
+  for (const auto& entry : counts) {
+    total += entry.second;
+  }
+  for (int id : ids) {
+    total += id;
+  }
+  return total;
+}

@@ -1,0 +1,25 @@
+// Fixture: point lookups, sorted-copy iteration, and an explicitly
+// justified allow-marker stay quiet.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int good() {
+  std::unordered_map<std::string, int> counts;
+  std::unordered_set<int> ids = {1, 2, 3};
+  int total = counts.count("x") ? counts.at("x") : 0;
+
+  // Iterating a sorted copy is the sanctioned pattern.
+  std::vector<int> ordered(ids.begin(), ids.end());
+  std::sort(ordered.begin(), ordered.end());
+  for (int id : ordered) {
+    total += id;
+  }
+
+  for (int id : ids) {  // sbx-lint: allow(unordered-iter): feeds a commutative sum, order-free
+    total -= id;
+  }
+  return total;
+}

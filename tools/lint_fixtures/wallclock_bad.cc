@@ -1,0 +1,21 @@
+// Fixture: every banned entropy / wall-clock source must fire.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int bad() {
+  std::srand(42);
+  int a = std::rand();
+  std::random_device rd;
+  auto now = std::chrono::system_clock::now();
+  auto hr = std::chrono::high_resolution_clock::now();
+  timeval tv;
+  gettimeofday(&tv, nullptr);
+  std::time_t t = std::time(nullptr);
+  std::tm* lt = std::localtime(&t);
+  (void)now;
+  (void)hr;
+  (void)lt;
+  return a + static_cast<int>(rd());
+}

@@ -1,0 +1,21 @@
+// Fixture: the sanctioned forms stay quiet — util::random streams,
+// steady_clock durations, identifiers that merely contain "time" or
+// "rand", and banned names appearing only in comments or strings.
+#include <chrono>
+#include <string>
+
+#include "util/random.h"
+
+// rand() and system_clock mentioned in a comment are fine.
+int good(sbx::util::Rng& rng) {
+  const auto t0 = std::chrono::steady_clock::now();
+  int draw = static_cast<int>(rng.uniform_int(0, 6));
+  int runtime_ms = 0;       // "time" inside an identifier
+  int operand = draw;       // "rand" inside an identifier
+  std::string msg = "never call rand() or time(nullptr) here";
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  (void)elapsed;
+  int strand(int);          // declaration, not a call to srand
+  double uptime(float);     // not time(...)
+  return runtime_ms + operand + static_cast<int>(msg.size());
+}

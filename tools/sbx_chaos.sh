@@ -25,7 +25,7 @@ WORK=$(mktemp -d /tmp/sbx_chaos.XXXXXX)
 DATA="$WORK/data"
 SOCK="unix:$WORK/serve.sock"
 SERVER_PID=
-trap 'kill -9 $SERVER_PID 2>/dev/null; rm -rf "$WORK"' EXIT
+trap '[ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
 
 fail() { echo "sbx_chaos: FAIL: $*" >&2; exit 1; }
 
