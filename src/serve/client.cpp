@@ -33,6 +33,19 @@ bool is_retryable(const Response& response) {
           e->code == static_cast<std::uint8_t>(ErrorCode::kShuttingDown));
 }
 
+/// Non-null when a kNotPrimary rejection names the endpoint to try
+/// instead. A bare kNotPrimary (no redirect) is final — the caller must
+/// decide where the primary went.
+const std::string* redirect_target(const Response& response) {
+  const auto* e = std::get_if<ErrorResponse>(&response);
+  if (e == nullptr ||
+      e->code != static_cast<std::uint8_t>(ErrorCode::kNotPrimary) ||
+      e->redirect.empty()) {
+    return nullptr;
+  }
+  return &e->redirect;
+}
+
 }  // namespace
 
 Client::Client(const std::string& endpoint, ClientOptions options)
@@ -153,6 +166,18 @@ Response Client::call(const Request& request) {
         throw IoError("serve client: server closed the connection");
       }
       const Response response = decode_response(payload);
+      if (const std::string* redirect = redirect_target(response)) {
+        // A standby bounced us and named the primary: re-point the client
+        // and retry there immediately (no backoff — the redirect IS the
+        // recovery). Counts against the attempt budget like any retry.
+        if (attempt < options_.max_attempts) {
+          endpoint_ = *redirect;
+          disconnect();
+          ++retries_;
+          continue;
+        }
+        return response;
+      }
       if (!is_retryable(response) || attempt >= options_.max_attempts) {
         return response;
       }

@@ -14,6 +14,9 @@
 //    reconnecting between attempts;
 //  * ParseError is never retried — a protocol violation will not improve
 //    with repetition;
+//  * ErrorResponse{kNotPrimary} with a non-empty redirect re-points the
+//    client at the named endpoint and retries there immediately (failover
+//    following); without a redirect the error is returned as-is;
 //  * retrying a Train/Untrain is only idempotent when the request carries
 //    a request_id (the server's dedup window absorbs the duplicate); the
 //    caller owns id assignment, the client just resends the frame
@@ -61,6 +64,10 @@ class Client {
 
   /// Retries performed across all call()s so far (telemetry).
   std::uint64_t retries() const { return retries_; }
+
+  /// The endpoint the next call() targets — changes when a kNotPrimary
+  /// redirect re-points the client.
+  const std::string& endpoint() const { return endpoint_; }
 
   /// Closes the connection (idempotent). The next call() reconnects.
   void disconnect();

@@ -1,10 +1,12 @@
 #include "serve/frontend.h"
 
+#include <algorithm>
 #include <span>
 #include <string>
 #include <utility>
 
 #include "email/rfc2822.h"
+#include "serve/replication.h"
 #include "spambayes/score_engine.h"
 #include "util/error.h"
 #include "util/sharding.h"
@@ -130,7 +132,14 @@ MutationResult ServeFrontend::apply(std::uint8_t op, std::uint64_t user_id,
   req.as_spam = as_spam;
   req.copies = copies;
   req.message = &message;
-  return shards_[at.shard]->apply_mutation(at.local, req, ids);
+  const MutationResult result =
+      shards_[at.shard]->apply_mutation(at.local, req, ids);
+  // Both waits run after the shard lock is released: group commit and
+  // quorum acks gate THIS request's response, never another user's
+  // mutation throughput.
+  if (durability_ != nullptr) durability_->await_durable(result.commit_ticket);
+  if (replicator_ != nullptr) replicator_->wait_acked(result.repl_ticket);
+  return result;
 }
 
 TrainResponse ServeFrontend::train(const TrainRequest& request) {
@@ -149,7 +158,75 @@ UntrainResponse ServeFrontend::untrain(const UntrainRequest& request) {
   return {r.generation, r.spam, r.ham};
 }
 
+void ServeFrontend::set_standby(std::string redirect_hint) {
+  redirect_hint_ = std::move(redirect_hint);
+  role_.store(Role::kStandby, std::memory_order_release);
+}
+
+PromoteResponse ServeFrontend::promote() {
+  std::uint64_t watermark = 0;
+  for (const auto& shard : shards_) {
+    watermark = std::max(watermark, shard->last_seqno());
+  }
+  if (durability_ != nullptr) {
+    // Seqnos drawn as a primary must land strictly above everything
+    // replicated in — otherwise the promoted node's first mutation would
+    // collide with an applied record and be skipped on the next failover.
+    durability_->note_recovered_seqno(watermark);
+  }
+  role_.store(Role::kPrimary, std::memory_order_release);
+  return PromoteResponse{watermark};
+}
+
+ReplicateAckResponse ServeFrontend::replicate_batch(
+    const ReplicateBatchRequest& request) {
+  std::uint64_t max_ticket = 0;
+  std::uint64_t max_seqno = 0;
+  std::uint64_t applied = 0;
+  for (const ReplicatedRecord& entry : request.records) {
+    const RouteEntry at = route_checked(entry.record.user_id);
+    if (at.shard != entry.shard) {
+      // Primary and standby derive routing from the same manifest; a
+      // disagreement means they are not replicas of one topology.
+      throw InvalidArgument(
+          "serve: replicated record routes user " +
+          std::to_string(entry.record.user_id) + " to shard " +
+          std::to_string(at.shard) + " here, shard " +
+          std::to_string(entry.shard) + " on the primary (topology mismatch)");
+    }
+    const spambayes::TokenIdSet ids =
+        base_.message_token_ids(email::parse_message(entry.record.message));
+    const ReplicatedApplyResult r =
+        shards_[at.shard]->apply_replicated(at.local, entry.record, ids);
+    if (r.applied) {
+      ++applied;
+      max_ticket = std::max(max_ticket, r.commit_ticket);
+    }
+    max_seqno = std::max(max_seqno, entry.record.seqno);
+  }
+  // The ack promises durability: every applied record is fsync-covered
+  // (per this node's own policy) before the primary hears the watermark.
+  if (durability_ != nullptr) durability_->await_durable(max_ticket);
+  standby_applied_records_.fetch_add(applied, std::memory_order_relaxed);
+  ReplicateAckResponse ack;
+  ack.acked_seqno = max_seqno;
+  ack.applied_records =
+      standby_applied_records_.load(std::memory_order_relaxed);
+  return ack;
+}
+
+void ServeFrontend::attach_replicator(std::unique_ptr<Replicator> replicator) {
+  replicator_ = std::move(replicator);
+  for (const auto& shard : shards_) {
+    shard->attach_replicator(replicator_.get());
+  }
+}
+
 void ServeFrontend::sync_durability() {
+  if (replicator_ != nullptr) {
+    replicator_->flush(2'000);
+    replicator_->stop();
+  }
   if (durability_ != nullptr) durability_->sync_all();
 }
 
@@ -200,7 +277,17 @@ StatsResponse ServeFrontend::stats() const {
     out.wal_records = durability_->total_records();
     out.wal_bytes = durability_->total_bytes();
     out.wal_snapshots = durability_->snapshots_taken();
+    out.group_commit_windows = durability_->group_commit_windows();
+    out.incremental_snapshot_bytes = durability_->incremental_snapshot_bytes();
   }
+  if (replicator_ != nullptr) {
+    const ReplicationStats repl = replicator_->stats();
+    out.repl_shipped_seqno = repl.shipped_seqno;
+    out.repl_acked_seqno = repl.acked_seqno;
+    out.repl_lag_records = repl.lag_records;
+  }
+  out.standby_applied_records =
+      standby_applied_records_.load(std::memory_order_relaxed);
   out.recovery_replayed_records = recovery_stats_.replayed_records;
   out.recovery_torn_dropped = recovery_stats_.torn_dropped;
   out.recovery_ms = recovery_stats_.duration_ms;
@@ -213,16 +300,48 @@ StatsResponse ServeFrontend::stats() const {
   return out;
 }
 
+ErrorResponse ServeFrontend::not_primary(const char* what) {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  ErrorResponse out;
+  out.message = std::string("serve: standby refuses ") + what +
+                (redirect_hint_.empty() ? "" : "; primary is at " +
+                                                   redirect_hint_);
+  out.code = static_cast<std::uint8_t>(ErrorCode::kNotPrimary);
+  out.redirect = redirect_hint_;
+  return out;
+}
+
 Response ServeFrontend::dispatch(const Request& request) {
   try {
+    const bool standby = role() == Role::kStandby;
     if (const auto* c = std::get_if<ClassifyBatchRequest>(&request)) {
+      // Classify is refused too: a standby's models trail the primary by
+      // the ship lag, and "reads may be stale by an unbounded amount" is
+      // not a contract any caller opted into.
+      if (standby) return not_primary("classify");
       return classify_batch(*c);
     }
     if (const auto* t = std::get_if<TrainRequest>(&request)) {
+      if (standby) return not_primary("train");
       return train(*t);
     }
     if (const auto* u = std::get_if<UntrainRequest>(&request)) {
+      if (standby) return not_primary("untrain");
       return untrain(*u);
+    }
+    if (const auto* r = std::get_if<ReplicateBatchRequest>(&request)) {
+      if (!standby) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return ErrorResponse{
+            "serve: this node is a primary; it does not accept replicated "
+            "records (two primaries shipping at each other is a split "
+            "brain, not a topology)",
+            static_cast<std::uint8_t>(ErrorCode::kGeneric)};
+      }
+      return replicate_batch(*r);
+    }
+    if (std::holds_alternative<PromoteRequest>(request)) {
+      return promote();
     }
     if (std::holds_alternative<StatsRequest>(request)) {
       return stats();

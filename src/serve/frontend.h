@@ -25,6 +25,16 @@
 // uninterrupted run. Without one, the frontend is the same in-memory
 // structure as before — that is what sbx_loadgen's verification mirror
 // embeds.
+//
+// Replication (PR 9): the frontend carries a Role. A primary with an
+// attached Replicator ships every committed WAL record to the standby; a
+// standby (set_standby) refuses Classify/Train/Untrain over dispatch with
+// ErrorCode::kNotPrimary (+ optional redirect endpoint) and instead
+// absorbs ReplicateBatch frames through the shards' replay-equivalent
+// apply_replicated path. promote() flips a standby to primary with no
+// replay gap: every shipped record was applied (and logged) as it
+// arrived, so promotion only has to advance the seqno counter past the
+// replicated watermark.
 #pragma once
 
 #include <atomic>
@@ -41,6 +51,12 @@
 #include "spambayes/filter.h"
 
 namespace sbx::serve {
+
+class Replicator;
+
+/// What this node answers for. Standbys refuse writes (and classify —
+/// their models trail the primary by the ship lag) until promoted.
+enum class Role : std::uint8_t { kPrimary = 0, kStandby = 1 };
 
 struct FrontendConfig {
   std::size_t shard_count = 4;
@@ -75,6 +91,34 @@ class ServeFrontend {
   UntrainResponse untrain(const UntrainRequest& request);
   StatsResponse stats() const;
 
+  // --- Replication / roles ------------------------------------------------
+
+  Role role() const { return role_.load(std::memory_order_acquire); }
+
+  /// Marks this node a standby before serving starts. `redirect_hint` (may
+  /// be empty) is the endpoint kNotPrimary rejections point writers at.
+  /// Not safe to call once requests are in flight — standbys start as
+  /// standbys; the only live transition is promote().
+  void set_standby(std::string redirect_hint);
+
+  /// Flips this node to primary and advances the durability seqno counter
+  /// past everything absorbed as a standby, so freshly drawn seqnos never
+  /// collide with replicated ones. Idempotent; returns the watermark.
+  PromoteResponse promote();
+
+  /// Standby side of WAL shipping: applies each shipped record through the
+  /// shards' replay-equivalent path (skipping per-shard seqnos already
+  /// applied — resends are idempotent), waits for the covering fsync, then
+  /// acks the batch's highest seqno. The ack therefore implies standby
+  /// durability under the standby's own fsync policy.
+  ReplicateAckResponse replicate_batch(const ReplicateBatchRequest& request);
+
+  /// Primary side: owns the shipper and wires it into every shard. Call
+  /// after construction (and after recovery), before serving.
+  void attach_replicator(std::unique_ptr<Replicator> replicator);
+
+  Replicator* replicator() { return replicator_.get(); }
+
   /// Maps any request to its response, converting sbx::Error into
   /// ErrorResponse (the connection-level catch-all). ShutdownRequest gets
   /// a ShutdownResponse; acting on it is the server's job.
@@ -104,7 +148,8 @@ class ServeFrontend {
   /// Null when running in-memory only.
   Durability* durability() { return durability_.get(); }
 
-  /// Final WAL flush (graceful drain).
+  /// Final WAL flush (graceful drain). With a replicator attached, drains
+  /// the ship queue (bounded wait) and stops the shipper first.
   void sync_durability();
 
   /// Recovery-only: installs one user's snapshot state (recovery.h's
@@ -133,9 +178,14 @@ class ServeFrontend {
   MutationResult apply(std::uint8_t op, std::uint64_t user_id,
                        std::uint64_t request_id, bool as_spam,
                        std::uint32_t copies, const std::string& message);
+  ErrorResponse not_primary(const char* what);
 
   spambayes::Filter base_;
   std::unique_ptr<Durability> durability_;
+  std::unique_ptr<Replicator> replicator_;
+  std::atomic<Role> role_{Role::kPrimary};
+  // Written once by set_standby before serving starts; read-only after.
+  std::string redirect_hint_;
   std::vector<std::unique_ptr<ModelShard>> shards_;
   std::vector<RouteEntry> route_;  // indexed by user id
   std::chrono::steady_clock::time_point start_ =
@@ -146,6 +196,7 @@ class ServeFrontend {
   std::atomic<std::uint64_t> train_requests_{0};
   std::atomic<std::uint64_t> untrain_requests_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> standby_applied_records_{0};
 };
 
 }  // namespace sbx::serve

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "serve/wire.h"
+#include "util/crc32.h"
 #include "util/error.h"
 
 namespace sbx::serve {
@@ -99,6 +100,23 @@ std::vector<std::uint8_t> encode_frame(const Request& request) {
     encode_feedback_body(w, *u);
   } else if (std::holds_alternative<StatsRequest>(request)) {
     type = MsgType::kStatsRequest;
+  } else if (const auto* b = std::get_if<ReplicateBatchRequest>(&request)) {
+    type = MsgType::kReplicateBatchRequest;
+    if (b->records.size() > kMaxFrameBytes) {
+      throw InvalidArgument("serve protocol: replicate batch too large");
+    }
+    w.u32(static_cast<std::uint32_t>(b->records.size()));
+    for (const ReplicatedRecord& rr : b->records) {
+      // Ship the WAL's own [len][crc][body] frame, prefixed by the shard
+      // that owns it — the standby can append these bytes verbatim.
+      const std::vector<std::uint8_t> body = encode_wal_body(rr.record);
+      w.u32(rr.shard);
+      w.u32(static_cast<std::uint32_t>(body.size()));
+      w.u32(util::crc32(body.data(), body.size()));
+      w.bytes(body);
+    }
+  } else if (std::holds_alternative<PromoteRequest>(request)) {
+    type = MsgType::kPromoteRequest;
   } else {
     type = MsgType::kShutdownRequest;
   }
@@ -144,13 +162,27 @@ std::vector<std::uint8_t> encode_frame(const Response& response) {
     w.u64(s->deduped_mutations);
     w.u64(s->shed_connections);
     w.u64(s->active_connections);
+    w.u64(s->repl_shipped_seqno);
+    w.u64(s->repl_acked_seqno);
+    w.u64(s->repl_lag_records);
+    w.u64(s->standby_applied_records);
+    w.u64(s->group_commit_windows);
+    w.u64(s->incremental_snapshot_bytes);
   } else if (std::holds_alternative<ShutdownResponse>(response)) {
     type = MsgType::kShutdownResponse;
+  } else if (const auto* a = std::get_if<ReplicateAckResponse>(&response)) {
+    type = MsgType::kReplicateAckResponse;
+    w.u64(a->acked_seqno);
+    w.u64(a->applied_records);
+  } else if (const auto* p = std::get_if<PromoteResponse>(&response)) {
+    type = MsgType::kPromoteResponse;
+    w.u64(p->last_applied_seqno);
   } else {
     type = MsgType::kErrorResponse;
     const auto& e = std::get<ErrorResponse>(response);
     w.u8(e.code);
     w.str(e.message);
+    w.str(e.redirect);
   }
   return finish_frame(type, std::move(w));
 }
@@ -186,6 +218,36 @@ Request decode_request(std::span<const std::uint8_t> payload) {
       break;
     case MsgType::kShutdownRequest:
       out = ShutdownRequest{};
+      break;
+    case MsgType::kReplicateBatchRequest: {
+      ReplicateBatchRequest req;
+      const std::uint32_t count = r.u32();
+      // Each entry costs at least shard + len + crc (12 bytes) plus the
+      // 35-byte minimum WAL body — reject hostile counts before reserve.
+      if (count > r.remaining() / 47) {
+        throw ParseError("serve protocol: replicate count exceeds frame size");
+      }
+      req.records.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        ReplicatedRecord rr;
+        rr.shard = r.u32();
+        const std::uint32_t body_len = r.u32();
+        const std::uint32_t stored_crc = r.u32();
+        if (body_len == 0 || body_len > kMaxFrameBytes) {
+          throw ParseError("serve protocol: replicate record length corrupt");
+        }
+        const std::span<const std::uint8_t> body = r.bytes(body_len);
+        if (util::crc32(body.data(), body.size()) != stored_crc) {
+          throw ParseError("serve protocol: replicate record crc mismatch");
+        }
+        rr.record = decode_wal_body(body);
+        req.records.push_back(std::move(rr));
+      }
+      out = std::move(req);
+      break;
+    }
+    case MsgType::kPromoteRequest:
+      out = PromoteRequest{};
       break;
     default:
       throw ParseError("serve protocol: unknown request type " +
@@ -245,16 +307,36 @@ Response decode_response(std::span<const std::uint8_t> payload) {
       s.deduped_mutations = r.u64();
       s.shed_connections = r.u64();
       s.active_connections = r.u64();
+      s.repl_shipped_seqno = r.u64();
+      s.repl_acked_seqno = r.u64();
+      s.repl_lag_records = r.u64();
+      s.standby_applied_records = r.u64();
+      s.group_commit_windows = r.u64();
+      s.incremental_snapshot_bytes = r.u64();
       out = s;
       break;
     }
     case MsgType::kShutdownResponse:
       out = ShutdownResponse{};
       break;
+    case MsgType::kReplicateAckResponse: {
+      ReplicateAckResponse a;
+      a.acked_seqno = r.u64();
+      a.applied_records = r.u64();
+      out = a;
+      break;
+    }
+    case MsgType::kPromoteResponse: {
+      PromoteResponse p;
+      p.last_applied_seqno = r.u64();
+      out = p;
+      break;
+    }
     case MsgType::kErrorResponse: {
       ErrorResponse e;
       e.code = r.u8();
       e.message = r.str();
+      e.redirect = r.str();
       out = std::move(e);
       break;
     }

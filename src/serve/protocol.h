@@ -10,10 +10,10 @@
 // Wire format (all integers little-endian):
 //
 //   frame    := u32 payload_len, payload            (len counts the payload)
-//   payload  := u8 version (=2), u8 msg_type, body
+//   payload  := u8 version (=3), u8 msg_type, body
 //   string   := u32 byte_len, bytes                 (raw UTF-8/RFC2822 text)
 //
-// Message bodies (v2):
+// Message bodies (v3):
 //
 //   ClassifyBatchRequest  u64 user_id, u32 count, count x string
 //   TrainRequest          u64 user_id, u64 request_id, u8 as_spam,
@@ -21,12 +21,19 @@
 //   UntrainRequest        same body as TrainRequest
 //   StatsRequest          (empty)
 //   ShutdownRequest       (empty)
+//   ReplicateBatchRequest u32 count, count x { u32 shard, u32 body_len,
+//                         u32 crc32(body), body } — each entry embeds one
+//                         WAL record body verbatim in the same
+//                         [len][crc][bytes] shape the log file stores
+//   PromoteRequest        (empty)
 //   ClassifyBatchResponse u32 count, count x { f64 score, u8 verdict }
 //   TrainResponse         u64 overlay_generation, u32 spam, u32 ham
 //   UntrainResponse       same body as TrainResponse
-//   StatsResponse         21 x u64 (see struct order)
+//   StatsResponse         27 x u64 (see struct order)
 //   ShutdownResponse      (empty)
-//   ErrorResponse         u8 code, string message
+//   ReplicateAckResponse  u64 acked_seqno, u64 applied_records
+//   PromoteResponse       u64 last_applied_seqno
+//   ErrorResponse         u8 code, string message, string redirect
 //
 // Verdict bytes: 0 = ham, 1 = unsure, 2 = spam.
 //
@@ -36,6 +43,13 @@
 // code so clients can tell overload (retry elsewhere/later) from a request
 // that will never succeed; StatsResponse adds durability, recovery and
 // load-shedding telemetry.
+//
+// v3 over v2: ReplicateBatch/ReplicateAck ship committed WAL records from
+// a primary to a warm standby (shard id + seqno watermark; the record
+// bytes reuse the WAL's own CRC-framed codec); Promote flips a standby to
+// primary; ErrorResponse carries a redirect endpoint so a standby can
+// bounce writers to the primary (ErrorCode kNotPrimary); StatsResponse
+// adds replication, group-commit and incremental-snapshot telemetry.
 //
 // Decoding is strict: unknown version, unknown type, trailing bytes and
 // truncated bodies all throw sbx::ParseError (fail loudly, never guess).
@@ -47,11 +61,12 @@
 #include <variant>
 #include <vector>
 
+#include "serve/wal.h"
 #include "spambayes/classifier.h"
 
 namespace sbx::serve {
 
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// Frames larger than this are rejected before allocation (a corrupt or
 /// hostile length prefix must not drive a multi-gigabyte resize).
@@ -63,11 +78,15 @@ enum class MsgType : std::uint8_t {
   kUntrainRequest = 3,
   kStatsRequest = 4,
   kShutdownRequest = 5,
+  kReplicateBatchRequest = 6,
+  kPromoteRequest = 7,
   kClassifyBatchResponse = 129,
   kTrainResponse = 130,
   kUntrainResponse = 131,
   kStatsResponse = 132,
   kShutdownResponse = 133,
+  kReplicateAckResponse = 134,
+  kPromoteResponse = 135,
   kErrorResponse = 255,
 };
 
@@ -76,6 +95,7 @@ enum class ErrorCode : std::uint8_t {
   kGeneric = 0,       // request-level failure; retrying won't help
   kOverloaded = 1,    // connection cap hit; retry after backoff
   kShuttingDown = 2,  // server draining; reconnect elsewhere/later
+  kNotPrimary = 3,    // standby refuses writes; follow `redirect` if set
 };
 
 // --- Requests --------------------------------------------------------------
@@ -112,6 +132,26 @@ struct StatsRequest {};
 
 /// Asks the server to stop accepting connections and return from run().
 struct ShutdownRequest {};
+
+/// One shipped WAL record plus the shard whose log it belongs to. The
+/// record crosses the wire in the WAL's own body encoding, CRC-checked on
+/// decode, so the standby appends byte-identical frames to its own log.
+struct ReplicatedRecord {
+  std::uint32_t shard = 0;
+  WalRecord record;
+};
+
+/// A batch of committed WAL records streamed primary -> standby, in the
+/// order the primary committed them (per-shard seqnos ascend within the
+/// batch). Resends after a reconnect are safe: the standby skips records
+/// at or below each shard's last applied seqno.
+struct ReplicateBatchRequest {
+  std::vector<ReplicatedRecord> records;
+};
+
+/// Flips a standby to primary (idempotent on an existing primary). Also
+/// triggered out-of-band by SIGUSR1 on the standby process.
+struct PromoteRequest {};
 
 // --- Responses -------------------------------------------------------------
 
@@ -163,23 +203,48 @@ struct StatsResponse {
   std::uint64_t deduped_mutations = 0;    // retries absorbed by request_id
   std::uint64_t shed_connections = 0;     // refused at the connection cap
   std::uint64_t active_connections = 0;
+  // v3: replication / group-commit / incremental-snapshot telemetry.
+  std::uint64_t repl_shipped_seqno = 0;   // highest seqno handed to the wire
+  std::uint64_t repl_acked_seqno = 0;     // highest seqno acked by the standby
+  std::uint64_t repl_lag_records = 0;     // queued but not yet acked
+  std::uint64_t standby_applied_records = 0;  // records applied as a standby
+  std::uint64_t group_commit_windows = 0;     // fsync windows closed
+  std::uint64_t incremental_snapshot_bytes = 0;
 };
 
 struct ShutdownResponse {};
 
+/// Acknowledges a ReplicateBatch: every shipped record with seqno <=
+/// `acked_seqno` is applied AND durable on the standby (per its fsync
+/// policy). `applied_records` is the standby's cumulative apply counter.
+struct ReplicateAckResponse {
+  std::uint64_t acked_seqno = 0;
+  std::uint64_t applied_records = 0;
+};
+
+struct PromoteResponse {
+  std::uint64_t last_applied_seqno = 0;
+};
+
 /// Any request-level failure (unknown user, untrain of an untrained
 /// message, malformed message text). The connection stays usable unless
-/// `code` says otherwise.
+/// `code` says otherwise. For kNotPrimary, `redirect` optionally names the
+/// endpoint writes should go to instead (empty = unknown).
 struct ErrorResponse {
   std::string message;
   std::uint8_t code = 0;  // an ErrorCode value
+  std::string redirect{};  // kNotPrimary: where writes should go (may be "")
 };
 
-using Request = std::variant<ClassifyBatchRequest, TrainRequest,
-                             UntrainRequest, StatsRequest, ShutdownRequest>;
+// New v3 alternatives are appended so the v2 variant indices stay stable.
+using Request =
+    std::variant<ClassifyBatchRequest, TrainRequest, UntrainRequest,
+                 StatsRequest, ShutdownRequest, ReplicateBatchRequest,
+                 PromoteRequest>;
 using Response =
     std::variant<ClassifyBatchResponse, TrainResponse, UntrainResponse,
-                 StatsResponse, ShutdownResponse, ErrorResponse>;
+                 StatsResponse, ShutdownResponse, ErrorResponse,
+                 ReplicateAckResponse, PromoteResponse>;
 
 /// Serializes a full frame (length prefix included).
 std::vector<std::uint8_t> encode_frame(const Request& request);

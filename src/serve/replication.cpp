@@ -1,0 +1,207 @@
+#include "serve/replication.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "util/backoff.h"
+#include "util/error.h"
+
+namespace sbx::serve {
+
+ReplAckPolicy repl_ack_policy_from_string(const std::string& s) {
+  if (s == "none") return ReplAckPolicy::kNone;
+  if (s == "async") return ReplAckPolicy::kAsync;
+  if (s == "quorum") return ReplAckPolicy::kQuorum;
+  throw ParseError("replication: unknown ack policy '" + s +
+                   "' (expected none|async|quorum)");
+}
+
+std::string to_string(ReplAckPolicy policy) {
+  switch (policy) {
+    case ReplAckPolicy::kNone:
+      return "none";
+    case ReplAckPolicy::kAsync:
+      return "async";
+    case ReplAckPolicy::kQuorum:
+      return "quorum";
+  }
+  return "none";
+}
+
+Replicator::Replicator(ReplicationConfig config) : config_(std::move(config)) {
+  if (config_.target.empty()) {
+    throw InvalidArgument("replication: target endpoint must not be empty");
+  }
+  if (config_.ack == ReplAckPolicy::kNone) {
+    throw InvalidArgument(
+        "replication: ack policy 'none' disables replication — do not "
+        "construct a Replicator");
+  }
+  if (config_.batch_max == 0) {
+    throw InvalidArgument("replication: batch_max must be greater than 0");
+  }
+  shipper_ = std::thread([this] { ship_loop(); });
+}
+
+Replicator::~Replicator() { stop(); }
+
+std::uint64_t Replicator::enqueue(std::uint32_t shard,
+                                  const WalRecord& record) {
+  const util::MutexLock lock(mutex_);
+  PendingRecord pending;
+  pending.shard = shard;
+  pending.record = record;
+  pending.ticket = ++next_ticket_;
+  queue_.push_back(std::move(pending));
+  queue_cv_.notify_one();
+  return next_ticket_;
+}
+
+void Replicator::wait_acked(std::uint64_t ticket) {
+  if (ticket == 0 || config_.ack != ReplAckPolicy::kQuorum) return;
+  util::MutexLock lock(mutex_);
+  while (acked_ticket_ < ticket && !stopping()) {
+    ack_cv_.wait(lock);
+  }
+}
+
+bool Replicator::flush(long timeout_ms) {
+  const util::Deadline deadline = util::Deadline::after_ms(timeout_ms);
+  util::MutexLock lock(mutex_);
+  while (!queue_.empty() && !stopping()) {
+    const int slice = std::min(deadline.remaining_ms(), 100);
+    if (deadline.expired()) return false;
+    ack_cv_.wait_for_ms(lock, std::max(slice, 1));
+  }
+  return queue_.empty();
+}
+
+void Replicator::stop() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    const util::MutexLock lock(mutex_);
+    queue_cv_.notify_all();
+    ack_cv_.notify_all();
+  }
+  if (shipper_.joinable()) shipper_.join();
+}
+
+ReplicationStats Replicator::stats() const {
+  ReplicationStats out;
+  out.shipped_seqno = shipped_seqno_.load(std::memory_order_relaxed);
+  out.acked_seqno = acked_seqno_.load(std::memory_order_relaxed);
+  out.shipped_records = shipped_records_.load(std::memory_order_relaxed);
+  out.acked_records = acked_records_.load(std::memory_order_relaxed);
+  out.reconnects = reconnects_.load(std::memory_order_relaxed);
+  {
+    const util::MutexLock lock(mutex_);
+    out.lag_records = queue_.size();
+  }
+  return out;
+}
+
+void Replicator::interruptible_sleep_ms(int ms) {
+  const util::Deadline deadline = util::Deadline::after_ms(ms);
+  util::MutexLock lock(mutex_);
+  while (!stopping() && !deadline.expired()) {
+    queue_cv_.wait_for_ms(lock, std::max(deadline.remaining_ms(), 1));
+  }
+}
+
+void Replicator::ship_loop() {
+  util::ExponentialBackoff backoff(config_.backoff_base_ms,
+                                   config_.backoff_cap_ms,
+                                   config_.jitter_seed);
+  std::unique_ptr<Client> client;
+  for (;;) {
+    // Take (but do not pop) the next batch — the records stay queued
+    // until acked, so a crash of this loop's connection never loses them.
+    std::vector<PendingRecord> batch;
+    {
+      util::MutexLock lock(mutex_);
+      while (queue_.empty() && !stopping()) {
+        queue_cv_.wait(lock);
+      }
+      if (queue_.empty()) return;  // stopped and drained
+      const std::size_t n = std::min<std::size_t>(
+          queue_.size(), config_.batch_max);
+      batch.assign(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+
+    ReplicateBatchRequest request;
+    request.records.reserve(batch.size());
+    std::uint64_t batch_max_seqno = 0;
+    for (const PendingRecord& p : batch) {
+      request.records.push_back(ReplicatedRecord{p.shard, p.record});
+      batch_max_seqno = std::max(batch_max_seqno, p.record.seqno);
+    }
+
+    bool acked = false;
+    int attempts = 0;
+    while (!acked) {
+      // During shutdown the in-flight batch gets one last attempt (a
+      // graceful drain wants it delivered), then the loop exits instead
+      // of backing off against a dead standby.
+      if (stopping() && attempts > 0) return;
+      ++attempts;
+      try {
+        if (client == nullptr) {
+          ClientOptions options;
+          options.connect_timeout_ms = config_.connect_timeout_ms;
+          options.op_timeout_ms = config_.op_timeout_ms;
+          options.max_attempts = 1;  // this loop owns retry and backoff
+          client = std::make_unique<Client>(config_.target, options);
+        }
+        shipped_records_.fetch_add(batch.size(), std::memory_order_relaxed);
+        if (batch_max_seqno >
+            shipped_seqno_.load(std::memory_order_relaxed)) {
+          shipped_seqno_.store(batch_max_seqno, std::memory_order_relaxed);
+        }
+        const Response response = client->call(Request{request});
+        if (const auto* ack = std::get_if<ReplicateAckResponse>(&response)) {
+          if (ack->acked_seqno < batch_max_seqno) {
+            // A standby that acks below what we shipped applied a partial
+            // batch — protocol-impossible today; resend to be safe.
+            client.reset();
+          } else {
+            acked = true;
+            acked_seqno_.store(ack->acked_seqno, std::memory_order_relaxed);
+            backoff.reset();
+          }
+        } else {
+          // ErrorResponse (e.g. the peer is itself a primary, or is
+          // draining) or an unexpected type: drop the connection and keep
+          // trying — in a failover the old standby becomes primary and
+          // this process is about to be retired anyway.
+          client.reset();
+        }
+      } catch (const ParseError&) {
+        client.reset();
+      } catch (const IoError&) {
+        client.reset();
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!acked) {
+        if (stopping()) return;
+        interruptible_sleep_ms(backoff.next_delay_ms());
+      }
+    }
+
+    acked_records_.fetch_add(batch.size(), std::memory_order_relaxed);
+    {
+      util::MutexLock lock(mutex_);
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(batch.size()));
+      acked_ticket_ = batch.back().ticket;
+      ack_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace sbx::serve

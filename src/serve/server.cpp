@@ -135,10 +135,23 @@ void Server::run() {
       if (errno == EINTR) continue;
       throw_errno("poll(accept)");
     }
-    if ((pfds[1].revents & POLLIN) != 0 ||
-        stopping_.load(std::memory_order_acquire)) {
-      break;
+    if ((pfds[1].revents & POLLIN) != 0) {
+      // The self-pipe carries commands, one byte each: 1 = drain (stop),
+      // 2 = promote. Drain wins over anything else in the pipe.
+      char bytes[16];
+      ssize_t n = 0;
+      bool drain = false;
+      bool promote = false;
+      while ((n = ::read(drain_pipe_[0], bytes, sizeof(bytes))) > 0) {
+        for (ssize_t i = 0; i < n; ++i) {
+          if (bytes[i] == 1) drain = true;
+          if (bytes[i] == 2) promote = true;
+        }
+      }
+      if (drain) break;
+      if (promote) frontend_.promote();
     }
+    if (stopping_.load(std::memory_order_acquire)) break;
     if ((pfds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -183,6 +196,13 @@ void Server::request_drain() {
   // One write(2) to the self-pipe: the only async-signal-safe way to kick
   // a poll()-based accept loop from a SIGTERM handler.
   const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(drain_pipe_[1], &byte, 1);
+}
+
+void Server::request_promote() {
+  // Promotion must not race the accept loop's dispatches, so it runs on
+  // the loop thread; this just enqueues the command byte.
+  const char byte = 2;
   [[maybe_unused]] const ssize_t n = ::write(drain_pipe_[1], &byte, 1);
 }
 

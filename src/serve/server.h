@@ -78,6 +78,11 @@ class Server {
   /// async-signal-safe — callable from a SIGTERM handler).
   void request_drain();
 
+  /// Asynchronously asks the accept loop to promote the frontend to
+  /// primary (idempotent, async-signal-safe — the SIGUSR1 path of a
+  /// standby sbx_serve). Same self-pipe as request_drain, different byte.
+  void request_promote();
+
   /// Synonym for request_drain(), kept for existing callers.
   void stop() { request_drain(); }
 

@@ -1,9 +1,11 @@
 #include "serve/shard.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
 #include "serve/recovery.h"
+#include "serve/replication.h"
 #include "serve/wal.h"
 #include "util/error.h"
 
@@ -31,6 +33,17 @@ void ModelShard::attach_durability(Durability* durability,
   shard_index_ = shard_index;
   if (uid_of_local_.empty()) uid_of_local_.assign(user_count_, 0);
   if (dedup_.empty()) dedup_.assign(user_count_, {});
+  if (dirty_.empty()) dirty_.assign(user_count_, 0);
+}
+
+void ModelShard::attach_replicator(Replicator* replicator) {
+  const util::MutexLock lock(mutation_mutex_);
+  if (replicator != nullptr && durability_ == nullptr) {
+    throw InvalidArgument(
+        "ModelShard: attach_replicator requires an attached Durability "
+        "(replication ships WAL records)");
+  }
+  replicator_ = replicator;
 }
 
 void ModelShard::set_uid_of_local(std::size_t local, std::uint64_t uid) {
@@ -82,7 +95,15 @@ MutationResult ModelShard::apply_mutation(std::size_t local,
   if (const DedupEntry* hit = find_dedup(local, req.request_id)) {
     deduped_.fetch_add(1, std::memory_order_relaxed);
     const OverlaySnapshot now = model.snapshot();
-    return {now ? now->generation() : 0, hit->spam, hit->ham, true};
+    MutationResult replayed{now ? now->generation() : 0, hit->spam, hit->ham,
+                            true};
+    if (durability_ != nullptr) {
+      // The retried original may still sit in an open commit window, so
+      // the replayed ack draws a fresh ticket: awaiting it flushes every
+      // record appended so far, the original included.
+      replayed.commit_ticket = durability_->note_append();
+    }
+    return replayed;
   }
 
   // Prepare first: a mutation that cannot apply (bad untrain) must fail
@@ -90,6 +111,7 @@ MutationResult ModelShard::apply_mutation(std::size_t local,
   OverlaySnapshot next = model.prepare(ids, req.as_spam, req.copies,
                                        req.op == kWalOpTrain, mutation_mutex_);
 
+  MutationResult result{0, 0, 0, false};
   if (durability_ != nullptr) {
     WalRecord record;
     record.op = req.op;
@@ -100,16 +122,59 @@ MutationResult ModelShard::apply_mutation(std::size_t local,
     record.copies = req.copies;
     record.message = *req.message;
     durability_->wal(shard_index_).append(record);
+    result.commit_ticket = durability_->note_append();
     last_seqno_ = record.seqno;
+    if (!dirty_.empty()) dirty_[local] = 1;
+    if (replicator_ != nullptr) {
+      // Enqueued under the shard lock, right after the append: the ship
+      // queue sees each shard's records in seqno order, which is what
+      // lets the standby dedup resends by per-shard seqno alone.
+      result.repl_ticket = replicator_->enqueue(
+          static_cast<std::uint32_t>(shard_index_), record);
+    }
   }
 
-  const MutationResult result{next->generation(), next->spam_count(),
-                              next->ham_count(), false};
+  result.generation = next->generation();
+  result.spam = next->spam_count();
+  result.ham = next->ham_count();
   model.publish(std::move(next), mutation_mutex_);
   remember_dedup(local, DedupEntry{req.request_id, req.op, result.spam,
                                    result.ham});
   if (durability_ != nullptr) maybe_snapshot();
   return result;
+}
+
+ReplicatedApplyResult ModelShard::apply_replicated(
+    std::size_t local, const WalRecord& record,
+    const spambayes::TokenIdSet& ids) {
+  UserModel& model = user(local);
+  const util::MutexLock lock(mutation_mutex_);
+  if (record.seqno <= last_seqno_) return {};  // resend of an applied record
+
+  OverlaySnapshot next = model.prepare(ids, record.as_spam, record.copies,
+                                       record.op == kWalOpTrain,
+                                       mutation_mutex_);
+  ReplicatedApplyResult result;
+  if (durability_ != nullptr) {
+    // Keep the primary's seqno: the standby's log must replay to the same
+    // watermark the ack names.
+    durability_->wal(shard_index_).append(record);
+    result.commit_ticket = durability_->note_append();
+  }
+  const std::uint32_t spam = next->spam_count();
+  const std::uint32_t ham = next->ham_count();
+  model.publish(std::move(next), mutation_mutex_);
+  remember_dedup(local, DedupEntry{record.request_id, record.op, spam, ham});
+  last_seqno_ = record.seqno;
+  if (!dirty_.empty()) dirty_[local] = 1;
+  result.applied = true;
+  if (durability_ != nullptr) maybe_snapshot();
+  return result;
+}
+
+std::uint64_t ModelShard::last_seqno() const {
+  const util::MutexLock lock(mutation_mutex_);
+  return last_seqno_;
 }
 
 MutationResult ModelShard::replay_mutation(std::size_t local,
@@ -125,6 +190,7 @@ MutationResult ModelShard::replay_mutation(std::size_t local,
   remember_dedup(local, DedupEntry{req.request_id, req.op, result.spam,
                                    result.ham});
   if (req.seqno > last_seqno_) last_seqno_ = req.seqno;
+  if (!dirty_.empty()) dirty_[local] = 1;
   return result;
 }
 
@@ -148,17 +214,35 @@ void ModelShard::maybe_snapshot() {
   WalWriter& wal = durability_->wal(shard_index_);
   if (wal.records_since_truncate() < every) return;
 
-  std::vector<UserSnapshotState> state;
-  state.reserve(user_count_);
-  for (std::size_t i = 0; i < user_count_; ++i) {
-    UserSnapshotState u;
-    u.uid = uid_of_local_[i];
-    u.overlay = users_[i].snapshot();
-    u.dedup.assign(dedup_[i].begin(), dedup_[i].end());
-    if (u.overlay != nullptr || !u.dedup.empty()) state.push_back(std::move(u));
+  if (durability_->snapshot_wants_full(shard_index_)) {
+    // Compaction: fold the whole chain into a fresh full snapshot.
+    std::vector<UserSnapshotState> state;
+    state.reserve(user_count_);
+    for (std::size_t i = 0; i < user_count_; ++i) {
+      UserSnapshotState u;
+      u.uid = uid_of_local_[i];
+      u.overlay = users_[i].snapshot();
+      u.dedup.assign(dedup_[i].begin(), dedup_[i].end());
+      if (u.overlay != nullptr || !u.dedup.empty()) {
+        state.push_back(std::move(u));
+      }
+    }
+    durability_->write_full_snapshot(shard_index_, last_seqno_, state);
+  } else {
+    // Incremental: only the users dirtied since the last checkpoint.
+    std::vector<UserSnapshotState> dirty;
+    for (std::size_t i = 0; i < user_count_; ++i) {
+      if (dirty_.empty() || dirty_[i] == 0) continue;
+      UserSnapshotState u;
+      u.uid = uid_of_local_[i];
+      u.overlay = users_[i].snapshot();
+      u.dedup.assign(dedup_[i].begin(), dedup_[i].end());
+      dirty.push_back(std::move(u));
+    }
+    durability_->write_incremental_snapshot(shard_index_, last_seqno_,
+                                            std::move(dirty));
   }
-  write_shard_snapshot(durability_->snapshot_path(shard_index_), last_seqno_,
-                       state);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
   wal.truncate();
   durability_->note_snapshot();
 }

@@ -37,6 +37,8 @@
 namespace sbx::serve {
 
 class Durability;
+class Replicator;
+struct WalRecord;
 
 /// Aggregate shard counters (relaxed reads; exact once mutations quiesce).
 struct ShardStats {
@@ -74,6 +76,17 @@ struct MutationResult {
   std::uint32_t spam = 0;
   std::uint32_t ham = 0;
   bool deduped = false;
+  /// Group-commit ticket the ack must wait on (0 = nothing to wait for).
+  std::uint64_t commit_ticket = 0;
+  /// Replication ship ticket the ack must wait on under --repl-ack=quorum
+  /// (0 = nothing enqueued).
+  std::uint64_t repl_ticket = 0;
+};
+
+/// Outcome of applying one shipped WAL record on a standby.
+struct ReplicatedApplyResult {
+  bool applied = false;  // false = seqno already applied (resend skipped)
+  std::uint64_t commit_ticket = 0;
 };
 
 class ModelShard {
@@ -96,6 +109,12 @@ class ModelShard {
   /// Wires this shard to its WAL (durability->wal(shard_index)). Taken
   /// under the mutation lock (same reasoning as configure_dedup).
   void attach_durability(Durability* durability, std::size_t shard_index)
+      SBX_EXCLUDES(mutation_mutex_);
+
+  /// Wires this shard to the primary-side WAL shipper. Call after
+  /// attach_durability — replication ships the same records the WAL
+  /// stores, so a replicator without a WAL is a configuration error.
+  void attach_replicator(Replicator* replicator)
       SBX_EXCLUDES(mutation_mutex_);
 
   /// Records the global user id behind a local slot (snapshots persist
@@ -130,6 +149,20 @@ class ModelShard {
   void replay_install(std::size_t local, OverlaySnapshot overlay,
                       std::vector<DedupEntry> dedup)
       SBX_EXCLUDES(mutation_mutex_);
+
+  /// Standby path: applies one WAL record shipped from the primary —
+  /// appends it verbatim to this node's own log (keeping the primary's
+  /// seqno), publishes the overlay, remembers the dedup entry, and may
+  /// checkpoint. Records at or below the shard's last applied seqno are
+  /// skipped (a reconnecting primary resends its unacked batch).
+  ReplicatedApplyResult apply_replicated(std::size_t local,
+                                         const WalRecord& record,
+                                         const spambayes::TokenIdSet& ids)
+      SBX_EXCLUDES(mutation_mutex_);
+
+  /// Highest seqno applied or logged here (promotion reads this to seed
+  /// the seqno counter past everything the standby absorbed).
+  std::uint64_t last_seqno() const SBX_EXCLUDES(mutation_mutex_);
 
   /// Applies one training mutation under the shard mutation lock.
   /// (Durability-free compatibility path; throws when a WAL is attached —
@@ -176,6 +209,7 @@ class ModelShard {
   // the setup calls (configure_dedup / attach_durability), which used to
   // rely on a prose "call before any mutation" contract.
   Durability* durability_ SBX_GUARDED_BY(mutation_mutex_) = nullptr;
+  Replicator* replicator_ SBX_GUARDED_BY(mutation_mutex_) = nullptr;
   std::size_t shard_index_ SBX_GUARDED_BY(mutation_mutex_) = 0;
   std::size_t dedup_window_ SBX_GUARDED_BY(mutation_mutex_) = 0;
   // Highest seqno applied or logged here.
@@ -183,6 +217,9 @@ class ModelShard {
   std::vector<std::uint64_t> uid_of_local_ SBX_GUARDED_BY(mutation_mutex_);
   // Per local slot, FIFO.
   std::vector<std::deque<DedupEntry>> dedup_ SBX_GUARDED_BY(mutation_mutex_);
+  // Per local slot: mutated since the last checkpoint (feeds incremental
+  // snapshots; snapshot installs are clean by definition).
+  std::vector<std::uint8_t> dirty_ SBX_GUARDED_BY(mutation_mutex_);
   std::atomic<std::uint64_t> deduped_{0};
 };
 

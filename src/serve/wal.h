@@ -13,10 +13,12 @@
 // so replay re-tokenizes through the same pipeline the live request took.
 //
 // Durability contract: a record is appended (and optionally fsynced, per
-// FsyncMode) BEFORE the mutation publishes to readers, so any state a
-// client ever observed is reconstructible from snapshot + log. seqnos are
-// drawn from one process-global counter, which lets recovery skip records
-// already folded into a snapshot.
+// FsyncMode) BEFORE the mutation publishes to readers, and under kBatch
+// the client ack is withheld until a group-commit fsync covers the record
+// (Durability::await_durable) — so any state a client ever observed is
+// reconstructible from snapshot + log. seqnos are drawn from one
+// process-global counter, which lets recovery skip records already folded
+// into a snapshot.
 //
 // Torn-write handling: read_wal() verifies length bounds and CRC per
 // record and stops at the first frame that doesn't check out — a torn or
@@ -28,6 +30,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,7 +44,8 @@ inline constexpr std::uint8_t kWalOpUntrain = 2;
 
 /// When appends reach the disk platter.
 ///   kNone   never fsync (page cache only; survives kill -9, not power loss)
-///   kBatch  fsync every `fsync_batch_every` records and on sync()
+///   kBatch  group commit: appends only count; sync() fsyncs when anything
+///           is pending, and acks wait for the covering sync
 ///   kAlways fsync after every record
 enum class FsyncMode : std::uint8_t { kNone = 0, kBatch = 1, kAlways = 2 };
 
@@ -61,24 +65,28 @@ struct WalRecord {
 
 /// Append-only writer over one shard's log file. The owning ModelShard
 /// already serializes append/truncate under its mutation mutex, but sync()
-/// may arrive from a different thread (the server's final drain flush), so
-/// the file offset and fsync-batch state are additionally serialized by an
-/// internal io mutex. Counter reads are safe from any thread.
+/// may arrive from a different thread (the group-commit leader or the
+/// server's final drain flush), so the file offset and pending-fsync state
+/// are additionally serialized by an internal io mutex. Counter reads are
+/// safe from any thread.
 class WalWriter {
  public:
-  WalWriter(std::string path, FsyncMode mode, std::uint32_t batch_every);
+  WalWriter(std::string path, FsyncMode mode);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
   /// Encodes, CRC-frames and appends one record, then applies the fsync
-  /// policy. Throws IoError on any write/fsync failure (a mutation that
-  /// cannot be logged must not publish).
+  /// policy (kAlways fsyncs inline; kBatch defers to the next sync()).
+  /// Throws IoError on any write/fsync failure (a mutation that cannot be
+  /// logged must not publish).
   void append(const WalRecord& record) SBX_EXCLUDES(io_mutex_);
 
-  /// Flushes pending batched writes to disk (fsync; no-op for kNone).
-  /// Safe to call concurrently with append — this is the drain path.
+  /// Flushes pending batched writes to disk. No-op for kNone, and skips
+  /// the fsync entirely when nothing was appended since the last sync —
+  /// that makes a group-commit window over many shards pay only for the
+  /// logs it actually dirtied. Safe to call concurrently with append.
   void sync() SBX_EXCLUDES(io_mutex_);
 
   /// Empties the log (after its records were folded into a snapshot).
@@ -101,10 +109,9 @@ class WalWriter {
  private:
   std::string path_;
   FsyncMode mode_;
-  std::uint32_t batch_every_;
   int fd_ = -1;  // const after the constructor
   util::Mutex io_mutex_;
-  // Records since last fsync.
+  // Records appended since the last fsync (kBatch bookkeeping).
   std::uint32_t unsynced_ SBX_GUARDED_BY(io_mutex_) = 0;
   std::atomic<std::uint64_t> records_{0};
   std::atomic<std::uint64_t> bytes_{0};
@@ -129,7 +136,12 @@ WalReadStats read_wal(const std::string& path,
                       const std::function<void(const WalRecord&)>& sink);
 
 /// Encodes a record body (without the [len][crc] frame) — exposed for
-/// tests that craft corrupt logs byte-by-byte.
+/// tests that craft corrupt logs byte-by-byte and for the replication
+/// shipper, which sends the same bytes the log stores.
 std::vector<std::uint8_t> encode_wal_body(const WalRecord& record);
+
+/// Strictly decodes a record body (the inverse of encode_wal_body).
+/// Throws ParseError on version/op/layout mismatch or trailing bytes.
+WalRecord decode_wal_body(std::span<const std::uint8_t> body);
 
 }  // namespace sbx::serve

@@ -50,6 +50,11 @@ class Writer {
     u32(static_cast<std::uint32_t>(s.size()));
     out_.insert(out_.end(), s.begin(), s.end());
   }
+  /// Raw byte append (no length prefix) — for embedding an already-framed
+  /// blob such as a WAL record body whose length/CRC were written above.
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
 
   std::size_t size() const { return out_.size(); }
   std::vector<std::uint8_t> take() { return std::move(out_); }
@@ -95,6 +100,14 @@ class Reader {
     need(len);
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
     pos_ += len;
+    return s;
+  }
+  /// Raw byte read (no length prefix) — the strict counterpart of
+  /// Writer::bytes. The returned span borrows the Reader's buffer.
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    const std::span<const std::uint8_t> s = data_.subspan(pos_, n);
+    pos_ += n;
     return s;
   }
   bool done() const { return pos_ == data_.size(); }

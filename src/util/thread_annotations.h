@@ -38,6 +38,7 @@
 // sanitizers".
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -147,6 +148,12 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+  /// Timed wait (steady clock): returns false on timeout, true when
+  /// notified. Same predicate-loop guidance as wait().
+  bool wait_for_ms(MutexLock& lock, long ms) {
+    return cv_.wait_for(lock.native(), std::chrono::milliseconds(ms)) ==
+           std::cv_status::no_timeout;
+  }
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
 

@@ -154,13 +154,13 @@ TEST(FaultInjection, WalSurvivesShortWritesByteForByte) {
 
   const std::string clean_path = dir + "/clean.log";
   {
-    WalWriter writer(clean_path, FsyncMode::kNone, 0);
+    WalWriter writer(clean_path, FsyncMode::kNone);
     writer.append(record);
   }
   const std::string faulty_path = dir + "/faulty.log";
   {
     FaultGuard guard("short_write_every=1");
-    WalWriter writer(faulty_path, FsyncMode::kNone, 0);
+    WalWriter writer(faulty_path, FsyncMode::kNone);
     writer.append(record);
   }
   // One-byte-at-a-time appends produce the identical log.

@@ -36,8 +36,28 @@ std::vector<Request> sample_requests() {
   u.message = "m";
   u.request_id = 9;
 
+  ReplicateBatchRequest rb;
+  WalRecord r1;
+  r1.op = kWalOpTrain;
+  r1.seqno = 11;
+  r1.user_id = 4;
+  r1.request_id = 0xFEEDFACE;
+  r1.as_spam = true;
+  r1.copies = 2;
+  r1.message = "Subject: shipped\n\nreplicated body";
+  WalRecord r2;
+  r2.op = kWalOpUntrain;
+  r2.seqno = 12;
+  r2.user_id = 4;
+  r2.request_id = 0;
+  r2.as_spam = true;
+  r2.copies = 1;
+  r2.message = std::string("nul\0inside", 10);
+  rb.records = {{0, r1}, {1, r2}};
+
   return {Request(c), Request(t), Request(u), Request(StatsRequest{}),
-          Request(ShutdownRequest{})};
+          Request(ShutdownRequest{}), Request(rb),
+          Request(PromoteRequest{})};
 }
 
 std::vector<Response> sample_responses() {
@@ -60,13 +80,32 @@ std::vector<Response> sample_responses() {
   s.wal_records = 100;
   s.recovery_ms = 12;
   s.shed_connections = 2;
+  s.repl_shipped_seqno = 900;
+  s.repl_acked_seqno = 897;
+  s.repl_lag_records = 3;
+  s.standby_applied_records = 897;
+  s.group_commit_windows = 55;
+  s.incremental_snapshot_bytes = 4096;
 
   ErrorResponse e;
   e.message = "broken";
   e.code = static_cast<std::uint8_t>(ErrorCode::kOverloaded);
 
-  return {Response(c), Response(t), Response(u), Response(s),
-          Response(ShutdownResponse{}), Response(e)};
+  ErrorResponse np;
+  np.message = "standby refuses train";
+  np.code = static_cast<std::uint8_t>(ErrorCode::kNotPrimary);
+  np.redirect = "tcp:127.0.0.1:8725";
+
+  ReplicateAckResponse ack;
+  ack.acked_seqno = 900;
+  ack.applied_records = 123;
+
+  PromoteResponse p;
+  p.last_applied_seqno = 900;
+
+  return {Response(c),  Response(t), Response(u),   Response(s),
+          Response(ShutdownResponse{}), Response(e), Response(np),
+          Response(ack), Response(p)};
 }
 
 /// Decoding any mangled payload must end in a value or a ParseError —

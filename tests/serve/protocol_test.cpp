@@ -162,6 +162,94 @@ TEST(Protocol, V2StatsTelemetryRoundTrips) {
   EXPECT_EQ(back.active_connections, 11u);
 }
 
+TEST(Protocol, V3ReplicationMessagesRoundTrip) {
+  ReplicateBatchRequest rb;
+  WalRecord r;
+  r.op = kWalOpTrain;
+  r.seqno = 0xFFFFFFFFFFFFFFFEull;
+  r.user_id = 5;
+  r.request_id = 77;
+  r.as_spam = true;
+  r.copies = 3;
+  r.message = std::string("hostile\0payload\r\n", 17);
+  WalRecord r2;
+  r2.op = kWalOpUntrain;
+  r2.seqno = 1;
+  r2.message = "";  // empty body is legal on the wire too
+  rb.records = {{2, r}, {0, r2}};
+
+  const auto back = std::get<ReplicateBatchRequest>(
+      decode_request(payload_of(encode_frame(Request(rb)))));
+  ASSERT_EQ(back.records.size(), 2u);
+  EXPECT_EQ(back.records[0].shard, 2u);
+  EXPECT_EQ(back.records[0].record.op, kWalOpTrain);
+  EXPECT_EQ(back.records[0].record.seqno, r.seqno);
+  EXPECT_EQ(back.records[0].record.user_id, 5u);
+  EXPECT_EQ(back.records[0].record.request_id, 77u);
+  EXPECT_TRUE(back.records[0].record.as_spam);
+  EXPECT_EQ(back.records[0].record.copies, 3u);
+  EXPECT_EQ(back.records[0].record.message, r.message);
+  EXPECT_EQ(back.records[1].shard, 0u);
+  EXPECT_EQ(back.records[1].record.message, "");
+
+  EXPECT_TRUE(std::holds_alternative<PromoteRequest>(
+      decode_request(payload_of(encode_frame(Request(PromoteRequest{}))))));
+
+  ReplicateAckResponse ack;
+  ack.acked_seqno = 901;
+  ack.applied_records = 345;
+  const auto aback = std::get<ReplicateAckResponse>(
+      decode_response(payload_of(encode_frame(Response(ack)))));
+  EXPECT_EQ(aback.acked_seqno, 901u);
+  EXPECT_EQ(aback.applied_records, 345u);
+
+  PromoteResponse p;
+  p.last_applied_seqno = 901;
+  EXPECT_EQ(std::get<PromoteResponse>(
+                decode_response(payload_of(encode_frame(Response(p)))))
+                .last_applied_seqno,
+            901u);
+
+  // A corrupt embedded WAL body (CRC mismatch) must be a loud ParseError.
+  auto bent = payload_of(encode_frame(Request(rb)));
+  bent[bent.size() - 3] ^= 0x20;  // inside the last record's message bytes
+  EXPECT_THROW(decode_request(bent), ParseError);
+}
+
+TEST(Protocol, V3StatsAndRedirectRoundTrip) {
+  StatsResponse s;
+  s.repl_shipped_seqno = 1;
+  s.repl_acked_seqno = 2;
+  s.repl_lag_records = 3;
+  s.standby_applied_records = 4;
+  s.group_commit_windows = 5;
+  s.incremental_snapshot_bytes = 6;
+  const auto back = std::get<StatsResponse>(
+      decode_response(payload_of(encode_frame(Response(s)))));
+  EXPECT_EQ(back.repl_shipped_seqno, 1u);
+  EXPECT_EQ(back.repl_acked_seqno, 2u);
+  EXPECT_EQ(back.repl_lag_records, 3u);
+  EXPECT_EQ(back.standby_applied_records, 4u);
+  EXPECT_EQ(back.group_commit_windows, 5u);
+  EXPECT_EQ(back.incremental_snapshot_bytes, 6u);
+
+  ErrorResponse e;
+  e.message = "standby refuses train";
+  e.code = static_cast<std::uint8_t>(ErrorCode::kNotPrimary);
+  e.redirect = "unix:/tmp/primary.sock";
+  const auto eback = std::get<ErrorResponse>(
+      decode_response(payload_of(encode_frame(Response(e)))));
+  EXPECT_EQ(eback.code, static_cast<std::uint8_t>(ErrorCode::kNotPrimary));
+  EXPECT_EQ(eback.redirect, "unix:/tmp/primary.sock");
+  // Pre-redirect encoders never existed for v3, but an empty redirect is
+  // the common case and must stay empty through the wire.
+  e.redirect.clear();
+  EXPECT_EQ(std::get<ErrorResponse>(
+                decode_response(payload_of(encode_frame(Response(e)))))
+                .redirect,
+            "");
+}
+
 TEST(Protocol, RejectsWrongVersion) {
   auto payload = payload_of(encode_frame(Request(StatsRequest{})));
   payload[0] = kProtocolVersion + 1;

@@ -309,11 +309,20 @@ TEST(Recovery, CorruptSnapshotFailsLoudly) {
     apply_workload(*durable, 3, 41);
     ASSERT_GT(durable->durability()->snapshots_taken(), 0u);
   }
-  const std::string snap = snapshot_path_in(dir.path, 0);
-  ASSERT_TRUE(std::filesystem::exists(snap));
-  // Damage the snapshot header: unlike a torn WAL tail this is NOT an
+  // Checkpoints now build an incremental chain; the first segment is the
+  // chain root. Damage its header: unlike a torn WAL tail this is NOT an
   // expected crash artifact, so recovery must refuse rather than serve
   // silently wrong state.
+  std::string snap;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    const std::string candidate = incremental_snapshot_path_in(dir.path,
+                                                               shard, 1);
+    if (std::filesystem::exists(candidate)) {
+      snap = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(snap.empty());
   {
     std::fstream f(snap, std::ios::in | std::ios::out | std::ios::binary);
     f.seekp(0);

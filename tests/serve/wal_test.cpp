@@ -81,7 +81,7 @@ TEST(Wal, RoundTripsRecordsWithHostileContent) {
   const std::string path = temp_path("roundtrip");
   const auto want = sample_records();
   {
-    WalWriter writer(path, FsyncMode::kNone, 0);
+    WalWriter writer(path, FsyncMode::kNone);
     for (const WalRecord& r : want) writer.append(r);
     EXPECT_EQ(writer.records(), want.size());
     EXPECT_GT(writer.bytes(), 0u);
@@ -110,7 +110,7 @@ TEST(Wal, TornTailAtEveryTruncationOffsetDropsOnlyTheTail) {
   const std::string path = temp_path("torn");
   const auto want = sample_records();
   {
-    WalWriter writer(path, FsyncMode::kNone, 0);
+    WalWriter writer(path, FsyncMode::kNone);
     for (const WalRecord& r : want) writer.append(r);
   }
   const std::string full = read_file(path);
@@ -149,7 +149,7 @@ TEST(Wal, CorruptByteAnywhereNeverPanicsAndKeepsThePrefix) {
   const std::string path = temp_path("corrupt");
   const auto want = sample_records();
   {
-    WalWriter writer(path, FsyncMode::kNone, 0);
+    WalWriter writer(path, FsyncMode::kNone);
     for (const WalRecord& r : want) writer.append(r);
   }
   const std::string full = read_file(path);
@@ -186,7 +186,7 @@ TEST(Wal, FsyncModesProduceByteIdenticalLogs) {
        {FsyncMode::kNone, FsyncMode::kBatch, FsyncMode::kAlways}) {
     const std::string path = temp_path("mode" + to_string(mode));
     {
-      WalWriter writer(path, mode, 2);
+      WalWriter writer(path, mode);
       for (const WalRecord& r : want) writer.append(r);
       writer.sync();
     }
@@ -200,7 +200,7 @@ TEST(Wal, FsyncModesProduceByteIdenticalLogs) {
 
 TEST(Wal, TruncateEmptiesTheLogButKeepsCumulativeCounters) {
   const std::string path = temp_path("truncate");
-  WalWriter writer(path, FsyncMode::kNone, 0);
+  WalWriter writer(path, FsyncMode::kNone);
   for (const WalRecord& r : sample_records()) writer.append(r);
   EXPECT_EQ(writer.records_since_truncate(), 3u);
 

@@ -19,3 +19,11 @@ int bad() {
   (void)lt;
   return a + static_cast<int>(rd());
 }
+
+// A replication-style timer built on the wall clock: steps/slews in the
+// system clock would stretch or collapse the ship deadline.
+bool bad_replication_timer() {
+  const auto deadline =
+      std::chrono::system_clock::now() + std::chrono::milliseconds(100);
+  return std::chrono::system_clock::now() < deadline;
+}

@@ -19,3 +19,15 @@ int good(sbx::util::Rng& rng) {
   double uptime(float);     // not time(...)
   return runtime_ms + operand + static_cast<int>(msg.size());
 }
+
+// The sanctioned replication-timer shape (replication.cpp's flush /
+// backoff waits): a steady_clock deadline consumed in bounded slices, so
+// the wait is immune to wall-clock steps and wakes early on stop().
+bool good_replication_timer(bool (*wait_slice_ms)(long), long timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (wait_slice_ms(100)) return true;
+  }
+  return false;
+}

@@ -1,22 +1,38 @@
 #!/usr/bin/env bash
-# sbx_chaos.sh — kill -9 crash-recovery harness for sbx_serve.
+# sbx_chaos.sh — kill -9 fault-injection harness for sbx_serve.
 #
-# Phase 1: start a WAL-enabled server, drive a train-heavy workload, and
-# kill -9 the server mid-run (no drain, no final fsync — the worst case).
-# Phase 2: restart the server from the same --data-dir and run a verifying
-# workload whose mirror replays the same snapshot+WAL. Zero mismatches
-# proves the recovered state is bit-identical to what the WAL captured;
-# the run fails if recovery replayed nothing (the crash window missed).
+# Scenario "recovery" (default, the PR 7 contract):
+#   Phase 1: start a WAL-enabled server, drive a train-heavy workload, and
+#   kill -9 the server mid-run (no drain, no final fsync — the worst case).
+#   Phase 2: restart the server from the same --data-dir and run a
+#   verifying workload whose mirror replays the same snapshot+WAL. Zero
+#   mismatches proves the recovered state is bit-identical to what the WAL
+#   captured; the run fails if recovery replayed nothing.
 #
-# Usage: sbx_chaos.sh BUILD_DIR [JSON_OUT]
+# Scenario "failover" (the PR 9 contract):
+#   Start a standby, then a primary shipping its WAL with --repl-ack=quorum
+#   (every ack the loadgen sees implies the standby applied the record).
+#   kill -9 the primary mid-run, promote the standby with SIGUSR1, and run
+#   a verifying workload against the promoted standby whose mirror replays
+#   the STANDBY's own data dir. Zero mismatches + a non-empty standby log
+#   proves zero acked-mutation loss across the failover.
+#
+# Usage: sbx_chaos.sh [recovery|failover] BUILD_DIR [JSON_OUT]
 #   BUILD_DIR  cmake build tree containing tools/sbx_serve + tools/sbx_loadgen
 #   JSON_OUT   optional BENCH-shaped output from the verify phase
-#              (metrics are prefixed wal_ to keep them distinct from the
-#              non-durable serve-smoke numbers)
+#              (metrics are prefixed wal_ for recovery, repl_ for failover,
+#              keeping them distinct from the non-durable serve-smoke runs)
+#
+# The legacy spelling `sbx_chaos.sh BUILD_DIR [JSON_OUT]` still runs the
+# recovery scenario.
 
 set -u -o pipefail
 
-BUILD_DIR=${1:?usage: sbx_chaos.sh BUILD_DIR [JSON_OUT]}
+SCENARIO=recovery
+case "${1:-}" in
+  recovery|failover) SCENARIO=$1; shift ;;
+esac
+BUILD_DIR=${1:?usage: sbx_chaos.sh [recovery|failover] BUILD_DIR [JSON_OUT]}
 JSON_OUT=${2:-}
 SERVE="$BUILD_DIR/tools/sbx_serve"
 LOADGEN="$BUILD_DIR/tools/sbx_loadgen"
@@ -25,15 +41,21 @@ WORK=$(mktemp -d /tmp/sbx_chaos.XXXXXX)
 DATA="$WORK/data"
 SOCK="unix:$WORK/serve.sock"
 SERVER_PID=
-trap '[ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+STANDBY_PID=
+trap '[ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null;
+      [ -n "$STANDBY_PID" ] && kill -9 "$STANDBY_PID" 2>/dev/null;
+      rm -rf "$WORK"' EXIT
 
 fail() { echo "sbx_chaos: FAIL: $*" >&2; exit 1; }
 
+# start_server LOG EXTRA_FLAGS... — starts sbx_serve on $SOCK, pid in
+# SERVER_PID, waits for the listening line.
 start_server() {
   local log=$1
+  shift
   "$SERVE" --listen="$SOCK" --users=32 --shards=4 --base-size=600 \
-           --data-dir="$DATA" --fsync=batch --fsync-batch=16 \
-           --snapshot-every=64 >"$log" 2>&1 &
+           --data-dir="$DATA" --fsync=batch --snapshot-every=64 \
+           "$@" >"$log" 2>&1 &
   SERVER_PID=$!
   for _ in $(seq 1 100); do
     grep -q "listening on" "$log" 2>/dev/null && return 0
@@ -44,45 +66,129 @@ start_server() {
   fail "server did not come up"
 }
 
-echo "sbx_chaos: phase 1 — load, then kill -9 mid-run"
-start_server "$WORK/server1.log"
+# run_verify ENDPOINT DATA_DIR PREFIX LOG — the bit-identity verification
+# loadgen: replays DATA_DIR into a mirror and cross-checks every response.
+run_verify() {
+  local endpoint=$1 data_dir=$2 prefix=$3 log=$4
+  local args=(--connect="$endpoint" --connections=4 --requests=200 --batch=4
+              --train-every=3 --seed=23 --verify-data-dir="$data_dir"
+              --attempts=3 --stats --shutdown)
+  [ -n "$JSON_OUT" ] && args+=(--json="$JSON_OUT" --json-metric-prefix="$prefix")
+  "$LOADGEN" "${args[@]}" | tee "$log"
+  local rc=${PIPESTATUS[0]}
+  [ "$rc" -eq 0 ] || fail "verify loadgen exited $rc"
+  grep -q "verify: 0 mismatches" "$log" ||
+    fail "recovered state is NOT bit-identical"
+}
 
-# Train-heavy and single-attempt: the abrupt kill must surface as loadgen
-# errors, not hide behind retries.
-"$LOADGEN" --connect="$SOCK" --users=32 --connections=4 --requests=5000 \
-           --batch=4 --train-every=2 --seed=11 --base-size=600 \
-           --attempts=1 >"$WORK/loadgen1.log" 2>&1 &
-LOADGEN_PID=$!
+scenario_recovery() {
+  echo "sbx_chaos: phase 1 — load, then kill -9 mid-run"
+  start_server "$WORK/server1.log"
 
-sleep 1
-kill -9 "$SERVER_PID" || fail "server already dead before the kill"
-echo "sbx_chaos: killed server pid $SERVER_PID (SIGKILL)"
-wait "$LOADGEN_PID" && fail "loadgen survived the server kill unscathed"
-wait "$SERVER_PID" 2>/dev/null
-SERVER_PID=
+  # Train-heavy and single-attempt: the abrupt kill must surface as loadgen
+  # errors, not hide behind retries.
+  "$LOADGEN" --connect="$SOCK" --users=32 --connections=4 --requests=5000 \
+             --batch=4 --train-every=2 --seed=11 --base-size=600 \
+             --attempts=1 >"$WORK/loadgen1.log" 2>&1 &
+  LOADGEN_PID=$!
 
-[ -f "$DATA/MANIFEST" ] || fail "no manifest written"
-WAL_BYTES=$(cat "$DATA"/shard-*/wal.log 2>/dev/null | wc -c)
-[ "$WAL_BYTES" -gt 0 ] || fail "WAL is empty — nothing was logged before the kill"
-echo "sbx_chaos: $WAL_BYTES WAL bytes survive the crash"
+  sleep 1
+  kill -9 "$SERVER_PID" || fail "server already dead before the kill"
+  echo "sbx_chaos: killed server pid $SERVER_PID (SIGKILL)"
+  wait "$LOADGEN_PID" && fail "loadgen survived the server kill unscathed"
+  wait "$SERVER_PID" 2>/dev/null
+  SERVER_PID=
 
-echo "sbx_chaos: phase 2 — restart from $DATA and verify bit-identity"
-start_server "$WORK/server2.log"
-grep "recovered" "$WORK/server2.log"
-grep -Eq "replayed [1-9][0-9]* wal records" "$WORK/server2.log" ||
-  grep -Eq "recovered [1-9][0-9]* snapshot users" "$WORK/server2.log" ||
-  fail "recovery replayed nothing — the crash window missed all mutations"
+  [ -f "$DATA/MANIFEST" ] || fail "no manifest written"
+  WAL_BYTES=$(cat "$DATA"/shard-*/wal.log 2>/dev/null | wc -c)
+  [ "$WAL_BYTES" -gt 0 ] || fail "WAL is empty — nothing was logged before the kill"
+  echo "sbx_chaos: $WAL_BYTES WAL bytes survive the crash"
 
-VERIFY_ARGS=(--connect="$SOCK" --connections=4 --requests=200 --batch=4
-             --train-every=3 --seed=23 --verify-data-dir="$DATA"
-             --attempts=3 --stats --shutdown)
-[ -n "$JSON_OUT" ] && VERIFY_ARGS+=(--json="$JSON_OUT" --json-metric-prefix=wal_)
-"$LOADGEN" "${VERIFY_ARGS[@]}" | tee "$WORK/loadgen2.log"
-RC=${PIPESTATUS[0]}
-[ "$RC" -eq 0 ] || fail "verify loadgen exited $RC"
-grep -q "verify: 0 mismatches" "$WORK/loadgen2.log" ||
-  fail "recovered state is NOT bit-identical"
+  echo "sbx_chaos: phase 2 — restart from $DATA and verify bit-identity"
+  start_server "$WORK/server2.log"
+  grep "recovered" "$WORK/server2.log"
+  grep -Eq "replayed [1-9][0-9]* wal records" "$WORK/server2.log" ||
+    grep -Eq "recovered [1-9][0-9]* snapshot users" "$WORK/server2.log" ||
+    fail "recovery replayed nothing — the crash window missed all mutations"
 
-wait "$SERVER_PID" || fail "server did not drain cleanly after shutdown"
-SERVER_PID=
-echo "sbx_chaos: PASS — recovered state bit-identical after kill -9"
+  run_verify "$SOCK" "$DATA" wal_ "$WORK/loadgen2.log"
+
+  wait "$SERVER_PID" || fail "server did not drain cleanly after shutdown"
+  SERVER_PID=
+  echo "sbx_chaos: PASS — recovered state bit-identical after kill -9"
+}
+
+scenario_failover() {
+  local standby_data="$WORK/standby_data"
+  local standby_sock="unix:$WORK/standby.sock"
+
+  echo "sbx_chaos: starting standby on $standby_sock"
+  "$SERVE" --listen="$standby_sock" --users=32 --shards=4 --base-size=600 \
+           --data-dir="$standby_data" --fsync=batch --snapshot-every=64 \
+           --standby >"$WORK/standby.log" 2>&1 &
+  STANDBY_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$WORK/standby.log" 2>/dev/null && break
+    kill -0 "$STANDBY_PID" 2>/dev/null || { cat "$WORK/standby.log" >&2;
+      fail "standby did not come up"; }
+    sleep 0.1
+  done
+  grep -q "role standby" "$WORK/standby.log" || fail "standby not in standby role"
+
+  echo "sbx_chaos: starting primary shipping to the standby (quorum acks)"
+  start_server "$WORK/primary.log" \
+               --replicate-to="$standby_sock" --repl-ack=quorum
+
+  # Quorum acks make the loss contract checkable: every mutation the
+  # loadgen saw acked was applied AND logged on the standby first.
+  "$LOADGEN" --connect="$SOCK" --users=32 --connections=4 --requests=5000 \
+             --batch=4 --train-every=2 --seed=11 --base-size=600 \
+             --attempts=1 >"$WORK/loadgen1.log" 2>&1 &
+  LOADGEN_PID=$!
+
+  sleep 2
+  kill -9 "$SERVER_PID" || fail "primary already dead before the kill"
+  echo "sbx_chaos: killed primary pid $SERVER_PID (SIGKILL)"
+  wait "$LOADGEN_PID" && fail "loadgen survived the primary kill unscathed"
+  wait "$SERVER_PID" 2>/dev/null
+  SERVER_PID=
+
+  STANDBY_WAL=$(cat "$standby_data"/shard-*/wal.log "$standby_data"/shard-*/snap-*.inc \
+                    "$standby_data"/shard-*/snapshot.db 2>/dev/null | wc -c)
+  [ "$STANDBY_WAL" -gt 0 ] ||
+    fail "standby durable state is empty — nothing was shipped before the kill"
+  echo "sbx_chaos: $STANDBY_WAL standby durable bytes at the moment of failover"
+
+  echo "sbx_chaos: promoting the standby (SIGUSR1)"
+  kill -USR1 "$STANDBY_PID" || fail "standby died before promotion"
+  for _ in $(seq 1 100); do
+    grep -q "promote requested" "$WORK/standby.log" 2>/dev/null && break
+    sleep 0.05
+  done
+  # The role flip completes on the standby's accept loop; probe with
+  # classify-only traffic (refused until primary) until it answers.
+  PROMOTED=
+  for _ in $(seq 1 100); do
+    if "$LOADGEN" --connect="$standby_sock" --users=32 --connections=1 \
+                  --requests=2 --batch=1 --train-every=0 --seed=99 \
+                  --base-size=600 --attempts=1 >/dev/null 2>&1; then
+      PROMOTED=1
+      break
+    fi
+    sleep 0.1
+  done
+  [ -n "$PROMOTED" ] || fail "standby never started serving after promotion"
+
+  echo "sbx_chaos: re-pointing loadgen at the promoted standby, verifying"
+  SERVER_PID=$STANDBY_PID
+  STANDBY_PID=
+  run_verify "$standby_sock" "$standby_data" repl_ "$WORK/loadgen2.log"
+  grep -Eq "standby applied [1-9][0-9]*," "$WORK/loadgen2.log" ||
+    fail "promoted standby reports zero applied records — nothing replicated"
+
+  wait "$SERVER_PID" || fail "promoted standby did not drain cleanly"
+  SERVER_PID=
+  echo "sbx_chaos: PASS — zero acked-mutation loss across kill -9 failover"
+}
+
+scenario_$SCENARIO

@@ -8,12 +8,15 @@ linter turns those conventions from review checklist items into a ctest.
 
 Rules (all scoped to checked directories, see RULES):
 
-  wallclock       src/{spambayes,core,eval} must not draw entropy or
-                  wall-clock time: no rand()/srand()/random_device, no
+  wallclock       src/{spambayes,core,eval,serve} must not draw entropy
+                  or wall-clock time: no rand()/srand()/random_device, no
                   time()/system_clock/gettimeofday/localtime. Randomness
                   comes only from util::random forked streams (and
                   steady_clock is fine — it is monotonic and never feeds
-                  results).
+                  results). serve is in scope since PR 9: replication
+                  timers (ship deadlines, backoff, ack waits) must be
+                  steady_clock-based deadlines, or failover behavior
+                  changes under clock steps.
   unordered-iter  no range-for over an unordered_map/unordered_set in
                   the result paths: iteration order varies across
                   libstdc++ versions and hash seeds, so anything it
@@ -54,6 +57,11 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Directories whose outputs must be bit-identical at any thread count.
 RESULT_PATH_DIRS = ("src/spambayes", "src/core", "src/eval")
+# Result paths plus the serving/replication layer: its timers (ship
+# deadlines, backoff, group-commit ack waits) must be monotonic, but its
+# telemetry printfs are not result formatting, so only the wallclock rule
+# widens to it.
+WALLCLOCK_DIRS = RESULT_PATH_DIRS + ("src/serve",)
 ALL_SRC_DIRS = ("src",)
 
 # Files allowed to format floats: the two audited round-trip helpers.
@@ -315,7 +323,7 @@ def check_tsan_supp(path, raw_lines):
 
 # rule name -> (checker, scope dirs). tsan-supp is special-cased.
 RULES = {
-    "wallclock": (check_wallclock, RESULT_PATH_DIRS),
+    "wallclock": (check_wallclock, WALLCLOCK_DIRS),
     "unordered-iter": (check_unordered_iter, RESULT_PATH_DIRS),
     "float-format": (check_float_format, RESULT_PATH_DIRS),
     "process-escape": (check_process_escape, ALL_SRC_DIRS),

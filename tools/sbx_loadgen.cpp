@@ -182,6 +182,10 @@ struct ConnectionResult {
   std::uint64_t errors = 0;
   std::uint64_t mismatches = 0;  // --verify score-bit diffs
   std::uint64_t retries = 0;     // client-level reconnect/backoff retries
+  /// Wall time from run start to this connection's first successful
+  /// response (0 = none succeeded). Against a just-promoted standby this
+  /// measures failover-to-first-ack.
+  double first_response_ms = 0;
 };
 
 /// Bitwise score comparison between the daemon's response and the mirror's.
@@ -219,6 +223,7 @@ std::uint64_t count_mismatches(const Response& remote, const Response& local) {
 void run_connection(const Flags& flags, std::size_t conn_index,
                     const sbx::corpus::TrecLikeGenerator& generator,
                     sbx::serve::ServeFrontend* mirror,
+                    std::chrono::steady_clock::time_point wall_start,
                     ConnectionResult& out) {
   sbx::serve::ClientOptions copts;
   copts.op_timeout_ms = flags.op_timeout_ms;
@@ -288,6 +293,10 @@ void run_connection(const Flags& flags, std::size_t conn_index,
     const auto stop = std::chrono::steady_clock::now();
     out.latencies_ms.push_back(
         std::chrono::duration<double, std::milli>(stop - start).count());
+    if (out.first_response_ms == 0) {
+      out.first_response_ms =
+          std::chrono::duration<double, std::milli>(stop - wall_start).count();
+    }
 
     if (std::holds_alternative<ErrorResponse>(response)) {
       ++out.errors;
@@ -369,7 +378,8 @@ int main(int argc, char** argv) {
       threads.reserve(flags.connections);
       for (std::size_t c = 0; c < flags.connections; ++c) {
         threads.emplace_back([&, c] {
-          run_connection(flags, c, generator, mirror.get(), results[c]);
+          run_connection(flags, c, generator, mirror.get(), wall_start,
+                         results[c]);
         });
       }
       for (std::thread& t : threads) t.join();
@@ -382,6 +392,7 @@ int main(int argc, char** argv) {
     std::vector<double> latencies;
     std::uint64_t classified = 0, trains = 0, errors = 0, mismatches = 0;
     std::uint64_t retried = 0;
+    double first_response_ms = 0;
     for (const ConnectionResult& r : results) {
       latencies.insert(latencies.end(), r.latencies_ms.begin(),
                        r.latencies_ms.end());
@@ -390,6 +401,10 @@ int main(int argc, char** argv) {
       errors += r.errors;
       mismatches += r.mismatches;
       retried += r.retries;
+      if (r.first_response_ms > 0 &&
+          (first_response_ms == 0 || r.first_response_ms < first_response_ms)) {
+        first_response_ms = r.first_response_ms;
+      }
     }
     std::sort(latencies.begin(), latencies.end());
     const double p50 = percentile(latencies, 0.50);
@@ -408,8 +423,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(retried), elapsed_sec,
                 flags.connections);
     std::printf("sbx_loadgen: %.1f msgs/sec, %.1f reqs/sec, p50 %.3f ms, "
-                "p99 %.3f ms\n",
-                msgs_per_sec, reqs_per_sec, p50, p99);
+                "p99 %.3f ms, first response %.3f ms\n",
+                msgs_per_sec, reqs_per_sec, p50, p99, first_response_ms);
     if (flags.verify) {
       std::printf("sbx_loadgen: verify: %llu mismatches\n",
                   static_cast<unsigned long long>(mismatches));
@@ -444,6 +459,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s->deduped_mutations),
               static_cast<unsigned long long>(s->shed_connections),
               static_cast<unsigned long long>(s->active_connections));
+          std::printf(
+              "sbx_loadgen: server repl: shipped seqno %llu, acked seqno "
+              "%llu, lag %llu, standby applied %llu, group-commit windows "
+              "%llu, incremental snapshot bytes %llu\n",
+              static_cast<unsigned long long>(s->repl_shipped_seqno),
+              static_cast<unsigned long long>(s->repl_acked_seqno),
+              static_cast<unsigned long long>(s->repl_lag_records),
+              static_cast<unsigned long long>(s->standby_applied_records),
+              static_cast<unsigned long long>(s->group_commit_windows),
+              static_cast<unsigned long long>(s->incremental_snapshot_bytes));
         }
       }
       if (flags.shutdown) {
@@ -474,6 +499,27 @@ int main(int argc, char** argv) {
         std::fprintf(f,
                      ",\n    \"%srecovery_replayed_records_per_sec\": %.3f",
                      mp.c_str(), replay_per_sec);
+      }
+      // Replication telemetry (the failover harness queries the promoted
+      // standby): apply throughput while it was a standby, and group-commit
+      // window throughput under fsync=batch.
+      if (server_stats && server_stats->standby_applied_records > 0 &&
+          server_stats->uptime_ms > 0) {
+        const double ship_per_sec =
+            static_cast<double>(server_stats->standby_applied_records) /
+            (static_cast<double>(server_stats->uptime_ms) / 1000.0);
+        std::fprintf(f, ",\n    \"%sship_records_per_sec\": %.3f", mp.c_str(),
+                     ship_per_sec);
+      }
+      if (server_stats && server_stats->group_commit_windows > 0) {
+        std::fprintf(f, ",\n    \"%sgroup_commit_msgs_per_sec\": %.3f",
+                     mp.c_str(), msgs_per_sec);
+      }
+      // Failover-to-first-ack, inverted to per-second so check_bench's
+      // higher-is-better contract holds (faster failover = bigger number).
+      if (!mp.empty() && first_response_ms > 0) {
+        std::fprintf(f, ",\n    \"%sfailover_first_ack_per_sec\": %.3f",
+                     mp.c_str(), 1000.0 / first_response_ms);
       }
       std::fprintf(f,
                    "\n  },\n"

@@ -23,6 +23,15 @@
 //
 //   sbx_serve: listening on tcp:127.0.0.1:40613 (64 users, 4 shards, ...)
 //
+// Replication (PR 9): --replicate-to=ENDPOINT makes this node a primary
+// that ships every committed WAL record to a warm standby started with
+// --standby (the standby applies them through the recovery replay path and
+// stays bit-identical at every acked watermark). --repl-ack picks the ack
+// policy (async = ship in background, quorum = client acks wait for the
+// standby). SIGUSR1 (or a Promote frame) flips a standby to primary with
+// no replay gap; --redirect-to=ENDPOINT is what a standby's kNotPrimary
+// rejections point writers at until then.
+//
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight
 // requests, fsync the logs, exit 0. SBX_FAULT=<spec> arms the fault
 // injector (see serve/fault_injector.h) for chaos testing.
@@ -42,7 +51,9 @@
 #include "serve/fault_injector.h"
 #include "serve/frontend.h"
 #include "serve/recovery.h"
+#include "serve/replication.h"
 #include "serve/server.h"
+#include "serve/wal.h"
 #include "util/config.h"
 #include "util/error.h"
 
@@ -55,8 +66,12 @@ struct Flags {
   sbx::serve::ServerConfig server;
   std::string data_dir;  // empty = in-memory only
   sbx::serve::FsyncMode fsync = sbx::serve::FsyncMode::kBatch;
-  std::uint32_t fsync_batch = 64;
   std::uint64_t snapshot_every = 0;
+  bool standby = false;
+  std::string redirect_to;    // standby: where kNotPrimary bounces writers
+  std::string replicate_to;   // primary: standby endpoint to ship WAL to
+  sbx::serve::ReplAckPolicy repl_ack = sbx::serve::ReplAckPolicy::kAsync;
+  long repl_timeout_ms = 10'000;
 };
 
 int usage(std::FILE* to) {
@@ -66,15 +81,21 @@ int usage(std::FILE* to) {
       "                 [--shards=N] [--base-size=N]\n"
       "                 [--spam-fraction=F] [--seed=N]\n"
       "                 [--data-dir=PATH] [--fsync=none|batch|always]\n"
-      "                 [--fsync-batch=N] [--snapshot-every=N]\n"
+      "                 [--snapshot-every=N]\n"
       "                 [--dedup-window=N] [--max-connections=N]\n"
       "                 [--read-timeout-ms=MS] [--idle-timeout-ms=MS]\n"
+      "                 [--standby] [--redirect-to=ENDPOINT]\n"
+      "                 [--replicate-to=ENDPOINT]\n"
+      "                 [--repl-ack=none|async|quorum]\n"
+      "                 [--repl-timeout-ms=MS]\n"
       "\n"
       "Serves the sbx classify/train/untrain/stats protocol until a\n"
       "shutdown request or SIGTERM arrives. tcp:0 picks a free loopback\n"
       "port and prints it. --data-dir enables the mutation WAL and\n"
       "crash recovery; restarting from the same directory replays the\n"
-      "log back to the pre-crash state.\n");
+      "log back to the pre-crash state. --replicate-to ships committed\n"
+      "WAL records to a standby (started with --standby and the same\n"
+      "topology flags); SIGUSR1 promotes a standby to primary.\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -102,9 +123,6 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
       flags.data_dir = arg.substr(11);
     } else if (arg.rfind("--fsync=", 0) == 0) {
       flags.fsync = sbx::serve::fsync_mode_from_string(arg.substr(8));
-    } else if (arg.rfind("--fsync-batch=", 0) == 0) {
-      flags.fsync_batch = static_cast<std::uint32_t>(
-          parse_uint(arg.substr(14), "--fsync-batch"));
     } else if (arg.rfind("--snapshot-every=", 0) == 0) {
       flags.snapshot_every = parse_uint(arg.substr(17), "--snapshot-every");
     } else if (arg.rfind("--dedup-window=", 0) == 0) {
@@ -119,6 +137,17 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
     } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
       flags.server.idle_timeout_ms = static_cast<long>(
           parse_uint(arg.substr(18), "--idle-timeout-ms"));
+    } else if (arg == "--standby") {
+      flags.standby = true;
+    } else if (arg.rfind("--redirect-to=", 0) == 0) {
+      flags.redirect_to = arg.substr(14);
+    } else if (arg.rfind("--replicate-to=", 0) == 0) {
+      flags.replicate_to = arg.substr(15);
+    } else if (arg.rfind("--repl-ack=", 0) == 0) {
+      flags.repl_ack = sbx::serve::repl_ack_policy_from_string(arg.substr(11));
+    } else if (arg.rfind("--repl-timeout-ms=", 0) == 0) {
+      flags.repl_timeout_ms = static_cast<long>(
+          parse_uint(arg.substr(18), "--repl-timeout-ms"));
     } else {
       std::fprintf(stderr, "sbx_serve: unknown flag '%s'\n\n", arg.c_str());
       return false;
@@ -132,6 +161,17 @@ sbx::serve::Server* g_server = nullptr;
 void handle_drain_signal(int) {
   // request_drain is async-signal-safe (one write to a self-pipe).
   if (g_server != nullptr) g_server->request_drain();
+}
+
+void handle_promote_signal(int) {
+  // request_promote is async-signal-safe (same self-pipe, promote byte),
+  // and so is the write(2) below — harnesses grep it to know the signal
+  // landed (the role flip itself completes on the accept-loop thread).
+  if (g_server != nullptr) {
+    g_server->request_promote();
+    const char msg[] = "sbx_serve: promote requested\n";
+    (void)!::write(STDOUT_FILENO, msg, sizeof(msg) - 1);
+  }
 }
 
 /// Refuses to recover into a differently-shaped process: routing and the
@@ -164,12 +204,21 @@ int main(int argc, char** argv) {
   try {
     sbx::serve::FaultInjector::instance().configure_from_env();
 
+    if (flags.standby && !flags.replicate_to.empty()) {
+      throw sbx::InvalidArgument(
+          "sbx_serve: --standby and --replicate-to are mutually exclusive "
+          "(a node is either the shipping primary or the applying standby)");
+    }
+    if (!flags.replicate_to.empty() && flags.data_dir.empty()) {
+      throw sbx::InvalidArgument(
+          "sbx_serve: --replicate-to ships WAL records and needs --data-dir");
+    }
+
     std::unique_ptr<sbx::serve::Durability> durability;
     if (!flags.data_dir.empty()) {
       sbx::serve::DurabilityConfig dc;
       dc.data_dir = flags.data_dir;
       dc.fsync = flags.fsync;
-      dc.fsync_batch_every = flags.fsync_batch;
       dc.snapshot_every = flags.snapshot_every;
       durability = std::make_unique<sbx::serve::Durability>(
           dc, flags.frontend.shard_count);
@@ -194,18 +243,56 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(rs.duration_ms));
     }
 
+    if (flags.standby) {
+      frontend.set_standby(flags.redirect_to);
+    }
+
+    if (!flags.replicate_to.empty() &&
+        flags.repl_ack != sbx::serve::ReplAckPolicy::kNone) {
+      sbx::serve::ReplicationConfig rc;
+      rc.target = flags.replicate_to;
+      rc.ack = flags.repl_ack;
+      rc.connect_timeout_ms = flags.repl_timeout_ms;
+      rc.op_timeout_ms = flags.repl_timeout_ms;
+      frontend.attach_replicator(
+          std::make_unique<sbx::serve::Replicator>(rc));
+      // Ship the restart backlog: WAL records that survived in the logs
+      // may postdate what the standby saw (it dedups anything it already
+      // applied by seqno, so over-shipping is harmless; records already
+      // folded into snapshots were acked before their checkpoint).
+      std::uint64_t backlog = 0;
+      for (std::size_t s = 0; s < frontend.shard_count(); ++s) {
+        sbx::serve::read_wal(
+            sbx::serve::wal_path_in(flags.data_dir, s),
+            [&](const sbx::serve::WalRecord& record) {
+              frontend.replicator()->enqueue(static_cast<std::uint32_t>(s),
+                                             record);
+              ++backlog;
+            });
+      }
+      if (backlog > 0) {
+        std::printf("sbx_serve: shipping %llu backlog wal records to %s\n",
+                    static_cast<unsigned long long>(backlog),
+                    flags.replicate_to.c_str());
+      }
+    }
+
     sbx::serve::Server server(frontend, flags.listen, flags.server);
     g_server = &server;
     struct sigaction sa {};
     sa.sa_handler = handle_drain_signal;
     ::sigaction(SIGTERM, &sa, nullptr);
     ::sigaction(SIGINT, &sa, nullptr);
+    struct sigaction sp {};
+    sp.sa_handler = handle_promote_signal;
+    ::sigaction(SIGUSR1, &sp, nullptr);
 
     std::printf("sbx_serve: listening on %s (%zu users, %zu shards, base %zu "
-                "msgs, seed %llu%s%s)\n",
+                "msgs, seed %llu, role %s%s%s)\n",
                 server.endpoint().c_str(), frontend.user_count(),
                 frontend.shard_count(), flags.base.base_size,
                 static_cast<unsigned long long>(flags.base.seed),
+                flags.standby ? "standby" : "primary",
                 flags.data_dir.empty() ? "" : ", wal fsync=",
                 flags.data_dir.empty()
                     ? ""
