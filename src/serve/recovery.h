@@ -281,14 +281,16 @@ class Durability {
   // Group-commit window. committed_ is the highest ticket covered by an
   // fsync; appended_ is the highest ticket drawn.
   std::atomic<std::uint64_t> appended_{0};
-  util::Mutex commit_mutex_;
+  util::Mutex commit_mutex_{util::LockRank::kCommit,
+                            "Durability::commit_mutex_"};
   std::uint64_t committed_ SBX_GUARDED_BY(commit_mutex_) = 0;
   std::atomic<std::uint64_t> windows_{0};
 
   // Snapshot chains, one per shard. File writes happen under the mutex —
   // checkpoints are rare and per-shard callers already hold their shard's
   // mutation lock, so contention here is a non-event.
-  util::Mutex chain_mutex_;
+  util::Mutex chain_mutex_{util::LockRank::kChain,
+                           "Durability::chain_mutex_"};
   std::vector<ChainState> chains_ SBX_GUARDED_BY(chain_mutex_);
   std::atomic<std::uint64_t> inc_bytes_{0};
 };

@@ -121,7 +121,8 @@ class Replicator {
 
   ReplicationConfig config_;
 
-  mutable util::Mutex mutex_;
+  mutable util::Mutex mutex_{util::LockRank::kReplicator,
+                              "Replicator::mutex_"};
   util::CondVar queue_cv_ ;  // signaled on enqueue and stop
   util::CondVar ack_cv_;     // signaled on ack progress, drain and stop
   std::deque<PendingRecord> queue_ SBX_GUARDED_BY(mutex_);

@@ -104,7 +104,8 @@ class Server {
   ServerCounters counters_;
   // Connection table: the accept loop appends while the destructor (a
   // different thread when run() lives on its own) joins.
-  util::Mutex threads_mutex_;
+  util::Mutex threads_mutex_{util::LockRank::kServer,
+                             "Server::threads_mutex_"};
   std::vector<std::thread> threads_ SBX_GUARDED_BY(threads_mutex_);
 };
 

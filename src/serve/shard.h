@@ -202,7 +202,8 @@ class ModelShard {
   // parameter, so the single-writer half of the contract is checked at
   // the UserModel boundary rather than by guarding the array.
   std::unique_ptr<UserModel[]> users_;
-  mutable util::Mutex mutation_mutex_;
+  mutable util::Mutex mutation_mutex_{util::LockRank::kShard,
+                                      "ModelShard::mutation_mutex_"};
 
   // Durability wiring (null = in-memory only, the pre-PR-7 behavior).
   // Everything below changes only under the mutation lock — including

@@ -110,7 +110,7 @@ class WalWriter {
   std::string path_;
   FsyncMode mode_;
   int fd_ = -1;  // const after the constructor
-  util::Mutex io_mutex_;
+  util::Mutex io_mutex_{util::LockRank::kWal, "WalWriter::io_mutex_"};
   // Records appended since the last fsync (kBatch bookkeeping).
   std::uint32_t unsynced_ SBX_GUARDED_BY(io_mutex_) = 0;
   std::atomic<std::uint64_t> records_{0};

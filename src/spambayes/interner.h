@@ -125,7 +125,8 @@ class TokenInterner {
   // chunks and the published size are atomics with release/acquire
   // pairing; they are deliberately NOT guarded by the writer mutex.
   std::atomic<Table*> table_;
-  mutable util::Mutex write_mutex_;
+  mutable util::Mutex write_mutex_{util::LockRank::kLeaf,
+                                   "TokenInterner::write_mutex_"};
   // Writer-side growth state: every table ever built (retired tables stay
   // readable), the spelling arena and its fill cursor.
   std::vector<std::unique_ptr<Table>> tables_ SBX_GUARDED_BY(write_mutex_);

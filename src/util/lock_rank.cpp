@@ -1,0 +1,134 @@
+#include "util/lock_rank.h"
+
+#ifdef SBX_LOCK_RANK
+#include <cstdio>
+#include <cstdlib>
+#endif
+
+namespace sbx::util {
+
+const char* lock_rank_name(LockRank rank) {
+  switch (rank) {
+    case LockRank::kThreadPool:
+      return "kThreadPool";
+    case LockRank::kServer:
+      return "kServer";
+    case LockRank::kShard:
+      return "kShard";
+    case LockRank::kCommit:
+      return "kCommit";
+    case LockRank::kChain:
+      return "kChain";
+    case LockRank::kWal:
+      return "kWal";
+    case LockRank::kReplicator:
+      return "kReplicator";
+    case LockRank::kLeaf:
+      return "kLeaf";
+  }
+  return "<unknown rank>";
+}
+
+#ifdef SBX_LOCK_RANK
+
+namespace lock_rank_detail {
+namespace {
+
+struct HeldLock {
+  const void* mutex = nullptr;
+  LockRank rank = LockRank::kLeaf;
+  const char* name = nullptr;
+};
+
+// Deep enough for any real acquisition chain (the hierarchy has 8 levels;
+// the deepest real path is 2). Overflow is itself reported as a violation
+// rather than silently truncating the stack.
+constexpr int kMaxHeld = 32;
+
+thread_local HeldLock tls_held[kMaxHeld];
+thread_local int tls_depth = 0;
+
+/// Prints the violation + the held stack and aborts. The output is a
+/// single stderr burst so death tests (and humans reading a CI log) see
+/// one coherent block even when other threads are printing.
+[[noreturn]] void die(const char* what, const void* mutex, LockRank rank,
+                      const char* name) {
+  std::fprintf(stderr,
+               "sbx lock-rank violation: %s\n"
+               "  lock: \"%s\" (rank %s=%d, %p)\n"
+               "  held by this thread (outermost first):\n",
+               what, name != nullptr ? name : "<unnamed>",
+               lock_rank_name(rank), static_cast<int>(rank), mutex);
+  if (tls_depth == 0) {
+    std::fprintf(stderr, "    (nothing)\n");
+  }
+  for (int i = 0; i < tls_depth; ++i) {
+    std::fprintf(stderr, "    %d. \"%s\" (rank %s=%d, %p)\n", i + 1,
+                 tls_held[i].name != nullptr ? tls_held[i].name : "<unnamed>",
+                 lock_rank_name(tls_held[i].rank),
+                 static_cast<int>(tls_held[i].rank), tls_held[i].mutex);
+  }
+  std::fprintf(stderr,
+               "  the declared hierarchy lives in src/util/lock_rank.h; "
+               "see README \"Static analysis & sanitizers\" for how to "
+               "read this abort\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void note_acquire(const void* mutex, LockRank rank, const char* name) {
+  for (int i = 0; i < tls_depth; ++i) {
+    if (tls_held[i].mutex == mutex) {
+      die("re-entrant acquisition (this thread already holds the lock; "
+          "re-locking a std::mutex is undefined behavior)",
+          mutex, rank, name);
+    }
+  }
+  // Acquisition order invariant: ranks on the stack are strictly
+  // increasing, so the innermost held lock carries the maximum rank.
+  if (tls_depth > 0 && tls_held[tls_depth - 1].rank >= rank) {
+    die("rank inversion (acquiring a lock whose rank is not strictly "
+        "greater than every lock already held)",
+        mutex, rank, name);
+  }
+  if (tls_depth >= kMaxHeld) {
+    die("held-locks stack overflow (more nested locks than the tracker "
+        "supports — almost certainly a bug)",
+        mutex, rank, name);
+  }
+  tls_held[tls_depth++] = HeldLock{mutex, rank, name};
+}
+
+void note_release(const void* mutex) {
+  for (int i = tls_depth - 1; i >= 0; --i) {
+    if (tls_held[i].mutex != mutex) continue;
+    for (int j = i; j + 1 < tls_depth; ++j) tls_held[j] = tls_held[j + 1];
+    --tls_depth;
+    return;
+  }
+  die("release of a lock this thread does not hold", mutex, LockRank::kLeaf,
+      "<released>");
+}
+
+void note_cond_wait(const void* mutex) {
+  for (int i = 0; i < tls_depth; ++i) {
+    if (tls_held[i].mutex == mutex) continue;
+    // Everything else on the stack is lower-ranked than the waited
+    // mutex (acquisition order), stays held across the block, and can
+    // starve the thread that would notify this wait.
+    die("CondVar wait while holding another (lower-rank) lock — the wait "
+        "releases only its own mutex; every other held lock blocks the "
+        "notifier for the duration",
+        tls_held[i].mutex, tls_held[i].rank, tls_held[i].name);
+  }
+}
+
+int held_count() { return tls_depth; }
+
+}  // namespace lock_rank_detail
+
+#endif  // SBX_LOCK_RANK
+
+}  // namespace sbx::util

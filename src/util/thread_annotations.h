@@ -1,14 +1,25 @@
 // sbx/util/thread_annotations.h
 //
-// Clang Thread Safety Analysis macros plus the annotated mutex primitives
-// the analysis needs to be useful. The project's two concurrency
-// invariants — "mutations under the shard lock, reads lock-free on
-// immutable snapshots" (serve) and "determinism never depends on lock
-// acquisition order" (eval) — were previously enforced by prose comments;
-// these annotations make the locking half compiler-checked on every clang
-// build (`-Wthread-safety -Werror`, the CI static-analysis job). Under GCC
-// every macro expands to nothing and `util::Mutex`/`MutexLock` degrade to
-// thin std::mutex wrappers, so local GCC builds are unaffected.
+// Clang Thread Safety Analysis macros plus the annotated, RANKED mutex
+// primitives the analysis needs to be useful. The project's two
+// concurrency invariants — "mutations under the shard lock, reads
+// lock-free on immutable snapshots" (serve) and "determinism never
+// depends on lock acquisition order" (eval) — were previously enforced
+// by prose comments; these annotations make the locking half
+// compiler-checked on every clang build (`-Wthread-safety -Werror`, the
+// CI static-analysis job). Under GCC every macro expands to nothing and
+// `util::Mutex`/`MutexLock` degrade to thin std::mutex wrappers, so
+// local GCC builds are unaffected.
+//
+// Lock ORDER (which TSA cannot see) is enforced separately: every Mutex
+// declares its util::LockRank + name at construction, and under the
+// SBX_LOCK_RANK build toggle (Debug / sanitizer builds) a per-thread
+// held-locks tracker aborts on rank inversions, re-entrant acquisition,
+// and CondVar waits entered with other locks held — see
+// src/util/lock_rank.h for the hierarchy and tools/sbx_lockgraph.py for
+// the cross-TU static check of the same invariant. In Release builds the
+// tracker compiles out entirely (no members, no calls — the wrapper is
+// bit-for-bit the PR 8 std::mutex shim).
 //
 // Usage pattern:
 //
@@ -21,7 +32,7 @@
 //    private:
 //     // Only called with mutex_ held — the compiler now proves it.
 //     void audit() SBX_REQUIRES(mutex_);
-//     util::Mutex mutex_;
+//     util::Mutex mutex_{util::LockRank::kLeaf, "Account::mutex_"};
 //     int balance_ SBX_GUARDED_BY(mutex_) = 0;
 //   };
 //
@@ -41,6 +52,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+
+#include "util/lock_rank.h"
 
 // Attribute plumbing: real clang attributes under clang, nothing under
 // GCC (GCC has no thread safety analysis; the attribute spellings below
@@ -96,33 +109,89 @@
 
 namespace sbx::util {
 
-/// std::mutex with thread-safety-analysis attributes. Same cost, same
-/// semantics; the only addition is that clang now tracks who holds it.
+/// std::mutex with thread-safety-analysis attributes and a mandatory
+/// place in the global lock hierarchy: construction names the rank and
+/// the lock (e.g. `Mutex m{LockRank::kShard, "ModelShard::mutation_-
+/// mutex_"}`). In Release builds both arguments are discarded and the
+/// wrapper costs exactly a std::mutex; under SBX_LOCK_RANK every
+/// acquisition is checked against the held stack (see lock_rank.h).
 class SBX_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+#ifdef SBX_LOCK_RANK
+  explicit Mutex(LockRank rank, const char* name)
+      : rank_(rank), name_(name) {}
+#else
+  explicit Mutex(LockRank, const char*) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() SBX_ACQUIRE() { mutex_.lock(); }
-  void unlock() SBX_RELEASE() { mutex_.unlock(); }
-  bool try_lock() SBX_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+  void lock() SBX_ACQUIRE() {
+#ifdef SBX_LOCK_RANK
+    lock_rank_detail::note_acquire(this, rank_, name_);
+#endif
+    mutex_.lock();
+  }
+  void unlock() SBX_RELEASE() {
+#ifdef SBX_LOCK_RANK
+    // Check first: unlocking a std::mutex this thread does not hold is
+    // UB, so the tracker must abort before touching it.
+    lock_rank_detail::note_release(this);
+#endif
+    mutex_.unlock();
+  }
+  // try_lock obeys the same ordering bar as lock(): an inverted
+  // try_lock cannot deadlock by itself, but it would make the declared
+  // hierarchy a lie (and the static extractor's graph wrong).
+  bool try_lock() SBX_TRY_ACQUIRE(true) {
+#ifdef SBX_LOCK_RANK
+    lock_rank_detail::note_acquire(this, rank_, name_);
+    const bool ok = mutex_.try_lock();
+    if (!ok) lock_rank_detail::note_release(this);
+    return ok;
+#else
+    return mutex_.try_lock();
+#endif
+  }
 
   /// The wrapped std::mutex, for std::condition_variable interop only
   /// (CondVar below). Locking through this bypasses the analysis.
   std::mutex& native() { return mutex_; }
 
+#ifdef SBX_LOCK_RANK
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+#endif
+
  private:
   std::mutex mutex_;
+#ifdef SBX_LOCK_RANK
+  const LockRank rank_;
+  const char* const name_;
+#endif
 };
 
 /// RAII lock over util::Mutex that the analysis understands (the
 /// SCOPED_CAPABILITY counterpart of std::unique_lock).
 class SBX_SCOPED_CAPABILITY MutexLock {
  public:
+#ifdef SBX_LOCK_RANK
+  explicit MutexLock(Mutex& mutex) SBX_ACQUIRE(mutex)
+      : mutex_(&mutex), lock_(mutex.native(), std::defer_lock) {
+    // Check-then-block: the tracker aborts on an inverted acquisition
+    // BEFORE this thread can deadlock on the underlying mutex.
+    lock_rank_detail::note_acquire(mutex_, mutex.rank(), mutex.name());
+    lock_.lock();
+  }
+  ~MutexLock() SBX_RELEASE() {
+    lock_.unlock();
+    lock_rank_detail::note_release(mutex_);
+  }
+#else
   explicit MutexLock(Mutex& mutex) SBX_ACQUIRE(mutex)
       : lock_(mutex.native()) {}
   ~MutexLock() SBX_RELEASE() = default;
+#endif
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -130,7 +199,15 @@ class SBX_SCOPED_CAPABILITY MutexLock {
   /// The underlying unique_lock, for CondVar::wait only.
   std::unique_lock<std::mutex>& native() { return lock_; }
 
+#ifdef SBX_LOCK_RANK
+  /// The tracked Mutex (CondVar's wait-entry check needs its identity).
+  const Mutex* tracked() const { return mutex_; }
+#endif
+
  private:
+#ifdef SBX_LOCK_RANK
+  const Mutex* mutex_;
+#endif
   std::unique_lock<std::mutex> lock_;
 };
 
@@ -147,10 +224,21 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void wait(MutexLock& lock) { cv_.wait(lock.native()); }
+  void wait(MutexLock& lock) {
+#ifdef SBX_LOCK_RANK
+    // Waiting releases only `lock`'s mutex; any other lock this thread
+    // holds stays held for the whole block and can deadlock the
+    // notifier — the tracker aborts here instead (see lock_rank.h).
+    lock_rank_detail::note_cond_wait(lock.tracked());
+#endif
+    cv_.wait(lock.native());
+  }
   /// Timed wait (steady clock): returns false on timeout, true when
   /// notified. Same predicate-loop guidance as wait().
   bool wait_for_ms(MutexLock& lock, long ms) {
+#ifdef SBX_LOCK_RANK
+    lock_rank_detail::note_cond_wait(lock.tracked());
+#endif
     return cv_.wait_for(lock.native(), std::chrono::milliseconds(ms)) ==
            std::cv_status::no_timeout;
   }

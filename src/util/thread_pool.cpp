@@ -21,7 +21,7 @@ std::size_t effective_threads(std::size_t threads) {
 /// Creation state of the process-wide pool. The pool itself lives in a
 /// static unique_ptr so workers are joined at exit.
 struct SharedPoolState {
-  Mutex mutex;
+  Mutex mutex{LockRank::kThreadPool, "ThreadPool::SharedPoolState::mutex"};
   std::unique_ptr<ThreadPool> pool SBX_GUARDED_BY(mutex);
   std::size_t requested SBX_GUARDED_BY(mutex) = 0;  // 0 = hw concurrency
 };

@@ -79,7 +79,7 @@ class ThreadPool {
   void notify_task_done() SBX_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  Mutex mutex_;
+  Mutex mutex_{LockRank::kThreadPool, "ThreadPool::mutex_"};
   CondVar cv_;
   std::queue<std::packaged_task<void()>> queue_ SBX_GUARDED_BY(mutex_);
   bool stopping_ SBX_GUARDED_BY(mutex_) = false;

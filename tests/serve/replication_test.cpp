@@ -28,7 +28,9 @@
 #include "serve/server.h"
 #include "serve/wal.h"
 #include "util/error.h"
+#include "util/lock_rank.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace sbx::serve {
 namespace {
@@ -499,6 +501,61 @@ TEST(ClientRedirect, ParseErrorIsNeverRetried) {
   ::close(lfd);
   ::unlink(path.c_str());
 }
+
+// ---------------------------------------------------------------------------
+// Lock-ordering regression: the quorum-ack wait and the shard lock.
+// ---------------------------------------------------------------------------
+
+// Enqueueing to the replicator while holding a shard-rank lock is the
+// designed fast path (shard.cpp does exactly this on every mutation) and
+// must stay legal under the rank tracker: kShard < kReplicator ascends.
+TEST(ReplicationLockOrder, EnqueueUnderShardRankLockIsLegal) {
+  ReplicationConfig rc;
+  rc.target = "unix:" + temp_sock("rank_enqueue_void");  // never connects
+  rc.ack = ReplAckPolicy::kAsync;
+  Replicator replicator(rc);
+  util::Mutex shard_rank_lock(util::LockRank::kShard,
+                              "test::shard_rank_lock");
+  WalRecord record;
+  record.seqno = 1;
+  {
+    const util::MutexLock lock(shard_rank_lock);
+    EXPECT_EQ(replicator.enqueue(0, record), 1u);
+  }
+  replicator.stop();
+}
+
+#ifdef SBX_LOCK_RANK
+
+// Pins the PR 7 invariant the prose used to carry alone: wait_acked
+// blocks on ack_cv_ until the standby acks, so a caller still holding a
+// shard mutation lock would stall every writer on that shard behind a
+// remote round-trip (or forever, against a dead standby). frontend.cpp
+// releases the shard lock BEFORE waiting; if anyone reintroduces the
+// inverted order, the rank tracker must abort at the CondVar wait
+// rather than let the serving path hang in production.
+TEST(ReplicationLockOrder, WaitAckedUnderShardRankLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ReplicationConfig rc;
+        // Unreachable target: the enqueued record is never acked, so
+        // wait_acked must reach the blocking ack_cv_ wait.
+        rc.target = "unix:" + temp_sock("rank_wait_void");
+        rc.ack = ReplAckPolicy::kQuorum;
+        Replicator replicator(rc);
+        WalRecord record;
+        record.seqno = 1;
+        const std::uint64_t ticket = replicator.enqueue(0, record);
+        util::Mutex shard_rank_lock(util::LockRank::kShard,
+                                    "test::shard_rank_lock");
+        const util::MutexLock lock(shard_rank_lock);
+        replicator.wait_acked(ticket);
+      },
+      "CondVar wait.*test::shard_rank_lock");
+}
+
+#endif  // SBX_LOCK_RANK
 
 }  // namespace
 }  // namespace sbx::serve

@@ -1,0 +1,157 @@
+// Tests for the lock-rank tracker (util/lock_rank.h + the ranked
+// util::Mutex in util/thread_annotations.h): ordered acquisition is
+// silent, and each violation class — rank inversion, same-rank pair,
+// re-entrant acquisition, CondVar wait with another lock held — aborts
+// with the lock names and the held stack (death tests). With the tracker
+// compiled out (Release), the violation tests skip and the positive
+// tests double as "the ranked wrapper still locks".
+#include "util/lock_rank.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_annotations.h"
+
+namespace sbx::util {
+namespace {
+
+// Other suites in this binary (thread_pool_test) leave live threads
+// behind; the default "fast" death-test style forks from a
+// multi-threaded process and can hang. "threadsafe" re-executes the
+// binary instead.
+class LockRankDeathTest : public testing::Test {
+ protected:
+  LockRankDeathTest() {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST(LockRank, NamesMatchEnumerators) {
+  EXPECT_STREQ(lock_rank_name(LockRank::kThreadPool), "kThreadPool");
+  EXPECT_STREQ(lock_rank_name(LockRank::kShard), "kShard");
+  EXPECT_STREQ(lock_rank_name(LockRank::kWal), "kWal");
+  EXPECT_STREQ(lock_rank_name(LockRank::kLeaf), "kLeaf");
+}
+
+TEST(LockRank, OrderedNestingIsSilent) {
+  Mutex outer{LockRank::kShard, "test::outer"};
+  Mutex middle{LockRank::kWal, "test::middle"};
+  Mutex inner{LockRank::kLeaf, "test::inner"};
+  {
+    MutexLock a(outer);
+    MutexLock b(middle);
+    MutexLock c(inner);
+#ifdef SBX_LOCK_RANK
+    EXPECT_EQ(lock_rank_detail::held_count(), 3);
+#endif
+  }
+#ifdef SBX_LOCK_RANK
+  EXPECT_EQ(lock_rank_detail::held_count(), 0);
+#endif
+}
+
+// Releasing resets the ordering constraint: high-rank then (released)
+// then low-rank on the same thread is legal — only SIMULTANEOUS holding
+// is ordered.
+TEST(LockRank, SequentialAcquisitionIgnoresRank) {
+  Mutex low{LockRank::kShard, "test::low"};
+  Mutex high{LockRank::kLeaf, "test::high"};
+  { MutexLock a(high); }
+  { MutexLock b(low); }
+  { MutexLock c(high); }
+}
+
+TEST(LockRank, FailedTryLockLeavesNothingHeld) {
+  Mutex contended{LockRank::kLeaf, "test::contended"};
+  Mutex other{LockRank::kShard, "test::other"};
+  std::atomic<bool> locked{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    MutexLock lock(contended);
+    locked.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!locked.load()) std::this_thread::yield();
+  EXPECT_FALSE(contended.try_lock());
+#ifdef SBX_LOCK_RANK
+  // The failed try_lock must have rolled its note_acquire back, so a
+  // LOWER-rank acquisition is still legal on this thread...
+  EXPECT_EQ(lock_rank_detail::held_count(), 0);
+#endif
+  { MutexLock lock(other); }  // ...which this would abort on otherwise
+  release.store(true);
+  holder.join();
+}
+
+#ifdef SBX_LOCK_RANK
+
+TEST_F(LockRankDeathTest, RankInversionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex wal(LockRank::kWal, "test::wal");
+        Mutex shard(LockRank::kShard, "test::shard");
+        MutexLock a(wal);
+        MutexLock b(shard);  // kShard < kWal while kWal is held
+      },
+      "rank inversion.*test::shard.*test::wal");
+}
+
+// Two locks of EQUAL rank held together is an undeclared ordering — the
+// hierarchy requires strictly increasing ranks.
+TEST_F(LockRankDeathTest, SameRankPairAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex a(LockRank::kLeaf, "test::leaf_a");
+        Mutex b(LockRank::kLeaf, "test::leaf_b");
+        MutexLock la(a);
+        MutexLock lb(b);
+      },
+      "rank inversion.*test::leaf_b.*test::leaf_a");
+}
+
+TEST_F(LockRankDeathTest, ReentrantAcquisitionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex m(LockRank::kLeaf, "test::reentrant");
+        MutexLock a(m);
+        MutexLock b(m);  // re-locking a std::mutex is UB, not a hang
+      },
+      "re-entrant acquisition.*test::reentrant");
+}
+
+TEST_F(LockRankDeathTest, CondVarWaitWithOtherLockHeldAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex outer(LockRank::kShard, "test::outer");
+        Mutex waited(LockRank::kLeaf, "test::waited");
+        CondVar cv;
+        MutexLock a(outer);
+        MutexLock b(waited);
+        cv.wait_for_ms(b, 1);  // outer stays held across the block
+      },
+      "CondVar wait.*test::outer");
+}
+
+TEST_F(LockRankDeathTest, ManualUnlockOfUnheldLockAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex m(LockRank::kLeaf, "test::unheld");
+        m.unlock();
+      },
+      "does not hold");
+}
+
+#else  // !SBX_LOCK_RANK
+
+TEST_F(LockRankDeathTest, TrackerCompiledOut) {
+  GTEST_SKIP() << "SBX_LOCK_RANK is off in this build; violation death "
+                  "tests need a Debug/sanitizer build (or -DSBX_LOCK_RANK"
+                  "=ON)";
+}
+
+#endif  // SBX_LOCK_RANK
+
+}  // namespace
+}  // namespace sbx::util

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include "util/error.h"
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace sbx::util {
 namespace {
@@ -150,6 +152,39 @@ TEST(ThreadPool, WaitRethrowsFirstTaskException) {
     }));
   }
   EXPECT_THROW(pool.wait(futures), std::runtime_error);
+}
+
+// wait() helps by running queued tasks inline on the waiting thread
+// (worker or external). Under the rank tracker this path must be clean:
+// try_run_one releases the pool mutex BEFORE invoking the task, so a
+// task observes an empty held-locks stack even when it executes inside
+// another task's wait() — no false re-entrancy, no false inversion when
+// the task then takes its own (higher-rank) locks.
+TEST(ThreadPool, HelpingWaitRunsTasksWithNoLocksHeld) {
+  ThreadPool pool(2);
+  Mutex task_mutex{LockRank::kLeaf, "test::task_mutex"};
+  std::atomic<int> clean_runs{0};
+  std::vector<std::future<void>> outer;
+  for (int i = 0; i < 8; ++i) {  // > workers, so waits must help
+    outer.push_back(pool.submit([&] {
+      std::vector<std::future<void>> inner;
+      for (int j = 0; j < 4; ++j) {
+        inner.push_back(pool.submit([&] {
+#ifdef SBX_LOCK_RANK
+          ASSERT_EQ(lock_rank_detail::held_count(), 0)
+              << "task started with a lock still held by its thread";
+#endif
+          // A lock acquisition inside an inline-run task must not trip
+          // the tracker (it would if wait() held the pool mutex here).
+          const MutexLock lock(task_mutex);
+          clean_runs.fetch_add(1);
+        }));
+      }
+      pool.wait(inner);
+    }));
+  }
+  pool.wait(outer);
+  EXPECT_EQ(clean_runs.load(), 32);
 }
 
 TEST(ThreadPool, SharedPoolIsOneInstance) {

@@ -1,0 +1,34 @@
+// Fixture: raw standard-library sync primitives must fire — they are
+// invisible to clang TSA, the lock-rank tracker, and sbx_lockgraph.
+#include <condition_variable>
+#include <mutex>
+
+class Queue {
+ public:
+  void push(int v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ = v;
+    cv_.notify_one();
+  }
+
+  int pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock);
+    return value_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int value_ = 0;
+};
+
+class Registry {
+  std::shared_mutex table_mutex_;
+  std::recursive_mutex legacy_mutex_;
+};
+
+void scoped() {
+  static std::timed_mutex m;
+  std::scoped_lock lock(m);
+}

@@ -1,0 +1,29 @@
+// Fixture: the ranked util:: wrappers (and an explained allow-marker)
+// stay quiet. Mentions of std::mutex in comments or strings do not
+// count either — the rule reads code, not prose.
+#include "util/thread_annotations.h"
+
+class Queue {
+ public:
+  void push(int v) {
+    const sbx::util::MutexLock lock(mutex_);
+    value_ = v;
+    cv_.notify_one();
+  }
+
+  int pop() {
+    sbx::util::MutexLock lock(mutex_);
+    cv_.wait(lock);  // wraps std::condition_variable under the hood
+    return value_;
+  }
+
+ private:
+  sbx::util::Mutex mutex_{sbx::util::LockRank::kLeaf, "Queue::mutex_"};
+  sbx::util::CondVar cv_;
+  int value_ SBX_GUARDED_BY(mutex_) = 0;
+};
+
+const char* kDocs = "never hand out a std::mutex from an API";
+
+// sbx-lint: allow(raw-sync): interop shim for a third-party callback API
+extern void register_callback(std::mutex* external);

@@ -1,0 +1,15 @@
+#include "ab.h"
+
+void A::step() {
+  util::MutexLock lock(a_mutex_);
+  other_.poke();  // A::a_mutex_ -> B::b_mutex_
+}
+
+void A::kick() {
+  util::MutexLock lock(a_mutex_);
+}
+
+void B::poke() {
+  util::MutexLock lock(b_mutex_);
+  peer_->kick();  // B::b_mutex_ -> A::a_mutex_: closes the cycle
+}

@@ -1,0 +1,25 @@
+// Fixture: A::step locks a_mutex_ then calls B::poke; B::poke locks
+// b_mutex_ then calls A::kick — a classic two-lock deadlock cycle.
+#pragma once
+#include "util/lock_rank.h"
+
+class B;
+
+class A {
+ public:
+  void step() SBX_EXCLUDES(a_mutex_);
+  void kick() SBX_EXCLUDES(a_mutex_);
+
+ private:
+  util::Mutex a_mutex_{util::LockRank::kGhostA, "A::a_mutex_"};
+  B* other_;
+};
+
+class B {
+ public:
+  void poke() SBX_EXCLUDES(b_mutex_);
+
+ private:
+  util::Mutex b_mutex_{util::LockRank::kGhostB, "B::b_mutex_"};
+  A* peer_;
+};

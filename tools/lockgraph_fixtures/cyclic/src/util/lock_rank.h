@@ -1,0 +1,9 @@
+// Fixture hierarchy that FORGOT to declare the ranks these mutexes use:
+// the extractor cannot rank-check them, so the acquisition cycle below
+// must be caught by cycle detection alone.
+#pragma once
+namespace fix {
+enum class LockRank : int {
+  kUnrelated = 10,
+};
+}

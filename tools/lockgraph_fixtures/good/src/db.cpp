@@ -1,0 +1,15 @@
+#include "db.h"
+
+void Log::append() {
+  util::MutexLock lock(io_mutex_);
+}
+
+void Db::put() {
+  util::MutexLock lock(mutex_);
+  log_.append();  // Db::mutex_ -> Log::io_mutex_: ascends, fine
+  compact();      // REQUIRES method: nothing new acquired
+}
+
+void Db::compact() {
+  log_.append();  // seeded held set: same edge, still ascending
+}

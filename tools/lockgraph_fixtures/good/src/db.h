@@ -1,0 +1,22 @@
+// Fixture: a well-ordered two-lock design. Db::put holds the outer
+// database lock and appends to the (inner) log.
+#pragma once
+#include "util/lock_rank.h"
+
+class Log {
+ public:
+  void append() SBX_EXCLUDES(io_mutex_);
+
+ private:
+  util::Mutex io_mutex_{util::LockRank::kLog, "Log::io_mutex_"};
+};
+
+class Db {
+ public:
+  void put() SBX_EXCLUDES(mutex_);
+
+ private:
+  void compact() SBX_REQUIRES(mutex_);
+  util::Mutex mutex_{util::LockRank::kDb, "Db::mutex_"};
+  Log log_;
+};

@@ -1,0 +1,9 @@
+// Fixture hierarchy: Db (outer) may acquire Log (inner), never the
+// other way around.
+#pragma once
+namespace fix {
+enum class LockRank : int {
+  kDb = 10,
+  kLog = 20,
+};
+}

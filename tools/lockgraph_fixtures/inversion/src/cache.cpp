@@ -1,0 +1,10 @@
+#include "cache.h"
+
+void Cache::evict() {
+  util::MutexLock lock(mutex_);
+}
+
+void Index::rebuild() {
+  util::MutexLock lock(index_mutex_);
+  cache_->evict();  // kIndex=20 held while acquiring kCache=10: inverted
+}

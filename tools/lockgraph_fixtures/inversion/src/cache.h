@@ -1,0 +1,21 @@
+// Fixture: Index::rebuild acquires the Cache lock while holding the
+// Index lock — backwards against the declared ranks.
+#pragma once
+#include "util/lock_rank.h"
+
+class Cache {
+ public:
+  void evict() SBX_EXCLUDES(mutex_);
+
+ private:
+  util::Mutex mutex_{util::LockRank::kCache, "Cache::mutex_"};
+};
+
+class Index {
+ public:
+  void rebuild() SBX_EXCLUDES(index_mutex_);
+
+ private:
+  util::Mutex index_mutex_{util::LockRank::kIndex, "Index::index_mutex_"};
+  Cache* cache_;
+};

@@ -1,0 +1,9 @@
+// Fixture hierarchy: Cache is declared OUTER (must be taken first),
+// Index inner.
+#pragma once
+namespace fix {
+enum class LockRank : int {
+  kCache = 10,
+  kIndex = 20,
+};
+}

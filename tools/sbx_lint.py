@@ -33,6 +33,12 @@ Rules (all scoped to checked directories, see RULES):
                   declaration that carries SBX_REQUIRES(): prose and
                   annotation drifting apart is how locking bugs sneak
                   past review.
+  raw-sync        no raw std::mutex / std::lock_guard / std::scoped_lock
+                  / std::unique_lock / std::condition_variable in src/:
+                  locking goes through the annotated, RANKED util::
+                  wrappers (util/thread_annotations.h), or it is
+                  invisible to clang TSA, the lock-rank tracker, AND
+                  tools/sbx_lockgraph.py at once.
   tsan-supp       every suppression in tests/tsan.supp needs a comment
                   block with a "Justification:" line — suppressions
                   without a reason rot into "ignore all races here".
@@ -45,10 +51,13 @@ The marker without a reason does not count.
 
 Usage:
   tools/sbx_lint.py [--root DIR]   lint the tree (exit 1 on violations)
+  tools/sbx_lint.py --json         same, violations as a JSON array on
+                                   stdout (rule, file, line, message)
   tools/sbx_lint.py --self-test    run every rule against its fixtures
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -86,6 +95,12 @@ class Violation:
         return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
                                    self.message)
 
+    def as_dict(self):
+        """The --json spelling (stable keys: CI renders these as GitHub
+        annotations)."""
+        return {"rule": self.rule, "file": self.path, "line": self.line,
+                "message": self.message}
+
 
 def strip_comments_and_strings(text):
     """Blanks comments and string/char literals, preserving line structure.
@@ -114,9 +129,16 @@ def strip_comments_and_strings(text):
                 out.append(" ")
                 i += 1
             elif c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
+                # A quote straight after an alphanumeric is a digit
+                # separator (10'000) or part of a suffix, not a char
+                # literal opening.
+                if i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+                    out.append(" ")
+                    i += 1
+                else:
+                    state = "char"
+                    out.append(" ")
+                    i += 1
             else:
                 out.append(c)
                 i += 1
@@ -296,6 +318,43 @@ def check_lock_comment(path, raw_lines, code_lines):
     return out
 
 
+# --- raw-sync ----------------------------------------------------------------
+
+# The annotated wrappers themselves — the one place raw primitives live.
+RAW_SYNC_ALLOWLIST = (
+    "src/util/thread_annotations.h",
+)
+
+RAW_SYNC_PATTERNS = [
+    (re.compile(r"\bstd::(?:recursive_|shared_|timed_|recursive_timed_)?"
+                r"mutex\b"),
+     "std::mutex family"),
+    (re.compile(r"\bstd::lock_guard\b"), "std::lock_guard"),
+    (re.compile(r"\bstd::scoped_lock\b"), "std::scoped_lock"),
+    (re.compile(r"\bstd::unique_lock\b"), "std::unique_lock"),
+    (re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+     "std::condition_variable"),
+]
+
+
+def check_raw_sync(path, raw_lines, code_lines):
+    rel = path.replace(os.sep, "/")
+    if any(rel.endswith(allow) for allow in RAW_SYNC_ALLOWLIST):
+        return []
+    out = []
+    for i, line in enumerate(code_lines, 1):
+        for pattern, what in RAW_SYNC_PATTERNS:
+            if pattern.search(line) and not allowed(raw_lines, i,
+                                                    "raw-sync"):
+                out.append(Violation(
+                    path, i, "raw-sync",
+                    "%s bypasses the annotated, ranked util:: wrappers "
+                    "(util/thread_annotations.h) — invisible to clang "
+                    "TSA, the SBX_LOCK_RANK tracker, and sbx_lockgraph "
+                    "alike; use util::Mutex/MutexLock/CondVar" % what))
+    return out
+
+
 # --- tsan-supp ---------------------------------------------------------------
 
 def check_tsan_supp(path, raw_lines):
@@ -328,6 +387,7 @@ RULES = {
     "float-format": (check_float_format, RESULT_PATH_DIRS),
     "process-escape": (check_process_escape, ALL_SRC_DIRS),
     "lock-comment": (check_lock_comment, ALL_SRC_DIRS),
+    "raw-sync": (check_raw_sync, ALL_SRC_DIRS),
 }
 
 
@@ -399,6 +459,23 @@ def self_test():
         print("  %-16s bad fixture: %d hit(s); good fixture: clean%s"
               % (rule, len(bad_hits),
                  "" if not good_hits else " FAILED"))
+    # --json contract: every violation serializes to the four stable keys
+    # CI renders as GitHub annotations, and the result survives a JSON
+    # round-trip.
+    sample = run_fixture(RULES["raw-sync"][0],
+                         os.path.join(fixtures, "raw-sync_bad.cc"))
+    encoded = json.loads(json.dumps([v.as_dict() for v in sample]))
+    for entry in encoded:
+        if sorted(entry) != ["file", "line", "message", "rule"]:
+            failures.append("--json: unexpected keys %s" % sorted(entry))
+        elif not isinstance(entry["line"], int):
+            failures.append("--json: line is not an int: %r"
+                            % entry["line"])
+    if not encoded:
+        failures.append("--json: raw-sync bad fixture produced no "
+                        "violations to serialize")
+    print("  %-16s %d violation(s) round-trip with stable keys"
+          % ("--json", len(encoded)))
     if failures:
         for f in failures:
             print("SELF-TEST FAILURE: " + f, file=sys.stderr)
@@ -415,10 +492,17 @@ def main():
                              "checkout containing this script)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the rule fixtures instead of the tree")
+    parser.add_argument("--json", action="store_true",
+                        help="emit violations as a JSON array on stdout "
+                             "(objects with rule, file, line, message)")
     args = parser.parse_args()
     if args.self_test:
         return self_test()
     violations = lint_tree(args.root)
+    if args.json:
+        json.dump([v.as_dict() for v in violations], sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 1 if violations else 0
     for v in violations:
         print(v)
     if violations:
